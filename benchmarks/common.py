@@ -1,0 +1,38 @@
+"""Shared configuration for the figure benchmarks.
+
+Benchmarks default to a reduced sweep so the whole suite finishes in a
+few minutes; the WSP design still covers the paper's Table 1 ranges.
+Scale up via environment variables::
+
+    REPRO_SCENARIOS=253 REPRO_FILE_SIZE=20000000 pytest benchmarks/ --benchmark-only
+
+or regenerate individual figures at any scale with
+``python -m repro.experiments.figures <fig> --full``.
+
+Because the figure harness caches sweeps process-wide, benchmarks that
+share an environment class (e.g. Fig. 3 and Fig. 4) reuse each other's
+simulation runs within one pytest session.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.figures import SweepConfig
+
+#: Reduced-size sweep used by default in benchmarks.
+BENCH_CONFIG = SweepConfig(
+    scenarios=int(os.environ.get("REPRO_SCENARIOS", "12")),
+    file_size=int(os.environ.get("REPRO_FILE_SIZE", "2000000")),
+    small_file_size=int(os.environ.get("REPRO_SMALL_FILE", "256000")),
+    seed=int(os.environ.get("REPRO_SEED", "42")),
+)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return it.
+
+    The sweeps are deterministic simulations — repeating them would
+    only re-measure wall time of identical work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

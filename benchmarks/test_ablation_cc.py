@@ -1,0 +1,19 @@
+"""A2 — multipath congestion-control ablation.
+
+OLIA (coupled, fair) versus uncoupled CUBIC and NewReno per path.
+Uncoupled controllers aggregate more aggressively on disjoint paths —
+the price OLIA pays for bottleneck fairness.
+"""
+
+from repro.experiments.figures import ablation_congestion_control
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_cc_ablation(benchmark):
+    results = run_once(benchmark, lambda: ablation_congestion_control(BENCH_CONFIG))
+    assert set(results) == {"olia", "cubic2", "newreno"}
+    assert all(t > 0 for t in results.values())
+    # Uncoupled CUBIC should be at least as fast as coupled OLIA on
+    # disjoint paths.
+    assert results["cubic2"] <= results["olia"] * 1.15

@@ -1,0 +1,27 @@
+"""A5 — shared-bottleneck fairness: why the paper integrates OLIA (§3).
+
+One MPQUIC connection whose two paths cross the same bottleneck,
+racing one single-path QUIC flow.  Coupled OLIA should take about one
+fair share; uncoupled CUBIC noticeably more.
+"""
+
+from repro.experiments.fairness import run_fairness
+
+from benchmarks.common import run_once
+
+
+def test_bottleneck_fairness(benchmark):
+    def run():
+        return {
+            cc: run_fairness(multipath_cc=cc, duration=15.0)
+            for cc in ("olia", "cubic2")
+        }
+
+    results = run_once(benchmark, run)
+    olia, cubic = results["olia"], results["cubic2"]
+    print(
+        f"\nbottleneck share: OLIA {olia.mp_share:.2f}, "
+        f"uncoupled CUBIC {cubic.mp_share:.2f}"
+    )
+    assert 0.30 <= olia.mp_share <= 0.60
+    assert cubic.mp_share > olia.mp_share + 0.05

@@ -1,0 +1,19 @@
+"""A1 — MPQUIC packet-scheduler ablation (design choice of §3).
+
+Compares the paper's lowest-RTT-with-duplication scheduler against
+round-robin (the rejected alternative) and duplication disabled, on
+heterogeneous paths.
+"""
+
+from repro.experiments.figures import ablation_scheduler
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_scheduler_ablation(benchmark):
+    results = run_once(benchmark, lambda: ablation_scheduler(BENCH_CONFIG))
+    assert set(results) == {"lowest_rtt", "lowest_rtt_no_dup", "round_robin"}
+    assert all(t > 0 for t in results.values())
+    # Round-robin is fragile under delay heterogeneity (paper §3): it
+    # must not beat the default scheduler by any meaningful margin.
+    assert results["round_robin"] >= results["lowest_rtt"] * 0.9

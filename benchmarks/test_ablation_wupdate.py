@@ -1,0 +1,17 @@
+"""A3 — WINDOW_UPDATE duplication ablation (design choice of §3).
+
+The paper's MPQUIC sends WINDOW_UPDATE frames on all paths to avoid
+receive-buffer deadlocks when one path stalls; this compares against
+sending them on a single path.
+"""
+
+from repro.experiments.figures import ablation_window_updates
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_window_update_ablation(benchmark):
+    results = run_once(benchmark, lambda: ablation_window_updates(BENCH_CONFIG))
+    assert set(results) == {"all_paths", "single_path"}
+    # Duplicating window updates must never hurt meaningfully.
+    assert results["all_paths"] <= results["single_path"] * 1.1

@@ -1,0 +1,63 @@
+"""Simulator performance: events/second and transfer cost.
+
+Unlike the figure benchmarks (one deterministic run each), these use
+pytest-benchmark's repeated timing: they answer "how expensive is a
+simulated megabyte?", which bounds the feasible sweep sizes
+(EXPERIMENTS.md's scaling note).
+"""
+
+from repro.experiments.runner import run_bulk
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw engine speed: schedule-and-run a batch of trivial events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_quic_transfer_cost(benchmark):
+    """Cost of simulating a 1 MB QUIC download on a clean path."""
+
+    def run():
+        return run_bulk("quic", [PathConfig(20, 30, 60)], 1_000_000)
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_mpquic_transfer_cost(benchmark):
+    """Cost of simulating a 1 MB MPQUIC download over two paths."""
+
+    def run():
+        return run_bulk(
+            "mpquic",
+            [PathConfig(10, 30, 60), PathConfig(10, 30, 60)],
+            1_000_000,
+        )
+
+    result = benchmark(run)
+    assert result.completed
+
+
+def test_mptcp_transfer_cost(benchmark):
+    """Cost of simulating a 1 MB MPTCP download over two paths."""
+
+    def run():
+        return run_bulk(
+            "mptcp",
+            [PathConfig(10, 30, 60), PathConfig(10, 30, 60)],
+            1_000_000,
+        )
+
+    result = benchmark(run)
+    assert result.completed

@@ -1,0 +1,28 @@
+"""E8 / Fig. 10 — GET 256 KB: multipath is not useful for short
+transfers.
+
+Paper shape: the handshake and slow-start dominate; aggregation benefit
+stays low (and can be negative when starting on the worst path).
+"""
+
+from repro.experiments.figures import fig10
+from repro.experiments.metrics import median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def _both(buckets):
+    return buckets["best_first"] + buckets["worst_first"]
+
+
+def test_fig10_short_transfers_multipath_useless(benchmark):
+    data = run_once(benchmark, lambda: fig10(BENCH_CONFIG))
+    mpquic = _both(data["mpquic_vs_quic"])
+    # Little benefit for 256 KB transfers (paper: "multipath is not
+    # really desirable for short transfers").
+    assert median(mpquic) < 0.5
+    # Worst-path-first is no better than best-path-first.
+    assert (
+        median(data["mpquic_vs_quic"]["worst_first"])
+        <= median(data["mpquic_vs_quic"]["best_first"]) + 0.25
+    )

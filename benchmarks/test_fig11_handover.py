@@ -1,0 +1,23 @@
+"""E9 / Fig. 11 — network handover with MPQUIC.
+
+Paper shape: steady ~15 ms-path delays, one spike of a few hundred ms
+when the initial path dies at t=3 s (one RTO + cross-path retransmit +
+PATHS frame), then steady delays on the 25 ms path.
+"""
+
+from repro.experiments.figures import fig11
+from repro.experiments.scenarios import HANDOVER_SCENARIO
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_fig11_handover_timeline(benchmark):
+    delays = run_once(benchmark, lambda: fig11(BENCH_CONFIG))
+    fail = HANDOVER_SCENARIO.failure_time
+    before = [d for t, d in delays if t < fail - 0.5]
+    spike = [d for t, d in delays if fail - 0.1 <= t < fail + 0.8]
+    after = [d for t, d in delays if t > fail + 1.0]
+    assert len(delays) == HANDOVER_SCENARIO.total_requests
+    assert max(before) < 0.025          # 15 ms RTT path
+    assert spike and 0.05 < max(spike) < 1.0   # one recovery spike
+    assert after and max(after) < 0.035  # seamless on the 25 ms path

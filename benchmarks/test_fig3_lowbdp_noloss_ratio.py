@@ -1,0 +1,21 @@
+"""E1 / Fig. 3 — GET <large>, low-BDP-no-loss: time-ratio CDFs.
+
+Paper shape: single-path TCP and QUIC are equivalent (ratio CDF tight
+around 1), while MPQUIC outperforms MPTCP in ~89% of runs.
+"""
+
+from repro.experiments.figures import fig3
+from repro.experiments.metrics import fraction_greater_than, median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_fig3_time_ratio_cdfs(benchmark):
+    series = run_once(benchmark, lambda: fig3(BENCH_CONFIG))
+    tcp_quic = series["tcp/quic"]
+    mptcp_mpquic = series["mptcp/mpquic"]
+    # Single path: both use CUBIC; ratios cluster near 1.
+    assert 0.8 <= median(tcp_quic) <= 1.6
+    # Multipath: MPQUIC faster than MPTCP in most runs (paper: 89%).
+    assert fraction_greater_than(mptcp_mpquic, 1.0) >= 0.5
+    assert median(mptcp_mpquic) > 1.0

@@ -1,0 +1,31 @@
+"""E2 / Fig. 4 — low-BDP-no-loss: experimental aggregation benefit.
+
+Paper shape: multipath is more beneficial to QUIC than to TCP (EBen > 0
+in 77% of MPQUIC scenarios vs 45% for MPTCP), and MPQUIC is less
+sensitive to which path starts the connection.
+"""
+
+from repro.experiments.figures import fig4
+from repro.experiments.metrics import fraction_greater_than, median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def _both(buckets):
+    return buckets["best_first"] + buckets["worst_first"]
+
+
+def test_fig4_aggregation_benefit(benchmark):
+    data = run_once(benchmark, lambda: fig4(BENCH_CONFIG))
+    mpquic = _both(data["mpquic_vs_quic"])
+    mptcp = _both(data["mptcp_vs_tcp"])
+    frac_q = fraction_greater_than(mpquic, 0.0)
+    frac_t = fraction_greater_than(mptcp, 0.0)
+    # Multipath helps QUIC more often than TCP.
+    assert frac_q > frac_t
+    assert median(mpquic) > median(mptcp)
+    # MPQUIC is less affected by starting on the worst path: the gap
+    # between its best-first and worst-first medians stays moderate.
+    q_best = median(data["mpquic_vs_quic"]["best_first"])
+    q_worst = median(data["mpquic_vs_quic"]["worst_first"])
+    assert abs(q_best - q_worst) < 1.0

@@ -1,0 +1,23 @@
+"""E3 / Fig. 5 — low-BDP-losses: time-ratio CDFs.
+
+Paper shape: with random losses, (MP)QUIC nearly always beats (MP)TCP
+thanks to richer ACK information (256 ranges vs 3 SACK blocks) and
+unambiguous RTT estimates.
+"""
+
+from repro.experiments.figures import fig5
+from repro.experiments.metrics import fraction_greater_than, median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_fig5_lossy_ratio(benchmark):
+    series = run_once(benchmark, lambda: fig5(BENCH_CONFIG))
+    tcp_quic = series["tcp/quic"]
+    # Single path under loss: QUIC clearly wins (paper: almost always).
+    assert fraction_greater_than(tcp_quic, 1.0) >= 0.8
+    assert median(tcp_quic) > 1.15
+    # Multipath under loss: MPQUIC at least competitive with MPTCP.
+    # (Shape note: the paper shows a clear MPQUIC win; our OLIA model
+    # reaches parity — see EXPERIMENTS.md.)
+    assert median(series["mptcp/mpquic"]) > 0.75

@@ -1,0 +1,29 @@
+"""E4 / Fig. 6 — low-BDP-losses: aggregation benefit under random loss.
+
+Paper shape: multipath can still help QUIC in lossy environments,
+though measured goodput varies much more than without losses.
+"""
+
+import statistics
+
+from repro.experiments.figures import fig6
+from repro.experiments.metrics import median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def _both(buckets):
+    return buckets["best_first"] + buckets["worst_first"]
+
+
+def test_fig6_lossy_aggregation(benchmark):
+    data = run_once(benchmark, lambda: fig6(BENCH_CONFIG))
+    mpquic = _both(data["mpquic_vs_quic"])
+    noloss_spread = 0.0  # reference: see fig4 in the same session
+    # Wide variance is the paper's observation; multipath never fails
+    # outright (EBen = -1 means no data transferred at all).
+    assert min(mpquic) > -1.0
+    assert statistics.pstdev(mpquic) > 0.05
+    # Coupled OLIA under random loss is conservative: the multipath run
+    # must still stay within reach of the best single path.
+    assert median(mpquic) > -0.8

@@ -1,0 +1,23 @@
+"""E5 / Fig. 7 — high-BDP-no-loss: aggregation benefit.
+
+Paper shape: in high-BDP environments MPTCP's benefit collapses
+(receive-window limits + bufferbloat + late second subflow) while
+MPQUIC remains advantageous: EBen > 0 in 58% (MPQUIC) vs 20% (MPTCP).
+"""
+
+from repro.experiments.figures import fig7
+from repro.experiments.metrics import fraction_greater_than, median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def _both(buckets):
+    return buckets["best_first"] + buckets["worst_first"]
+
+
+def test_fig7_highbdp_aggregation(benchmark):
+    data = run_once(benchmark, lambda: fig7(BENCH_CONFIG))
+    frac_q = fraction_greater_than(_both(data["mpquic_vs_quic"]), 0.0)
+    frac_t = fraction_greater_than(_both(data["mptcp_vs_tcp"]), 0.0)
+    assert frac_q >= frac_t
+    assert median(_both(data["mpquic_vs_quic"])) >= median(_both(data["mptcp_vs_tcp"]))

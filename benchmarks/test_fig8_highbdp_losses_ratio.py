@@ -1,0 +1,18 @@
+"""E6 / Fig. 8 — high-BDP-losses: time-ratio CDFs.
+
+Paper shape: QUIC performs better than TCP in high-BDP environments
+with random losses (better loss signalling, fairer window evolution).
+"""
+
+from repro.experiments.figures import fig8
+from repro.experiments.metrics import fraction_greater_than, median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_fig8_highbdp_lossy_ratio(benchmark):
+    series = run_once(benchmark, lambda: fig8(BENCH_CONFIG))
+    tcp_quic = series["tcp/quic"]
+    # QUIC wins more often than it loses against TCP.
+    assert fraction_greater_than(tcp_quic, 1.0) >= 0.4
+    assert median(tcp_quic) > 0.85

@@ -1,0 +1,17 @@
+"""E7 / Fig. 9 — GET 256 KB, low-BDP-no-loss: time-ratio CDFs.
+
+Paper shape: for short transfers QUIC clearly beats HTTPS/TCP because
+its secure handshake costs 1 RTT instead of 3 (TCP 3WHS + TLS 1.2).
+"""
+
+from repro.experiments.figures import fig9
+from repro.experiments.metrics import fraction_greater_than, median
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_fig9_short_transfers(benchmark):
+    series = run_once(benchmark, lambda: fig9(BENCH_CONFIG))
+    tcp_quic = series["tcp/quic"]
+    assert median(tcp_quic) > 1.1
+    assert fraction_greater_than(tcp_quic, 1.0) >= 0.8

@@ -1,0 +1,49 @@
+"""A4 — hard handover (QUIC migration) vs seamless multipath handover.
+
+Extends Fig. 11: the paper argues connection migration is a *hard*
+handover while multipath is seamless.  The worst-case request delay
+around the failure should be clearly larger for migrating single-path
+QUIC than for MPQUIC.
+"""
+
+from repro.experiments.runner import run_handover
+from repro.experiments.scenarios import HANDOVER_SCENARIO
+from repro.quic.config import QuicConfig
+
+from benchmarks.common import run_once
+
+
+def _spike(delays):
+    fail = HANDOVER_SCENARIO.failure_time
+    return max(d for t, d in delays if t >= fail - 0.1)
+
+
+def test_hard_vs_seamless_handover(benchmark):
+    def run():
+        return {
+            "mpquic": run_handover(HANDOVER_SCENARIO, protocol="mpquic"),
+            "quic_migrate": run_handover(
+                HANDOVER_SCENARIO, protocol="quic",
+                quic_config=QuicConfig(migrate_on_failure=True),
+            ),
+            "mptcp": run_handover(HANDOVER_SCENARIO, protocol="mptcp"),
+            "mpquic_redundant": run_handover(
+                HANDOVER_SCENARIO, protocol="mpquic",
+                quic_config=QuicConfig(scheduler="redundant"),
+            ),
+        }
+
+    results = run_once(benchmark, run)
+    for delays in results.values():
+        assert len(delays) == HANDOVER_SCENARIO.total_requests
+    # For request/response traffic every reactive scheme pays the same
+    # failure-*detection* cost (roughly one RTO for the in-flight
+    # request); migration is never cheaper than the warm multipath path.
+    assert _spike(results["quic_migrate"]) >= _spike(results["mpquic"]) * 0.95
+    # All reactive schemes recover within well under a second.
+    assert _spike(results["mpquic"]) < 0.6
+    assert _spike(results["mptcp"]) < 0.6
+    assert _spike(results["quic_migrate"]) < 1.0
+    # Only proactive redundancy removes the spike entirely: the copy on
+    # the surviving path answers as if nothing happened.
+    assert _spike(results["mpquic_redundant"]) < 0.04

@@ -1,0 +1,45 @@
+"""A6 — handshake evolution (§4.2 outlook): TLS 1.3, TFO, QUIC 0-RTT.
+
+The paper attributes QUIC's short-transfer advantage to its 1-RTT
+handshake and predicts TLS 1.3 + TCP Fast Open would shrink the gap.
+This benchmark quantifies the whole ladder on a 256 KB transfer.
+"""
+
+from repro.experiments.runner import run_bulk
+from repro.netsim.topology import PathConfig
+from repro.quic.config import QuicConfig
+from repro.tcp.config import TcpConfig
+
+from benchmarks.common import run_once
+
+PATH = [PathConfig(10, 40, 50)]
+SIZE = 256_000
+RTT = 0.04
+
+
+def test_handshake_evolution(benchmark):
+    def run():
+        return {
+            "tls12": run_bulk("tcp", PATH, SIZE,
+                              tcp_config=TcpConfig(tls_version="1.2")).transfer_time,
+            "tls13": run_bulk("tcp", PATH, SIZE,
+                              tcp_config=TcpConfig(tls_version="1.3")).transfer_time,
+            "tls13_tfo": run_bulk(
+                "tcp", PATH, SIZE,
+                tcp_config=TcpConfig(tls_version="1.3", fast_open=True),
+            ).transfer_time,
+            "quic": run_bulk("quic", PATH, SIZE).transfer_time,
+            "quic_0rtt": run_bulk(
+                "quic", PATH, SIZE, quic_config=QuicConfig(zero_rtt=True)
+            ).transfer_time,
+        }
+
+    t = run_once(benchmark, run)
+    # Each step of the ladder saves roughly one round trip.
+    assert t["tls12"] - t["tls13"] > 0.6 * RTT
+    assert t["tls13"] - t["tls13_tfo"] > 0.6 * RTT
+    # TCP+TLS1.3+TFO closes the setup gap to (1-RTT) QUIC, confirming
+    # the paper's outlook.
+    assert abs(t["tls13_tfo"] - t["quic"]) < 1.2 * RTT
+    # 0-RTT keeps QUIC one round trip ahead.
+    assert t["quic"] - t["quic_0rtt"] > 0.6 * RTT

@@ -1,0 +1,22 @@
+"""E10 — the paper's §4.1 headline percentages.
+
+Paper values: MPQUIC faster than MPTCP in 89% of low-BDP-no-loss runs;
+EBen > 0 in 77% (MPQUIC) vs 45% (MPTCP); high-BDP 58% vs 20%.
+"""
+
+from repro.experiments.figures import headline_percentages
+
+from benchmarks.common import BENCH_CONFIG, run_once
+
+
+def test_headline_percentages(benchmark):
+    results = run_once(benchmark, lambda: headline_percentages(BENCH_CONFIG))
+    assert results["mpquic_faster_than_mptcp_pct"] >= 50.0
+    assert (
+        results["low_bdp_eben_positive_mpquic_pct"]
+        > results["low_bdp_eben_positive_mptcp_pct"]
+    )
+    assert (
+        results["high_bdp_eben_positive_mpquic_pct"]
+        >= results["high_bdp_eben_positive_mptcp_pct"]
+    )

@@ -1,0 +1,35 @@
+"""A8 — MPQUIC aggregation as the number of disjoint paths grows.
+
+The paper evaluates two paths; the design (explicit Path IDs, per-path
+number spaces) supports any count.  Transfer time should shrink
+monotonically-ish as equal-capacity paths are added, with diminishing
+returns from OLIA's coupled growth.
+"""
+
+from repro.experiments.runner import run_bulk
+from repro.netsim.topology import PathConfig
+
+from benchmarks.common import run_once
+
+PATH = PathConfig(capacity_mbps=8.0, rtt_ms=40.0, queuing_delay_ms=60.0)
+SIZE = 4_000_000
+
+
+def test_aggregation_scales_with_path_count(benchmark):
+    def run():
+        times = {}
+        for n in (1, 2, 3, 4):
+            protocol = "quic" if n == 1 else "mpquic"
+            times[n] = run_bulk(protocol, [PATH] * n, SIZE).transfer_time
+        return times
+
+    times = run_once(benchmark, run)
+    print("\npaths -> time: " + ", ".join(
+        f"{n}: {t:.2f}s" for n, t in sorted(times.items())
+    ))
+    # Two paths clearly beat one; more paths never hurt much.
+    assert times[2] < times[1] * 0.75
+    assert times[3] <= times[2] * 1.1
+    assert times[4] <= times[3] * 1.1
+    # And four paths beat one by a wide margin.
+    assert times[4] < times[1] * 0.55

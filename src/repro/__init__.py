@@ -1,0 +1,35 @@
+"""Reproduction of "Multipath QUIC: Design and Evaluation" (CoNEXT 2017).
+
+The package implements, in pure Python, every layer the paper's
+evaluation exercises:
+
+* :mod:`repro.netsim` -- a deterministic discrete-event network simulator
+  standing in for the paper's Mininet testbed (links with configurable
+  rate, propagation delay, drop-tail queues and random loss).
+* :mod:`repro.quic` -- a single-path QUIC transport (frames, ACK ranges,
+  streams, flow control, loss recovery, 1-RTT handshake).
+* :mod:`repro.core` -- Multipath QUIC, the paper's contribution: path
+  manager, per-path packet-number spaces, lowest-RTT scheduler with
+  duplication on RTT-unknown paths, PATHS/ADD_ADDRESS frames and OLIA
+  coupled congestion control.
+* :mod:`repro.tcp` / :mod:`repro.mptcp` -- the TCP+TLS and Linux-MPTCP
+  baselines (limited SACK, Karn RTT ambiguity, per-subflow handshakes,
+  opportunistic retransmission and penalisation).
+* :mod:`repro.cc` -- NewReno, CUBIC and OLIA congestion controllers.
+* :mod:`repro.expdesign` -- the WSP space-filling experimental design
+  over the paper's Table 1 parameter ranges.
+* :mod:`repro.experiments` -- scenario runner, metrics (experimental
+  aggregation benefit) and per-figure harnesses.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+
+__all__ = [
+    "Simulator",
+    "PathConfig",
+    "TwoPathTopology",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,25 @@
+"""Benchmark applications over a protocol-agnostic transport API.
+
+The paper evaluates three workloads: a 20 MB HTTPS GET (§4.1), a 256 KB
+GET (§4.2) and a request/response exchange for the handover study
+(§4.3).  These applications run unchanged over all four protocol stacks
+through the small adapter in :mod:`repro.apps.transport`.
+"""
+
+from repro.apps.transport import (
+    TransportEndpoint,
+    make_client_server,
+    PROTOCOLS,
+)
+from repro.apps.bulk import BulkTransferApp
+from repro.apps.reqres import RequestResponseApp
+from repro.apps.streaming import StreamingApp
+
+__all__ = [
+    "TransportEndpoint",
+    "make_client_server",
+    "PROTOCOLS",
+    "BulkTransferApp",
+    "RequestResponseApp",
+    "StreamingApp",
+]

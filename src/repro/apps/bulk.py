@@ -1,0 +1,85 @@
+"""Bulk file download (the paper's 20 MB / 256 KB HTTPS GET workload).
+
+The client connects, sends a small GET request and measures the time
+between its first connection packet and the last byte of the response
+(§4.1) — so the measured delay includes the protocol's handshake cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.transport import TransportEndpoint
+from repro.netsim.engine import Simulator
+
+
+class BulkTransferApp:
+    """Drives one GET-a-file exchange over a transport pair."""
+
+    REQUEST = b"GET /file HTTP/1.1\r\n\r\n"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: TransportEndpoint,
+        server: TransportEndpoint,
+        file_size: int,
+        initial_interface: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.file_size = file_size
+        self.initial_interface = initial_interface
+        self.start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        self.bytes_received = 0
+        self._request_seen = False
+        client.on_established = self._client_established
+        client.on_data = self._client_data
+        server.on_data = self._server_data
+
+    # -- orchestration ---------------------------------------------------
+
+    def start(self) -> None:
+        """Open the connection; the GET goes out once established."""
+        self.start_time = self.sim.now
+        self.client.connect(initial_interface=self.initial_interface)
+
+    def _client_established(self) -> None:
+        self.client.send(self.REQUEST, fin=False)
+
+    def _server_data(self, data: bytes, fin: bool) -> None:
+        if not self._request_seen and data:
+            self._request_seen = True
+            self.server.send(b"x" * self.file_size, fin=True)
+
+    def _client_data(self, data: bytes, fin: bool) -> None:
+        self.bytes_received += len(data)
+        if fin and self.completion_time is None:
+            self.completion_time = self.sim.now
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def transfer_time(self) -> float:
+        """Seconds from the first connection packet to the last byte."""
+        if self.start_time is None or self.completion_time is None:
+            raise RuntimeError("transfer has not completed")
+        return self.completion_time - self.start_time
+
+    @property
+    def goodput_bps(self) -> float:
+        """Application goodput in bits per second."""
+        return self.file_size * 8.0 / self.transfer_time
+
+    def run(self, timeout: float = 3600.0, max_events: int = 50_000_000) -> bool:
+        """Convenience: start and run the simulator to completion."""
+        self.start()
+        return self.sim.run_until(
+            lambda: self.complete, timeout=timeout, max_events=max_events
+        )

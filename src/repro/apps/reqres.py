@@ -1,0 +1,121 @@
+"""Request/response workload for the network-handover study (§4.3).
+
+A client sends a fixed-size request every ``interval`` seconds; the
+server echoes a response of the same size immediately.  The app records
+the delay from each request's trigger to its response — the series
+plotted in the paper's Fig. 11.
+
+Requests and responses are length-prefix framed so they survive byte-
+stream coalescing on TCP-family transports.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.transport import TransportEndpoint
+from repro.netsim.engine import Simulator
+
+_HEADER = struct.Struct(">IQ")  # payload length, message id
+
+
+class RequestResponseApp:
+    """Periodic request/response exchange measuring per-request delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: TransportEndpoint,
+        server: TransportEndpoint,
+        message_size: int = 750,
+        interval: float = 0.4,
+        total_requests: int = 35,
+        initial_interface: int = 0,
+    ) -> None:
+        if message_size < _HEADER.size:
+            raise ValueError("message_size must cover the framing header")
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.message_size = message_size
+        self.interval = interval
+        self.total_requests = total_requests
+        self.initial_interface = initial_interface
+        self.request_times: Dict[int, float] = {}
+        #: ``(request id, sent time, response delay)`` per completed pair.
+        self.samples: List[Tuple[int, float, float]] = []
+        self._next_id = 0
+        self._client_buf = b""
+        self._server_buf = b""
+        client.on_established = self._schedule_next
+        client.on_data = self._client_data
+        server.on_data = self._server_data
+
+    def start(self) -> None:
+        self.client.connect(initial_interface=self.initial_interface)
+
+    # -- client side -------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        if self._next_id >= self.total_requests:
+            return
+        self._send_request()
+
+    def _send_request(self) -> None:
+        msg_id = self._next_id
+        self._next_id += 1
+        self.request_times[msg_id] = self.sim.now
+        payload = _HEADER.pack(self.message_size - _HEADER.size, msg_id)
+        payload += b"q" * (self.message_size - len(payload))
+        self.client.send(payload)
+        if self._next_id < self.total_requests:
+            self.sim.schedule(self.interval, self._send_request)
+
+    def _client_data(self, data: bytes, fin: bool) -> None:
+        self._client_buf += data
+        for msg_id in _drain_messages(self):
+            sent = self.request_times.get(msg_id)
+            if sent is not None:
+                self.samples.append((msg_id, sent, self.sim.now - sent))
+
+    # -- server side -------------------------------------------------------
+
+    def _server_data(self, data: bytes, fin: bool) -> None:
+        self._server_buf += data
+        while len(self._server_buf) >= _HEADER.size:
+            length, msg_id = _HEADER.unpack_from(self._server_buf)
+            total = _HEADER.size + length
+            if len(self._server_buf) < total:
+                break
+            self._server_buf = self._server_buf[total:]
+            reply = _HEADER.pack(self.message_size - _HEADER.size, msg_id)
+            reply += b"r" * (self.message_size - len(reply))
+            self.server.send(reply)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return len(self.samples) >= self.total_requests
+
+    def delays(self) -> List[Tuple[float, float]]:
+        """``(request sent time, delay)`` pairs sorted by send time."""
+        return sorted((sent, delay) for _mid, sent, delay in self.samples)
+
+    def run(self, timeout: float = 60.0, max_events: int = 50_000_000) -> bool:
+        self.start()
+        return self.sim.run_until(
+            lambda: self.complete, timeout=timeout, max_events=max_events
+        )
+
+
+def _drain_messages(app: RequestResponseApp):
+    """Yield completed message ids from the client buffer."""
+    while len(app._client_buf) >= _HEADER.size:
+        length, msg_id = _HEADER.unpack_from(app._client_buf)
+        total = _HEADER.size + length
+        if len(app._client_buf) < total:
+            return
+        app._client_buf = app._client_buf[total:]
+        yield msg_id

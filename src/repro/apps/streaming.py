@@ -1,0 +1,162 @@
+"""Paced media streaming with a playout buffer (live-video workload).
+
+The paper motivates multipath with smartphone experience; beyond bulk
+downloads, the canonical latency-sensitive workload is streaming: a
+server paces media at the source bitrate and the client plays it out,
+stalling ("rebuffering") whenever the transport falls behind.  The
+metrics — startup delay, rebuffer count/time — expose path failures and
+scheduling quality in a way total transfer time cannot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.apps.transport import TransportEndpoint
+from repro.netsim.engine import Simulator
+
+
+class StreamingApp:
+    """One live stream: paced sender, buffered player.
+
+    The server sends ``chunk_bytes`` every ``chunk_bytes*8/bitrate``
+    seconds for ``duration`` seconds of media.  The client starts
+    playback once ``startup_chunks`` chunks are buffered and consumes
+    at the media bitrate; if the buffer empties, playback pauses until
+    the startup threshold is reached again (a rebuffering event).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: TransportEndpoint,
+        server: TransportEndpoint,
+        bitrate_bps: float = 4e6,
+        duration: float = 10.0,
+        chunk_bytes: int = 50_000,
+        startup_chunks: int = 2,
+        initial_interface: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.server = server
+        self.bitrate_bps = bitrate_bps
+        self.duration = duration
+        self.chunk_bytes = chunk_bytes
+        self.startup_chunks = startup_chunks
+        self.initial_interface = initial_interface
+        self.total_bytes = int(bitrate_bps / 8 * duration)
+
+        self.bytes_received = 0
+        self.playback_position = 0  # bytes of media already played
+        self.playing = False
+        self.playback_started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: ``(stall start, stall end)`` intervals.
+        self.rebuffer_events: List[Tuple[float, float]] = []
+        self._stall_started: Optional[float] = None
+        self._bytes_sent = 0
+        self._request_seen = False
+
+        client.on_established = self._client_established
+        client.on_data = self._client_data
+        server.on_data = self._server_data
+
+    # -- server side -------------------------------------------------------
+
+    def _server_data(self, data: bytes, fin: bool) -> None:
+        if self._request_seen or not data:
+            return
+        self._request_seen = True
+        self._send_next_chunk()
+
+    def _send_next_chunk(self) -> None:
+        remaining = self.total_bytes - self._bytes_sent
+        if remaining <= 0:
+            return
+        size = min(self.chunk_bytes, remaining)
+        self._bytes_sent += size
+        last = self._bytes_sent >= self.total_bytes
+        self.server.send(b"m" * size, fin=last)
+        if not last:
+            self.sim.schedule(
+                self.chunk_bytes * 8 / self.bitrate_bps, self._send_next_chunk
+            )
+
+    # -- client side -------------------------------------------------------
+
+    def _client_established(self) -> None:
+        self.client.send(b"PLAY /stream")
+
+    def _client_data(self, data: bytes, fin: bool) -> None:
+        self.bytes_received += len(data)
+        if not self.playing and self._buffered() >= self._refill_target():
+            self._start_playing()
+
+    def _buffered(self) -> int:
+        return self.bytes_received - self.playback_position
+
+    def _refill_target(self) -> int:
+        """Bytes needed before (re)starting playback.
+
+        Near the end of the stream less media remains than the startup
+        threshold; require only what is left so the tail still plays.
+        """
+        return max(
+            1,
+            min(
+                self.startup_chunks * self.chunk_bytes,
+                self.total_bytes - self.playback_position,
+            ),
+        )
+
+    def _start_playing(self) -> None:
+        self.playing = True
+        if self.playback_started_at is None:
+            self.playback_started_at = self.sim.now
+        if self._stall_started is not None:
+            self.rebuffer_events.append((self._stall_started, self.sim.now))
+            self._stall_started = None
+        self._playback_tick()
+
+    def _playback_tick(self) -> None:
+        """Consume one playback quantum (10 ms of media)."""
+        if self.finished_at is not None:
+            return
+        quantum_bytes = int(self.bitrate_bps / 8 * 0.01)
+        if self._buffered() >= quantum_bytes:
+            self.playback_position += quantum_bytes
+            if self.playback_position >= self.total_bytes:
+                self.finished_at = self.sim.now
+                return
+            self.sim.schedule(0.01, self._playback_tick)
+        else:
+            # Underrun: stall until the startup threshold refills.
+            self.playing = False
+            self._stall_started = self.sim.now
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def startup_delay(self) -> float:
+        if self.playback_started_at is None:
+            raise RuntimeError("playback never started")
+        return self.playback_started_at
+
+    @property
+    def rebuffer_count(self) -> int:
+        return len(self.rebuffer_events)
+
+    @property
+    def rebuffer_time(self) -> float:
+        return sum(end - start for start, end in self.rebuffer_events)
+
+    def run(self, timeout: float = 600.0, max_events: int = 50_000_000) -> bool:
+        self.client.connect(initial_interface=self.initial_interface)
+        return self.sim.run_until(
+            lambda: self.complete, timeout=timeout, max_events=max_events
+        )

@@ -1,0 +1,37 @@
+"""Congestion controllers.
+
+The paper uses CUBIC for single-path TCP and QUIC, and OLIA for both
+Multipath TCP and Multipath QUIC (there being no multipath variant of
+CUBIC).  NewReno is included as a simple reference and for ablations.
+"""
+
+from repro.cc.base import CongestionController, CcState
+from repro.cc.newreno import NewReno
+from repro.cc.cubic import Cubic
+from repro.cc.olia import OliaCoordinator, OliaPath
+
+__all__ = [
+    "CongestionController",
+    "CcState",
+    "NewReno",
+    "Cubic",
+    "OliaCoordinator",
+    "OliaPath",
+    "make_controller",
+]
+
+
+def make_controller(name: str, mss: int = 1400) -> CongestionController:
+    """Factory for single-path controllers by name.
+
+    Supported names: 'cubic' (RFC 8312), 'cubic2' (Chromium/quic-go
+    CUBIC with 2-connection emulation) and 'newreno'.
+    """
+    name = name.lower()
+    if name == "cubic":
+        return Cubic(mss=mss)
+    if name == "cubic2":
+        return Cubic(mss=mss, num_connections=2)
+    if name == "newreno":
+        return NewReno(mss=mss)
+    raise ValueError(f"unknown congestion controller: {name}")

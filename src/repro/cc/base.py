@@ -1,0 +1,104 @@
+"""Common congestion-controller interface.
+
+Controllers work in bytes externally (``cwnd_bytes``) and are driven by
+the transport's loss-recovery machinery through three events: ACK of new
+data, a loss event (at most one per round trip), and a retransmission
+timeout.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+
+class CcState(enum.Enum):
+    """Phase of the congestion controller."""
+
+    SLOW_START = "slow_start"
+    CONGESTION_AVOIDANCE = "congestion_avoidance"
+    RECOVERY = "recovery"
+
+
+#: Default initial window, 10 segments as in modern Linux/QUIC stacks.
+INITIAL_WINDOW_SEGMENTS = 10
+
+#: Floor for the congestion window after loss, in segments.
+MIN_WINDOW_SEGMENTS = 2
+
+
+class CongestionController(ABC):
+    """Abstract congestion controller operating in bytes."""
+
+    def __init__(self, mss: int = 1400) -> None:
+        self.mss = mss
+        self.cwnd_bytes: float = INITIAL_WINDOW_SEGMENTS * mss
+        self.ssthresh_bytes: float = float("inf")
+        self.state = CcState.SLOW_START
+        self._recovery_start_time = -1.0
+
+    # -- queries ---------------------------------------------------------
+
+    def can_send(self, bytes_in_flight: int) -> bool:
+        """True when the window has room for at least one more segment."""
+        return bytes_in_flight + self.mss <= self.cwnd_bytes
+
+    def available_window(self, bytes_in_flight: int) -> int:
+        """Bytes of cwnd headroom (never negative)."""
+        return max(0, int(self.cwnd_bytes) - bytes_in_flight)
+
+    # -- events ----------------------------------------------------------
+
+    @abstractmethod
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        """New data was acknowledged."""
+
+    def on_loss_event(self, now: float, sent_time: float) -> None:
+        """A loss was detected for a packet sent at ``sent_time``.
+
+        Loss events within one recovery period are coalesced, matching
+        the once-per-window reduction of Reno-family controllers.
+        """
+        if sent_time <= self._recovery_start_time:
+            return
+        self._recovery_start_time = now
+        self.state = CcState.RECOVERY
+        self._reduce_on_loss(now)
+
+    def on_rto(self, now: float) -> None:
+        """Retransmission timeout: collapse to the minimum window."""
+        self.ssthresh_bytes = max(
+            self.cwnd_bytes / 2.0, MIN_WINDOW_SEGMENTS * self.mss
+        )
+        self.cwnd_bytes = MIN_WINDOW_SEGMENTS * self.mss
+        self.state = CcState.SLOW_START
+        self._recovery_start_time = now
+        self._on_rto_extra(now)
+
+    def exit_recovery(self) -> None:
+        """Called when recovery completes (all loss-time data acked)."""
+        if self.state is CcState.RECOVERY:
+            self.state = (
+                CcState.SLOW_START
+                if self.cwnd_bytes < self.ssthresh_bytes
+                else CcState.CONGESTION_AVOIDANCE
+            )
+
+    # -- subclass hooks ----------------------------------------------------
+
+    @abstractmethod
+    def _reduce_on_loss(self, now: float) -> None:
+        """Apply the controller's multiplicative decrease."""
+
+    def _on_rto_extra(self, now: float) -> None:
+        """Optional extra state reset on RTO."""
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd_bytes < self.ssthresh_bytes and self.state is not CcState.RECOVERY
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(cwnd={self.cwnd_bytes / self.mss:.1f}seg,"
+            f" ssthresh={self.ssthresh_bytes / self.mss:.1f}, {self.state.value})"
+        )

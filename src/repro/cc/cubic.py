@@ -1,0 +1,128 @@
+"""CUBIC congestion control (Ha, Rhee, Xu 2008 / RFC 8312).
+
+Both the Linux TCP stack and quic-go used CUBIC at the time of the
+paper, so this controller drives all four single-path protocol runs.
+Implemented in floating segment units internally, exposed in bytes.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CcState, CongestionController, MIN_WINDOW_SEGMENTS
+
+
+class Cubic(CongestionController):
+    """RFC 8312 CUBIC with fast convergence and the TCP-friendly region.
+
+    ``num_connections`` enables Chromium's N-connection emulation, which
+    quic-go inherited: the window backs off as if it were N parallel
+    flows (``beta_eff = (N-1+beta)/N``) and the TCP-friendly region
+    grows N times as fast.  Chromium/quic-go default to N=2, one of the
+    reasons (MP)QUIC rides out random losses better than Linux TCP in
+    the paper's lossy scenarios (§4.1).
+    """
+
+    #: CUBIC scaling constant (segments/second^3).
+    C = 0.4
+    #: Multiplicative decrease factor (single connection).
+    BETA = 0.7
+
+    #: HyStart: delay-increase detection threshold parameters.
+    HYSTART_MIN_SAMPLES = 8
+    HYSTART_DELAY_MIN = 0.004
+    HYSTART_DELAY_MAX = 0.016
+
+    def __init__(self, mss: int = 1400, num_connections: int = 1) -> None:
+        super().__init__(mss=mss)
+        if num_connections < 1:
+            raise ValueError("num_connections must be >= 1")
+        self.num_connections = num_connections
+        n = num_connections
+        self.beta_eff = (n - 1 + self.BETA) / n
+        #: Reno-friendly additive-increase coefficient (segments/RTT).
+        self.alpha_eff = 3.0 * n * n * (1.0 - self.beta_eff) / (1.0 + self.beta_eff)
+        self._w_max = 0.0  # segments
+        self._k = 0.0
+        self._epoch_start = -1.0
+        self._w_est = 0.0
+        self._acked_since_epoch = 0.0
+        # HyStart state (Linux has shipped it with CUBIC since 2.6.29,
+        # so the paper's TCP and quic-go baselines both benefit).
+        self._hystart_min_rtt = float("inf")
+        self._hystart_round_min = float("inf")
+        self._hystart_samples = 0
+
+    def _hystart_update(self, rtt: float) -> bool:
+        """Return True when delay increase says to leave slow start."""
+        if rtt <= 0:
+            return False
+        self._hystart_min_rtt = min(self._hystart_min_rtt, rtt)
+        self._hystart_samples += 1
+        self._hystart_round_min = min(self._hystart_round_min, rtt)
+        if self._hystart_samples < self.HYSTART_MIN_SAMPLES:
+            return False
+        threshold = self._hystart_min_rtt + min(
+            max(self._hystart_min_rtt / 8.0, self.HYSTART_DELAY_MIN),
+            self.HYSTART_DELAY_MAX,
+        )
+        exit_now = self._hystart_round_min > threshold
+        self._hystart_samples = 0
+        self._hystart_round_min = float("inf")
+        return exit_now
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        if self.state is CcState.RECOVERY:
+            return
+        acked_segments = acked_bytes / self.mss
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            if self._hystart_update(rtt):
+                self.ssthresh_bytes = self.cwnd_bytes
+                self.state = CcState.CONGESTION_AVOIDANCE
+                return
+            if self.cwnd_bytes >= self.ssthresh_bytes:
+                self.state = CcState.CONGESTION_AVOIDANCE
+            return
+        self.state = CcState.CONGESTION_AVOIDANCE
+        if self._epoch_start < 0.0:
+            self._begin_epoch(now)
+        t = now - self._epoch_start
+        cwnd_seg = self.cwnd_bytes / self.mss
+        w_cubic = self.C * (t - self._k) ** 3 + self._w_max
+        # TCP-friendly (Reno-estimated) window.
+        self._acked_since_epoch += acked_segments
+        rtt = max(rtt, 1e-4)
+        w_est = self._w_max * self.beta_eff + self.alpha_eff * (t / rtt)
+        target = max(w_cubic, w_est)
+        if target > cwnd_seg:
+            # Approach the target over roughly one RTT of ACKs.
+            cwnd_seg += (target - cwnd_seg) / cwnd_seg * acked_segments
+        else:
+            # Max-probing plateau: grow very slowly.
+            cwnd_seg += acked_segments / (100.0 * cwnd_seg)
+        self.cwnd_bytes = cwnd_seg * self.mss
+
+    def _begin_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        cwnd_seg = self.cwnd_bytes / self.mss
+        if self._w_max < cwnd_seg:
+            self._w_max = cwnd_seg
+            self._k = 0.0
+        else:
+            self._k = ((self._w_max - cwnd_seg) / self.C) ** (1.0 / 3.0)
+        self._acked_since_epoch = 0.0
+
+    def _reduce_on_loss(self, now: float) -> None:
+        cwnd_seg = self.cwnd_bytes / self.mss
+        if cwnd_seg < self._w_max:
+            # Fast convergence: release bandwidth faster on shrinking pipes.
+            self._w_max = cwnd_seg * (1.0 + self.beta_eff) / 2.0
+        else:
+            self._w_max = cwnd_seg
+        cwnd_seg = max(cwnd_seg * self.beta_eff, MIN_WINDOW_SEGMENTS)
+        self.cwnd_bytes = cwnd_seg * self.mss
+        self.ssthresh_bytes = self.cwnd_bytes
+        self._epoch_start = -1.0
+
+    def _on_rto_extra(self, now: float) -> None:
+        self._epoch_start = -1.0
+        self._w_max = max(self._w_max, MIN_WINDOW_SEGMENTS)

@@ -1,0 +1,28 @@
+"""NewReno congestion control (RFC 6582 dynamics, byte-counting)."""
+
+from __future__ import annotations
+
+from repro.cc.base import CcState, CongestionController, MIN_WINDOW_SEGMENTS
+
+
+class NewReno(CongestionController):
+    """Classic AIMD: slow start, then +1 MSS per RTT, halve on loss."""
+
+    BETA = 0.5
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        if self.state is CcState.RECOVERY:
+            return  # No growth during recovery.
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            if self.cwnd_bytes >= self.ssthresh_bytes:
+                self.state = CcState.CONGESTION_AVOIDANCE
+        else:
+            self.state = CcState.CONGESTION_AVOIDANCE
+            self.cwnd_bytes += self.mss * acked_bytes / self.cwnd_bytes
+
+    def _reduce_on_loss(self, now: float) -> None:
+        self.ssthresh_bytes = max(
+            self.cwnd_bytes * self.BETA, MIN_WINDOW_SEGMENTS * self.mss
+        )
+        self.cwnd_bytes = self.ssthresh_bytes

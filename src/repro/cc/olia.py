@@ -1,0 +1,159 @@
+"""OLIA — Opportunistic Linked-Increases Algorithm (Khalili et al. 2012).
+
+The coupled multipath congestion controller the paper uses for both
+MPTCP and MPQUIC.  Window increases on each path are linked through the
+sum of ``w_p / rtt_p`` over all paths, plus a correction term ``alpha``
+that shifts traffic from "maximum-window" paths towards "best" paths
+(those with the highest ``l_p^2 / rtt_p``, where ``l_p`` estimates bytes
+delivered between losses).
+
+The coordinator owns per-path :class:`OliaPath` controllers; paths are
+registered as the transport opens them, matching the dynamic path
+creation of MPQUIC/MPTCP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cc.base import CcState, CongestionController, MIN_WINDOW_SEGMENTS
+
+
+class OliaPath(CongestionController):
+    """Per-path state of OLIA.  Driven by its :class:`OliaCoordinator`."""
+
+    BETA = 0.5
+
+    def __init__(self, coordinator: "OliaCoordinator", path_id: int, mss: int) -> None:
+        super().__init__(mss=mss)
+        self._coordinator = coordinator
+        self.path_id = path_id
+        self.smoothed_rtt: float = 0.0
+        # Inter-loss delivered-byte estimators (l1: since last loss,
+        # l2: between the previous two losses).
+        self._bytes_since_loss = 0.0
+        self._bytes_between_last_losses = 0.0
+
+    # -- CongestionController API ------------------------------------------
+
+    def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
+        self.smoothed_rtt = rtt if self.smoothed_rtt == 0.0 else (
+            0.875 * self.smoothed_rtt + 0.125 * rtt
+        )
+        self._bytes_since_loss += acked_bytes
+        if self.state is CcState.RECOVERY:
+            return
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            if self.cwnd_bytes >= self.ssthresh_bytes:
+                self.state = CcState.CONGESTION_AVOIDANCE
+            return
+        self.state = CcState.CONGESTION_AVOIDANCE
+        self.cwnd_bytes += self._coordinator.increase_for(self, acked_bytes)
+
+    def _reduce_on_loss(self, now: float) -> None:
+        self._bytes_between_last_losses = self._bytes_since_loss
+        self._bytes_since_loss = 0.0
+        self.ssthresh_bytes = max(
+            self.cwnd_bytes * self.BETA, MIN_WINDOW_SEGMENTS * self.mss
+        )
+        self.cwnd_bytes = self.ssthresh_bytes
+
+    def _on_rto_extra(self, now: float) -> None:
+        self._bytes_between_last_losses = self._bytes_since_loss
+        self._bytes_since_loss = 0.0
+
+    # -- OLIA quantities ------------------------------------------------------
+
+    @property
+    def inter_loss_bytes(self) -> float:
+        """``l_p``: smoothed estimate of bytes delivered between losses."""
+        return max(self._bytes_since_loss, self._bytes_between_last_losses)
+
+    @property
+    def rtt_for_coupling(self) -> float:
+        """RTT used in the coupling terms (guarded against zero)."""
+        return max(self.smoothed_rtt, 1e-3)
+
+
+class OliaCoordinator:
+    """Couples window growth across the paths of one connection."""
+
+    def __init__(self, mss: int = 1400) -> None:
+        self.mss = mss
+        self._paths: Dict[int, OliaPath] = {}
+
+    def path_controller(self, path_id: int) -> OliaPath:
+        """Create (or fetch) the controller for a path."""
+        if path_id not in self._paths:
+            self._paths[path_id] = OliaPath(self, path_id, self.mss)
+        return self._paths[path_id]
+
+    def remove_path(self, path_id: int) -> None:
+        """Forget a closed path."""
+        self._paths.pop(path_id, None)
+
+    @property
+    def paths(self) -> List[OliaPath]:
+        return list(self._paths.values())
+
+    def increase_for(self, path: OliaPath, acked_bytes: int) -> float:
+        """Congestion-avoidance increase (bytes) for an ACK on ``path``.
+
+        Implements, per acked MSS::
+
+            dw_r = ( (w_r/rtt_r^2) / (sum_p w_p/rtt_p)^2  +  alpha_r/w_r ) * MSS
+
+        with windows expressed in MSS units.
+        """
+        active = [p for p in self._paths.values() if p.cwnd_bytes > 0]
+        if not active:
+            return 0.0
+        w_r = path.cwnd_bytes / self.mss
+        rtt_r = path.rtt_for_coupling
+        denom = sum(
+            (p.cwnd_bytes / self.mss) / p.rtt_for_coupling for p in active
+        )
+        if denom <= 0.0:
+            return 0.0
+        coupled = (w_r / (rtt_r * rtt_r)) / (denom * denom)
+        alpha = self._alpha(path, active)
+        acked_segments = acked_bytes / self.mss
+        delta_segments = (coupled + (alpha / w_r if w_r > 0 else 0.0)) * acked_segments
+        # Never shrink below the floor through negative alphas.
+        new_cwnd = path.cwnd_bytes + delta_segments * self.mss
+        floor = MIN_WINDOW_SEGMENTS * self.mss
+        if new_cwnd < floor:
+            return floor - path.cwnd_bytes
+        return delta_segments * self.mss
+
+    def _alpha(self, path: OliaPath, active: List[OliaPath]) -> float:
+        """OLIA's traffic-shifting term.
+
+        * ``collected``: best paths (max ``l_p^2 / rtt_p``) that do NOT
+          have the maximum window — they receive extra increase.
+        * ``max_w``: paths with the maximum window — they are dampened
+          whenever some best path is under-used.
+        """
+        n = len(active)
+        if n <= 1:
+            return 0.0
+        max_cwnd = max(p.cwnd_bytes for p in active)
+        max_w_paths = [p for p in active if p.cwnd_bytes >= max_cwnd - 1e-9]
+        best_metric = max(
+            (p.inter_loss_bytes ** 2) / p.rtt_for_coupling for p in active
+        )
+        best_paths = [
+            p
+            for p in active
+            if (p.inter_loss_bytes ** 2) / p.rtt_for_coupling >= best_metric - 1e-9
+        ]
+        max_ids = {p.path_id for p in max_w_paths}
+        collected = [p for p in best_paths if p.path_id not in max_ids]
+        if not collected:
+            return 0.0
+        if any(p.path_id == path.path_id for p in collected):
+            return 1.0 / (n * len(collected))
+        if path.path_id in max_ids:
+            return -1.0 / (n * len(max_w_paths))
+        return 0.0

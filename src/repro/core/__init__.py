@@ -1,0 +1,40 @@
+"""Multipath QUIC — the paper's contribution.
+
+Extends :class:`repro.quic.QuicConnection` with:
+
+* explicit **Path IDs** in the public header and per-path packet-number
+  spaces (paper §3, *Path Identification* / *Reliable Data
+  Transmission*);
+* a **path manager** that opens one path per client interface as soon
+  as the 1-RTT handshake completes — data may ride the very first
+  packet of a new path, unlike MPTCP's per-subflow 3-way handshake
+  (*Path Management*);
+* a **packet scheduler** preferring the lowest-RTT path with congestion
+  window space, duplicating traffic onto paths whose RTT is still
+  unknown (*Packet Scheduling*);
+* the **OLIA** coupled congestion controller (*Congestion Control*);
+* **PATHS** / **ADD_ADDRESS** frames for path visibility and fast
+  handover (§4.3).
+"""
+
+from repro.core.connection import MultipathQuicConnection
+from repro.core.path_manager import PathManager
+from repro.core.scheduler import (
+    LowestRttScheduler,
+    RedundantScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SinglePathScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "MultipathQuicConnection",
+    "PathManager",
+    "Scheduler",
+    "LowestRttScheduler",
+    "RoundRobinScheduler",
+    "RedundantScheduler",
+    "SinglePathScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,180 @@
+"""The Multipath QUIC connection.
+
+Subclasses :class:`repro.quic.QuicConnection`, adding the mechanisms of
+paper §3: a packet scheduler across per-path packet-number spaces, a
+path manager that opens paths right after the handshake, duplication
+of traffic onto RTT-unknown paths, OLIA coupled congestion control,
+and PATHS frames for failure signalling (§4.3's fast handover).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cc import OliaCoordinator, make_controller
+from repro.cc.base import CongestionController
+from repro.core.path_manager import PathManager
+from repro.core.scheduler import Scheduler, make_scheduler
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Host
+from repro.netsim.trace import PacketTrace
+from repro.quic.config import QuicConfig
+from repro.quic.connection import PathState, QuicConnection
+from repro.quic.frames import PathInfo, PathsFrame, StreamFrame
+from repro.quic.packet import Packet
+from repro.quic.recovery import SentPacket
+
+
+class MultipathQuicConnection(QuicConnection):
+    """One endpoint of an MPQUIC connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        role: str,
+        config: Optional[QuicConfig] = None,
+        trace: Optional[PacketTrace] = None,
+        connection_id: int = 0x1234,
+    ) -> None:
+        config = config or QuicConfig()
+        config.enable_multipath = True
+        self._olia: Optional[OliaCoordinator] = (
+            OliaCoordinator(mss=config.mss)
+            if config.multipath_cc == "olia"
+            else None
+        )
+        super().__init__(sim, host, role, config, trace, connection_id)
+        self.scheduler: Scheduler = make_scheduler(config.scheduler)
+        self.path_manager = PathManager(self)
+        #: The peer's latest view of its paths (from PATHS frames):
+        #: path id -> RTT in seconds.
+        self.remote_path_info: dict = {}
+
+    # ------------------------------------------------------------------
+    # Congestion control: coupled OLIA across paths
+    # ------------------------------------------------------------------
+
+    def _make_cc(self, path_id: int) -> CongestionController:
+        if self._olia is not None:
+            return self._olia.path_controller(path_id)
+        return make_controller(self.config.multipath_cc, mss=self.config.mss)
+
+    # ------------------------------------------------------------------
+    # Path management
+    # ------------------------------------------------------------------
+
+    def open_path(self, interface_index: int) -> PathState:
+        """Open a new path over a local interface (client side).
+
+        The path is usable for data immediately (no handshake).  A PING
+        goes out right away so the peer learns the path and an RTT
+        sample arrives quickly; pending data does not wait for it —
+        the scheduler duplicates data onto the path in the meantime.
+        """
+        path_id = self.path_manager.next_path_id()
+        path = self._create_path(path_id, interface_index)
+        from repro.quic.frames import PingFrame
+
+        self._queue_control(path_id, PingFrame())
+        self._send_pending()
+        return path
+
+    def _handshake_complete(self) -> None:
+        self.path_manager.on_handshake_complete()
+        if self.config.paths_frame_interval > 0:
+            self.sim.schedule(
+                self.config.paths_frame_interval, self._on_paths_interval
+            )
+        super()._handshake_complete()
+
+    def _on_paths_interval(self) -> None:
+        if self.closed:
+            return
+        self.send_paths_frame()
+        self.sim.schedule(self.config.paths_frame_interval, self._on_paths_interval)
+
+    def _on_paths_frame(self, frame, path) -> None:
+        super()._on_paths_frame(frame, path)
+        for info in frame.active:
+            self.remote_path_info[info.path_id] = info.rtt_us / 1e6
+
+    # ------------------------------------------------------------------
+    # Scheduling and duplication
+    # ------------------------------------------------------------------
+
+    def _select_data_path(self) -> Optional[PathState]:
+        return self.scheduler.select_path(self._usable_paths())
+
+    def _after_data_packet_sent(self, path: PathState, packet: Packet, new_bytes: int) -> None:
+        """Duplicate stream data onto RTT-unknown paths (paper §3).
+
+        "Our scheduler duplicates the traffic over another path when
+        the path's characteristics are still unknown.  While this
+        induces some overhead, it enables faster usage of additional
+        paths without facing head-of-line issues."
+        """
+        duplicate_everywhere = getattr(self.scheduler, "duplicate_everywhere", False)
+        if not self.config.duplicate_on_unknown_rtt and not duplicate_everywhere:
+            return
+        stream_frames: Tuple[StreamFrame, ...] = tuple(
+            f for f in packet.frames if isinstance(f, StreamFrame) and f.data
+        )
+        if not stream_frames:
+            return
+        for other in self._usable_paths():
+            if other.path_id == path.path_id:
+                continue
+            if not other.can_send_data():
+                continue
+            if other.rtt_known and not duplicate_everywhere:
+                continue
+            dup = self._send_packet(other, stream_frames)
+            other.duplicated_packets += 1
+            if self.trace is not None:
+                self.trace.log(
+                    self.sim.now, self.host.name, "dup",
+                    other.path_id, dup.packet_number, dup.wire_size,
+                )
+
+    # ------------------------------------------------------------------
+    # Failure signalling (fast handover, paper §4.3)
+    # ------------------------------------------------------------------
+
+    def _on_path_potentially_failed(self, path: PathState) -> None:
+        """Tell the peer via a PATHS frame that this path looks dead.
+
+        Sent on the remaining usable paths so the peer can stop
+        answering on the broken one without waiting for its own RTO.
+        """
+        frame = self._build_paths_frame(failed=(path.path_id,))
+        for other in self._usable_paths():
+            if other.path_id != path.path_id:
+                self._queue_control(other.path_id, frame)
+
+    def _build_paths_frame(self, failed: Tuple[int, ...] = ()) -> PathsFrame:
+        active = tuple(
+            PathInfo(p.path_id, int(p.rtt.smoothed * 1e6))
+            for p in self._active_paths()
+            if p.rtt_known and not p.potentially_failed
+        )
+        return PathsFrame(active=active, failed=failed)
+
+    def send_paths_frame(self) -> None:
+        """Proactively share path statistics with the peer."""
+        frame = self._build_paths_frame()
+        target = self._first_usable_path()
+        if target is not None:
+            self._queue_control(target.path_id, frame)
+            self._send_pending()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def bytes_sent_per_path(self) -> dict:
+        return {pid: p.bytes_sent for pid, p in self.paths.items()}

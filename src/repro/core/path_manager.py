@@ -1,0 +1,53 @@
+"""Path creation and lifecycle management (paper §3, *Path Management*).
+
+The path manager opens one path over each client interface as soon as
+the cryptographic handshake (performed on the initial path) completes.
+Client-created paths take odd Path IDs and server-created paths even
+ones to avoid clashes; our implementation, like the paper's, does not
+create server-initiated paths because clients are typically behind
+NATs or firewalls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.connection import MultipathQuicConnection
+
+
+class PathManager:
+    """Controls which paths a multipath connection opens."""
+
+    def __init__(self, connection: "MultipathQuicConnection") -> None:
+        self.connection = connection
+        self._next_client_path_id = 1
+        self._next_server_path_id = 2
+
+    def next_path_id(self) -> int:
+        """Allocate the next Path ID for this host's role."""
+        if self.connection.role == "client":
+            path_id = self._next_client_path_id
+            self._next_client_path_id += 2
+            return path_id
+        path_id = self._next_server_path_id
+        self._next_server_path_id += 2
+        return path_id
+
+    def on_handshake_complete(self) -> None:
+        """Open a path over every interface not yet carrying one.
+
+        Unlike MPTCP, which needs a 3-way handshake per subflow, the
+        new paths are immediately usable: MPQUIC may place data in the
+        very first packet sent on them.
+        """
+        if self.connection.role != "client":
+            return
+        used = {p.interface_index for p in self.connection.paths.values()}
+        for iface in self.connection.host.interfaces:
+            if iface.index in used or not iface.up:
+                continue
+            self.connection.open_path(iface.index)
+
+    def usable_interface_indices(self) -> List[int]:
+        return [i.index for i in self.connection.host.interfaces if i.up]

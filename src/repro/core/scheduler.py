@@ -1,0 +1,124 @@
+"""Packet schedulers for Multipath QUIC.
+
+The default scheduler mirrors the Linux MPTCP default the paper starts
+from: prefer the lowest smoothed-RTT path whose congestion window is
+not full.  MPQUIC differs in two ways (paper §3, *Packet Scheduling*):
+control frames may go on any path, and traffic is duplicated onto
+paths whose RTT is still unknown rather than pinging-and-waiting or
+blind round-robin.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.quic.connection import PathState
+
+
+class Scheduler(ABC):
+    """Chooses the path carrying the next data packet."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def select_path(self, paths: List[PathState]) -> Optional[PathState]:
+        """Return a usable path with window space, or None when blocked.
+
+        ``paths`` holds the connection's usable paths (active, and not
+        potentially failed unless every path is).
+        """
+
+    @staticmethod
+    def sendable(paths: List[PathState]) -> List[PathState]:
+        """Paths with congestion-window room."""
+        return [p for p in paths if p.can_send_data()]
+
+
+class SinglePathScheduler(Scheduler):
+    """Plain QUIC: always the initial path."""
+
+    name = "single"
+
+    def select_path(self, paths: List[PathState]) -> Optional[PathState]:
+        candidates = self.sendable(paths)
+        for path in candidates:
+            if path.path_id == 0:
+                return path
+        return candidates[0] if candidates else None
+
+
+class LowestRttScheduler(Scheduler):
+    """Default MPQUIC scheduler (paper §3).
+
+    Among paths with window space, prefer the lowest smoothed RTT.
+    Paths without an RTT estimate are only picked when no measured
+    path can send — they otherwise receive duplicated traffic via the
+    connection's duplication hook.
+    """
+
+    name = "lowest_rtt"
+
+    def select_path(self, paths: List[PathState]) -> Optional[PathState]:
+        candidates = self.sendable(paths)
+        if not candidates:
+            return None
+        known = [p for p in candidates if p.rtt_known]
+        if known:
+            return min(known, key=lambda p: (p.rtt.smoothed, p.path_id))
+        return min(candidates, key=lambda p: p.path_id)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycles over sendable paths; the paper's discarded alternative.
+
+    Kept for the scheduler ablation: it is fragile when paths have
+    very different delays (head-of-line blocking at the receiver).
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last_path_id = -1
+
+    def select_path(self, paths: List[PathState]) -> Optional[PathState]:
+        candidates = sorted(self.sendable(paths), key=lambda p: p.path_id)
+        if not candidates:
+            return None
+        for path in candidates:
+            if path.path_id > self._last_path_id:
+                self._last_path_id = path.path_id
+                return path
+        self._last_path_id = candidates[0].path_id
+        return candidates[0]
+
+
+class RedundantScheduler(LowestRttScheduler):
+    """Send every packet on *all* paths with window room.
+
+    Not in the paper, but the logical extreme of its duplication idea:
+    trade goodput for latency robustness.  Under path failure the worst
+    request delay collapses to the surviving path's RTT (see the
+    handover ablation).  Selection is lowest-RTT; the connection's
+    duplication hook copies the payload onto every other sendable path.
+    """
+
+    name = "redundant"
+
+    #: The connection duplicates onto all paths, not just RTT-unknown ones.
+    duplicate_everywhere = True
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Factory by name; 'lowest_rtt_no_dup' shares LowestRtt's logic
+    (duplication is controlled by ``QuicConfig.duplicate_on_unknown_rtt``)."""
+    name = name.lower()
+    if name in ("lowest_rtt", "lowest_rtt_no_dup"):
+        return LowestRttScheduler()
+    if name == "round_robin":
+        return RoundRobinScheduler()
+    if name == "single":
+        return SinglePathScheduler()
+    if name == "redundant":
+        return RedundantScheduler()
+    raise ValueError(f"unknown scheduler: {name}")

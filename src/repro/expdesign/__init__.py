@@ -1,0 +1,22 @@
+"""Experimental design: WSP space-filling parameter selection.
+
+The paper follows Paasch et al. (CoNEXT'13), choosing network scenarios
+with the WSP algorithm (Santiago et al. 2012) over the ranges of its
+Table 1, grouped into four environment classes.
+"""
+
+from repro.expdesign.wsp import wsp_select
+from repro.expdesign.parameters import (
+    ENV_CLASSES,
+    EnvClass,
+    Scenario,
+    generate_scenarios,
+)
+
+__all__ = [
+    "wsp_select",
+    "ENV_CLASSES",
+    "EnvClass",
+    "Scenario",
+    "generate_scenarios",
+]

@@ -1,0 +1,72 @@
+"""CLI: inspect or export WSP scenario designs.
+
+Examples::
+
+    python -m repro.expdesign low-bdp-no-loss --count 10
+    python -m repro.expdesign high-bdp-losses --count 253 --csv design.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Optional, Sequence
+
+from repro.expdesign.parameters import (
+    ENV_CLASSES,
+    PAPER_SCENARIOS_PER_CLASS,
+    generate_scenarios,
+)
+
+HEADERS = [
+    "index",
+    "cap0_mbps", "rtt0_ms", "queue0_ms", "loss0_pct",
+    "cap1_mbps", "rtt1_ms", "queue1_ms", "loss1_pct",
+    "best_path",
+]
+
+
+def scenario_rows(scenarios):
+    for s in scenarios:
+        p0, p1 = s.paths
+        yield [
+            s.index,
+            round(p0.capacity_mbps, 3), round(p0.rtt_ms, 2),
+            round(p0.queuing_delay_ms, 2), round(p0.loss_percent, 3),
+            round(p1.capacity_mbps, 3), round(p1.rtt_ms, 2),
+            round(p1.queuing_delay_ms, 2), round(p1.loss_percent, 3),
+            s.best_path,
+        ]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate WSP scenario designs over the paper's "
+                    "Table 1 parameter ranges."
+    )
+    parser.add_argument("env_class", choices=sorted(ENV_CLASSES))
+    parser.add_argument(
+        "--count", type=int, default=PAPER_SCENARIOS_PER_CLASS,
+        help=f"scenarios to draw (paper: {PAPER_SCENARIOS_PER_CLASS})",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--csv", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+    scenarios = generate_scenarios(args.env_class, args.count, seed=args.seed)
+    rows = list(scenario_rows(scenarios))
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(HEADERS)
+            writer.writerows(rows)
+        print(f"wrote {len(rows)} scenarios to {args.csv}")
+    else:
+        print("  ".join(f"{h:>10s}" for h in HEADERS))
+        for row in rows:
+            print("  ".join(f"{str(c):>10s}" for c in row))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""The paper's Table 1 parameter space and environment classes.
+
+Each scenario describes two disjoint paths; per path the WSP design
+draws a capacity, a round-trip-time and a maximum queuing delay (plus a
+random loss percentage in the lossy classes), exactly the factors of
+Table 1 (after Paasch et al. CoNEXT'13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.expdesign.wsp import wsp_select
+from repro.netsim.topology import PathConfig
+
+
+@dataclass(frozen=True)
+class EnvClass:
+    """One of the paper's four environment classes (Table 1)."""
+
+    name: str
+    capacity_range: Tuple[float, float]
+    rtt_range: Tuple[float, float]
+    queuing_range: Tuple[float, float]
+    loss_range: Tuple[float, float]
+
+    @property
+    def lossy(self) -> bool:
+        return self.loss_range[1] > 0.0
+
+    @property
+    def dims_per_path(self) -> int:
+        return 4 if self.lossy else 3
+
+
+#: Table 1 of the paper.  Low-BDP: RTT 0-50 ms, queuing 0-100 ms;
+#: high-BDP: RTT 0-400 ms, queuing 0-2000 ms; capacity always
+#: 0.1-100 Mbps and random loss 0-2.5 % in the lossy classes.
+ENV_CLASSES: Dict[str, EnvClass] = {
+    "low-bdp-no-loss": EnvClass(
+        "low-bdp-no-loss", (0.1, 100.0), (0.0, 50.0), (0.0, 100.0), (0.0, 0.0)
+    ),
+    "low-bdp-losses": EnvClass(
+        "low-bdp-losses", (0.1, 100.0), (0.0, 50.0), (0.0, 100.0), (0.0, 2.5)
+    ),
+    "high-bdp-no-loss": EnvClass(
+        "high-bdp-no-loss", (0.1, 100.0), (0.0, 400.0), (0.0, 2000.0), (0.0, 0.0)
+    ),
+    "high-bdp-losses": EnvClass(
+        "high-bdp-losses", (0.1, 100.0), (0.0, 400.0), (0.0, 2000.0), (0.0, 2.5)
+    ),
+}
+
+#: Scenarios per class in the paper's evaluation.
+PAPER_SCENARIOS_PER_CLASS = 253
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A two-path network drawn from an environment class."""
+
+    env_class: str
+    index: int
+    paths: Tuple[PathConfig, PathConfig]
+
+    @property
+    def best_path(self) -> int:
+        return 0 if _path_rank(self.paths[0]) >= _path_rank(self.paths[1]) else 1
+
+    @property
+    def worst_path(self) -> int:
+        return 1 - self.best_path
+
+
+def _path_rank(path: PathConfig) -> float:
+    """Crude path quality: capacity dominates, RTT breaks ties."""
+    return path.capacity_mbps - path.rtt_ms * 1e-6
+
+
+def _scale(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    return lo + values * (hi - lo)
+
+
+def generate_scenarios(
+    env_class: str,
+    count: int = PAPER_SCENARIOS_PER_CLASS,
+    seed: int = 42,
+    min_capacity_mbps: float = 0.1,
+) -> List[Scenario]:
+    """Draw ``count`` scenarios for an environment class via WSP.
+
+    The design space has one (capacity, RTT, queuing delay[, loss])
+    tuple per path — 6 dimensions for loss-free classes, 8 otherwise.
+    """
+    env = ENV_CLASSES[env_class]
+    dims = 2 * env.dims_per_path
+    points = wsp_select(count, dims, seed=seed)
+    scenarios: List[Scenario] = []
+    for i, point in enumerate(points):
+        paths = []
+        for p in range(2):
+            base = p * env.dims_per_path
+            capacity = max(
+                _scale(point[base + 0], *env.capacity_range), min_capacity_mbps
+            )
+            rtt = _scale(point[base + 1], *env.rtt_range)
+            queuing = _scale(point[base + 2], *env.queuing_range)
+            loss = (
+                _scale(point[base + 3], *env.loss_range) if env.lossy else 0.0
+            )
+            paths.append(
+                PathConfig(
+                    capacity_mbps=float(capacity),
+                    rtt_ms=float(rtt),
+                    queuing_delay_ms=float(queuing),
+                    loss_percent=float(loss),
+                )
+            )
+        scenarios.append(Scenario(env_class, i, (paths[0], paths[1])))
+    return scenarios

@@ -1,0 +1,94 @@
+"""WSP (Wootton, Sergent, Phan-Tan-Luu) space-filling design.
+
+Selects a subset of candidate points such that no two chosen points are
+closer than a minimum distance, maximising coverage of the space
+(Santiago, Claeys-Bruno, Sergent 2012).  The paper uses WSP to pick the
+253 network scenarios per environment class (§4.1).
+
+The classic algorithm:
+
+1. generate a large candidate set (uniform random in the unit cube);
+2. pick a seed point (the one closest to the centre);
+3. repeatedly: remove every remaining candidate within ``dmin`` of the
+   last chosen point, then choose the remaining candidate *closest* to
+   it;
+4. binary-search ``dmin`` until the desired number of points survives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _wsp_once(candidates: np.ndarray, dmin: float) -> np.ndarray:
+    """Run one WSP pass; returns indices of the selected points."""
+    n = len(candidates)
+    alive = np.ones(n, dtype=bool)
+    centre = candidates.mean(axis=0)
+    current = int(np.argmin(((candidates - centre) ** 2).sum(axis=1)))
+    chosen = [current]
+    alive[current] = False
+    while True:
+        dists = np.sqrt(((candidates - candidates[current]) ** 2).sum(axis=1))
+        alive &= dists >= dmin  # drop candidates too close to `current`
+        alive[current] = False
+        if not alive.any():
+            break
+        masked = np.where(alive, dists, np.inf)
+        current = int(np.argmin(masked))
+        chosen.append(current)
+        alive[current] = False
+    return np.asarray(chosen, dtype=int)
+
+
+def wsp_select(
+    n_points: int,
+    n_dims: int,
+    seed: int = 0,
+    candidate_factor: int = 40,
+    tolerance: int = 0,
+    max_iterations: int = 60,
+) -> np.ndarray:
+    """Select ``n_points`` space-filling points in the unit hypercube.
+
+    Args:
+        n_points: desired design size (the paper uses 253 per class).
+        n_dims: dimensionality of the parameter space.
+        seed: RNG seed for the candidate cloud (reproducible designs).
+        candidate_factor: candidate-set size as a multiple of n_points.
+        tolerance: accept designs within ± tolerance points, then trim.
+        max_iterations: binary-search budget for ``dmin``.
+
+    Returns:
+        ``(n_points, n_dims)`` array in ``[0, 1)``.
+    """
+    if n_points < 1:
+        raise ValueError("n_points must be positive")
+    if n_dims < 1:
+        raise ValueError("n_dims must be positive")
+    rng = np.random.default_rng(seed)
+    n_candidates = max(n_points * candidate_factor, 256)
+    candidates = rng.random((n_candidates, n_dims))
+    if n_points == 1:
+        return candidates[:1]
+    # Binary search dmin: larger dmin -> fewer surviving points.
+    lo, hi = 0.0, float(np.sqrt(n_dims))
+    best: Optional[np.ndarray] = None
+    for _ in range(max_iterations):
+        dmin = (lo + hi) / 2.0
+        idx = _wsp_once(candidates, dmin)
+        count = len(idx)
+        if abs(count - n_points) <= tolerance or count == n_points:
+            best = idx
+            break
+        if count > n_points:
+            lo = dmin
+            best = idx  # oversized designs can be trimmed
+        else:
+            hi = dmin
+    if best is None or len(best) < n_points:
+        # Fallback: smallest dmin tried produced too few; rerun with ~0.
+        best = _wsp_once(candidates, 1e-9)
+    return candidates[best[:n_points]]

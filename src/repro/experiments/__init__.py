@@ -1,0 +1,26 @@
+"""Evaluation harness: scenario runner, metrics and figure generators.
+
+One entry point per table/figure of the paper's evaluation (see
+DESIGN.md's experiment index).  ``python -m repro.experiments.figures
+--help`` lists the command-line interface.
+"""
+
+from repro.experiments.metrics import (
+    cdf_points,
+    experimental_aggregation_benefit,
+    fraction_greater_than,
+    median,
+)
+from repro.experiments.runner import BulkRunResult, run_bulk, run_handover
+from repro.experiments.scenarios import HANDOVER_SCENARIO
+
+__all__ = [
+    "experimental_aggregation_benefit",
+    "cdf_points",
+    "fraction_greater_than",
+    "median",
+    "run_bulk",
+    "run_handover",
+    "BulkRunResult",
+    "HANDOVER_SCENARIO",
+]

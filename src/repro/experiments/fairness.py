@@ -1,0 +1,116 @@
+"""Shared-bottleneck fairness experiment (why the paper picks OLIA, §3).
+
+"To achieve a fair distribution of network resources ... using CUBIC in
+a multipath protocol would cause unfairness" — an MPQUIC connection
+whose two paths cross the SAME bottleneck should take roughly one fair
+share of it when coupled (OLIA), but closer to two shares when each
+path runs an independent controller.
+
+The experiment races one MPQUIC connection (two paths over one
+bottleneck) against one single-path QUIC competitor and reports the
+bottleneck share each obtained in steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.connection import MultipathQuicConnection
+from repro.netsim.bottleneck import SharedBottleneckTopology
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+
+#: Default bottleneck: 20 Mbps, 40 ms RTT, 100 ms of buffer.
+DEFAULT_BOTTLENECK = PathConfig(
+    capacity_mbps=20.0, rtt_ms=40.0, queuing_delay_ms=100.0
+)
+
+
+@dataclass
+class FairnessResult:
+    """Steady-state bottleneck split between the two connections."""
+
+    multipath_cc: str
+    mp_goodput_bps: float
+    competitor_goodput_bps: float
+    duration: float
+
+    @property
+    def mp_share(self) -> float:
+        """Fraction of the delivered bytes the multipath flow took."""
+        total = self.mp_goodput_bps + self.competitor_goodput_bps
+        return self.mp_goodput_bps / total if total > 0 else 0.0
+
+
+def run_fairness(
+    multipath_cc: str = "olia",
+    bottleneck: PathConfig = DEFAULT_BOTTLENECK,
+    duration: float = 20.0,
+    warmup: float = 4.0,
+    seed: int = 1,
+) -> FairnessResult:
+    """Race MPQUIC (both paths on one bottleneck) against plain QUIC.
+
+    Both connections run a long download; goodput is counted between
+    ``warmup`` and ``warmup + duration`` so slow-start transients are
+    excluded.
+    """
+    sim = Simulator()
+    topo = SharedBottleneckTopology(sim, bottleneck, with_competitor=True, seed=seed)
+    mp_cfg = QuicConfig(multipath_cc=multipath_cc)
+    mp_client = MultipathQuicConnection(sim, topo.client, "client", mp_cfg)
+    mp_server = MultipathQuicConnection(sim, topo.server, "server", QuicConfig(multipath_cc=multipath_cc))
+    sp_client = QuicConnection(sim, topo.competitor_client, "client", QuicConfig())
+    sp_server = QuicConnection(sim, topo.competitor_server, "server", QuicConfig())
+
+    total_bytes = int(bottleneck.rate_bps / 8.0 * (warmup + duration) * 2)
+    counters = {"mp": 0, "sp": 0}
+    window = {"mp": 0, "sp": 0}
+
+    def serve(server, key):
+        state = {}
+
+        def on_data(sid, data, fin):
+            if sid not in state:
+                state[sid] = True
+                server.send_stream_data(sid, b"x" * total_bytes, fin=True)
+
+        return on_data
+
+    mp_server.on_stream_data = serve(mp_server, "mp")
+    sp_server.on_stream_data = serve(sp_server, "sp")
+
+    def count(key):
+        def on_data(sid, data, fin):
+            counters[key] += len(data)
+
+        return on_data
+
+    mp_client.on_stream_data = count("mp")
+    sp_client.on_stream_data = count("sp")
+    mp_client.on_established = lambda: mp_client.send_stream_data(
+        mp_client.open_stream(), b"GET", fin=True
+    )
+    sp_client.on_established = lambda: sp_client.send_stream_data(
+        sp_client.open_stream(), b"GET", fin=True
+    )
+    mp_client.connect()
+    sp_client.connect()
+
+    def snapshot_start():
+        window["mp"] = counters["mp"]
+        window["sp"] = counters["sp"]
+
+    sim.schedule(warmup, snapshot_start)
+    sim.run(until=warmup + duration)
+    mp_bytes = counters["mp"] - window["mp"]
+    sp_bytes = counters["sp"] - window["sp"]
+    return FairnessResult(
+        multipath_cc=multipath_cc,
+        mp_goodput_bps=mp_bytes * 8.0 / duration,
+        competitor_goodput_bps=sp_bytes * 8.0 / duration,
+        duration=duration,
+    )

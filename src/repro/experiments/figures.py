@@ -1,0 +1,411 @@
+"""Per-figure experiment harness (the paper's §4 evaluation).
+
+Each ``figN()`` regenerates the series behind one figure of the paper,
+printing the same quantities (time-ratio CDF percentiles, aggregation-
+benefit box statistics, handover delay timeline) and returning the raw
+data for programmatic checks.
+
+Scaling: the paper runs 253 WSP scenarios per class with 20 MB (or
+256 KB) transfers, each repeated 3 times.  Defaults here are reduced
+(see :class:`SweepConfig`); set ``REPRO_SCENARIOS`` / ``REPRO_FILE_SIZE``
+or pass ``--full`` on the CLI for paper-scale sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.expdesign.parameters import (
+    PAPER_SCENARIOS_PER_CLASS,
+    Scenario,
+    generate_scenarios,
+)
+from repro.experiments.metrics import (
+    experimental_aggregation_benefit,
+    fraction_greater_than,
+    median,
+)
+from repro.experiments.report import ascii_box, ascii_cdf, table, timeline
+from repro.experiments.runner import (
+    BulkRunResult,
+    run_bulk,
+    run_handover,
+    run_scenario_protocol_matrix,
+)
+from repro.experiments.scenarios import HANDOVER_SCENARIO
+from repro.netsim.topology import PathConfig
+from repro.quic.config import QuicConfig
+
+#: The paper's transfer sizes.
+PAPER_LARGE_FILE = 20_000_000
+PAPER_SMALL_FILE = 256_000
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Sweep sizing knobs (reduced defaults; --full for paper scale)."""
+
+    scenarios: int = int(os.environ.get("REPRO_SCENARIOS", "30"))
+    file_size: int = int(os.environ.get("REPRO_FILE_SIZE", "2000000"))
+    small_file_size: int = int(os.environ.get("REPRO_SMALL_FILE", "256000"))
+    seed: int = 42
+
+    @staticmethod
+    def paper_scale() -> "SweepConfig":
+        return SweepConfig(
+            scenarios=PAPER_SCENARIOS_PER_CLASS,
+            file_size=PAPER_LARGE_FILE,
+            small_file_size=PAPER_SMALL_FILE,
+        )
+
+
+#: One sweep = per-scenario result matrices, cached so figures sharing a
+#: class (e.g. Fig. 3 and Fig. 4) reuse the same runs within a session.
+_SWEEP_CACHE: Dict[Tuple, List[Tuple[Scenario, Dict]] ] = {}
+
+
+def run_class_sweep(
+    env_class: str, config: SweepConfig, file_size: Optional[int] = None
+) -> List[Tuple[Scenario, Dict[Tuple[str, int], BulkRunResult]]]:
+    """Run the full protocol matrix over a class's WSP scenarios."""
+    size = file_size if file_size is not None else config.file_size
+    key = (env_class, config.scenarios, size, config.seed)
+    if key in _SWEEP_CACHE:
+        return _SWEEP_CACHE[key]
+    scenarios = generate_scenarios(env_class, config.scenarios, seed=config.seed)
+    lossy = "no-loss" not in env_class
+    out = []
+    for scenario in scenarios:
+        matrix = run_scenario_protocol_matrix(
+            scenario.paths, size, lossy=lossy, base_seed=scenario.index + 1
+        )
+        out.append((scenario, matrix))
+    _SWEEP_CACHE[key] = out
+    return out
+
+
+# ----------------------------------------------------------------------
+# Series extraction
+# ----------------------------------------------------------------------
+
+def time_ratio_series(
+    sweep: List[Tuple[Scenario, Dict]],
+) -> Dict[str, List[float]]:
+    """Fig. 3/5/8/9 series: per (scenario, initial path) time ratios."""
+    tcp_quic: List[float] = []
+    mptcp_mpquic: List[float] = []
+    for _scenario, matrix in sweep:
+        for initial in (0, 1):
+            tcp_quic.append(
+                matrix[("tcp", initial)].transfer_time
+                / matrix[("quic", initial)].transfer_time
+            )
+            mptcp_mpquic.append(
+                matrix[("mptcp", initial)].transfer_time
+                / matrix[("mpquic", initial)].transfer_time
+            )
+    return {"tcp/quic": tcp_quic, "mptcp/mpquic": mptcp_mpquic}
+
+
+def aggregation_benefit_series(
+    sweep: List[Tuple[Scenario, Dict]],
+) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 4/6/7/10 series: EBen split by initial-path quality.
+
+    Returns ``{"mptcp_vs_tcp"|"mpquic_vs_quic": {"best_first"|"worst_first": [...]}}``.
+    """
+    out = {
+        "mptcp_vs_tcp": {"best_first": [], "worst_first": []},
+        "mpquic_vs_quic": {"best_first": [], "worst_first": []},
+    }
+    for scenario, matrix in sweep:
+        singles = {
+            "tcp": [matrix[("tcp", 0)].goodput_bps, matrix[("tcp", 1)].goodput_bps],
+            "quic": [matrix[("quic", 0)].goodput_bps, matrix[("quic", 1)].goodput_bps],
+        }
+        best = scenario.best_path
+        for multi, single, label in (
+            ("mptcp", "tcp", "mptcp_vs_tcp"),
+            ("mpquic", "quic", "mpquic_vs_quic"),
+        ):
+            for initial in (0, 1):
+                eben = experimental_aggregation_benefit(
+                    matrix[(multi, initial)].goodput_bps, singles[single]
+                )
+                bucket = "best_first" if initial == best else "worst_first"
+                out[label][bucket].append(eben)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+
+def fig3(config: SweepConfig = SweepConfig()) -> Dict[str, List[float]]:
+    """Fig. 3 — GET <large>, low-BDP-no-loss: time-ratio CDFs."""
+    sweep = run_class_sweep("low-bdp-no-loss", config)
+    series = time_ratio_series(sweep)
+    print(f"== Fig. 3: GET {config.file_size} B, low-BDP-no-loss ==")
+    for label, values in series.items():
+        print(ascii_cdf(values, f"time ratio {label}"))
+        print(
+            f"  multipath/QUIC faster in "
+            f"{fraction_greater_than(values, 1.0) * 100:.0f}% of runs\n"
+        )
+    return series
+
+
+def fig4(config: SweepConfig = SweepConfig()) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 4 — low-BDP-no-loss: experimental aggregation benefit."""
+    sweep = run_class_sweep("low-bdp-no-loss", config)
+    data = aggregation_benefit_series(sweep)
+    print(f"== Fig. 4: EBen, GET {config.file_size} B, low-BDP-no-loss ==")
+    _print_eben(data)
+    return data
+
+
+def fig5(config: SweepConfig = SweepConfig()) -> Dict[str, List[float]]:
+    """Fig. 5 — low-BDP-losses: time-ratio CDFs."""
+    sweep = run_class_sweep("low-bdp-losses", config)
+    series = time_ratio_series(sweep)
+    print(f"== Fig. 5: GET {config.file_size} B, low-BDP-losses ==")
+    for label, values in series.items():
+        print(ascii_cdf(values, f"time ratio {label}"))
+        print(
+            f"  (MP)QUIC faster in "
+            f"{fraction_greater_than(values, 1.0) * 100:.0f}% of runs\n"
+        )
+    return series
+
+
+def fig6(config: SweepConfig = SweepConfig()) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 6 — low-BDP-losses: aggregation benefit."""
+    sweep = run_class_sweep("low-bdp-losses", config)
+    data = aggregation_benefit_series(sweep)
+    print(f"== Fig. 6: EBen, GET {config.file_size} B, low-BDP-losses ==")
+    _print_eben(data)
+    return data
+
+
+def fig7(config: SweepConfig = SweepConfig()) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 7 — high-BDP-no-loss: aggregation benefit."""
+    sweep = run_class_sweep("high-bdp-no-loss", config)
+    data = aggregation_benefit_series(sweep)
+    print(f"== Fig. 7: EBen, GET {config.file_size} B, high-BDP-no-loss ==")
+    _print_eben(data)
+    return data
+
+
+def fig8(config: SweepConfig = SweepConfig()) -> Dict[str, List[float]]:
+    """Fig. 8 — high-BDP-losses: time-ratio CDFs."""
+    sweep = run_class_sweep("high-bdp-losses", config)
+    series = time_ratio_series(sweep)
+    print(f"== Fig. 8: GET {config.file_size} B, high-BDP-losses ==")
+    for label, values in series.items():
+        print(ascii_cdf(values, f"time ratio {label}"))
+    return series
+
+
+def fig9(config: SweepConfig = SweepConfig()) -> Dict[str, List[float]]:
+    """Fig. 9 — GET <small>, low-BDP-no-loss: time-ratio CDFs."""
+    sweep = run_class_sweep(
+        "low-bdp-no-loss", config, file_size=config.small_file_size
+    )
+    series = time_ratio_series(sweep)
+    print(f"== Fig. 9: GET {config.small_file_size} B, low-BDP-no-loss ==")
+    for label, values in series.items():
+        print(ascii_cdf(values, f"time ratio {label}"))
+    return series
+
+
+def fig10(config: SweepConfig = SweepConfig()) -> Dict[str, Dict[str, List[float]]]:
+    """Fig. 10 — small transfers: aggregation benefit."""
+    sweep = run_class_sweep(
+        "low-bdp-no-loss", config, file_size=config.small_file_size
+    )
+    data = aggregation_benefit_series(sweep)
+    print(f"== Fig. 10: EBen, GET {config.small_file_size} B, low-BDP-no-loss ==")
+    _print_eben(data)
+    return data
+
+
+def fig11(config: SweepConfig = SweepConfig()) -> List[Tuple[float, float]]:
+    """Fig. 11 — network handover: per-request delay timeline."""
+    delays = run_handover(HANDOVER_SCENARIO)
+    print("== Fig. 11: MPQUIC network handover ==")
+    print(timeline(delays, "request->response delay"))
+    return delays
+
+
+def headline_percentages(config: SweepConfig = SweepConfig()) -> Dict[str, float]:
+    """The §4.1 headline numbers.
+
+    Paper values: MPQUIC beats MPTCP in 89% of low-BDP-no-loss runs;
+    EBen > 0 in 77% (MPQUIC) vs 45% (MPTCP); in high-BDP-no-loss, 58%
+    vs 20%.
+    """
+    low = run_class_sweep("low-bdp-no-loss", config)
+    high = run_class_sweep("high-bdp-no-loss", config)
+    ratios = time_ratio_series(low)
+    eben_low = aggregation_benefit_series(low)
+    eben_high = aggregation_benefit_series(high)
+
+    def _positive(data: Dict[str, List[float]]) -> float:
+        both = data["best_first"] + data["worst_first"]
+        return fraction_greater_than(both, 0.0) * 100
+
+    results = {
+        "mpquic_faster_than_mptcp_pct": fraction_greater_than(
+            ratios["mptcp/mpquic"], 1.0
+        ) * 100,
+        "low_bdp_eben_positive_mpquic_pct": _positive(eben_low["mpquic_vs_quic"]),
+        "low_bdp_eben_positive_mptcp_pct": _positive(eben_low["mptcp_vs_tcp"]),
+        "high_bdp_eben_positive_mpquic_pct": _positive(eben_high["mpquic_vs_quic"]),
+        "high_bdp_eben_positive_mptcp_pct": _positive(eben_high["mptcp_vs_tcp"]),
+    }
+    print("== Headline percentages (paper: 89 / 77 / 45 / 58 / 20) ==")
+    print(
+        table(
+            ["metric", "measured %"],
+            [(k, f"{v:.0f}") for k, v in results.items()],
+        )
+    )
+    return results
+
+
+def _print_eben(data: Dict[str, Dict[str, List[float]]]) -> None:
+    for label, buckets in data.items():
+        for bucket, values in buckets.items():
+            if values:
+                print(ascii_box(values, f"{label} [{bucket}]"))
+        both = buckets["best_first"] + buckets["worst_first"]
+        if both:
+            print(
+                f"  {label}: EBen > 0 in "
+                f"{fraction_greater_than(both, 0.0) * 100:.0f}% of runs\n"
+            )
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ----------------------------------------------------------------------
+
+#: Heterogeneous two-path network for ablation studies.
+ABLATION_PATHS = (
+    PathConfig(capacity_mbps=10.0, rtt_ms=20.0, queuing_delay_ms=50.0),
+    PathConfig(capacity_mbps=3.0, rtt_ms=80.0, queuing_delay_ms=100.0),
+)
+
+
+def ablation_scheduler(config: SweepConfig = SweepConfig()) -> Dict[str, float]:
+    """A1: MPQUIC scheduler variants on heterogeneous paths."""
+    results = {}
+    for scheduler, dup in (
+        ("lowest_rtt", True),
+        ("lowest_rtt_no_dup", False),
+        ("round_robin", True),
+    ):
+        qc = QuicConfig(scheduler=scheduler, duplicate_on_unknown_rtt=dup)
+        res = run_bulk(
+            "mpquic", ABLATION_PATHS, config.file_size, quic_config=qc
+        )
+        results[scheduler if dup else "lowest_rtt_no_dup"] = res.transfer_time
+    print("== Ablation A1: MPQUIC packet scheduler ==")
+    print(table(["scheduler", "transfer time (s)"],
+                [(k, f"{v:.3f}") for k, v in results.items()]))
+    return results
+
+
+def ablation_congestion_control(config: SweepConfig = SweepConfig()) -> Dict[str, float]:
+    """A2: coupled OLIA vs uncoupled CUBIC for MPQUIC."""
+    results = {}
+    for cc in ("olia", "cubic2", "newreno"):
+        qc = QuicConfig(multipath_cc=cc)
+        res = run_bulk(
+            "mpquic", ABLATION_PATHS, config.file_size, quic_config=qc
+        )
+        results[cc] = res.transfer_time
+    print("== Ablation A2: MPQUIC multipath congestion control ==")
+    print(table(["controller", "transfer time (s)"],
+                [(k, f"{v:.3f}") for k, v in results.items()]))
+    return results
+
+
+def ablation_window_updates(config: SweepConfig = SweepConfig()) -> Dict[str, float]:
+    """A3: WINDOW_UPDATE on all paths vs only the delivering path."""
+    results = {}
+    for all_paths in (True, False):
+        qc = QuicConfig(window_update_all_paths=all_paths)
+        res = run_bulk(
+            "mpquic", ABLATION_PATHS, config.file_size, quic_config=qc
+        )
+        results["all_paths" if all_paths else "single_path"] = res.transfer_time
+    print("== Ablation A3: WINDOW_UPDATE duplication across paths ==")
+    print(table(["policy", "transfer time (s)"],
+                [(k, f"{v:.3f}") for k, v in results.items()]))
+    return results
+
+
+FIGURES = {
+    "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
+    "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10,
+    "fig11": fig11, "headline": headline_percentages,
+    "ablation-scheduler": ablation_scheduler,
+    "ablation-cc": ablation_congestion_control,
+    "ablation-wupdate": ablation_window_updates,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's evaluation figures."
+    )
+    parser.add_argument(
+        "figure", choices=sorted(FIGURES) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--scenarios", type=int, default=None)
+    parser.add_argument("--file-size", type=int, default=None)
+    parser.add_argument("--small-file-size", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper scale: 253 scenarios, 20 MB / 256 KB transfers",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="additionally dump every run of the executed sweeps to CSV",
+    )
+    args = parser.parse_args(argv)
+    config = SweepConfig.paper_scale() if args.full else SweepConfig()
+    overrides = {}
+    if args.scenarios is not None:
+        overrides["scenarios"] = args.scenarios
+    if args.file_size is not None:
+        overrides["file_size"] = args.file_size
+    if args.small_file_size is not None:
+        overrides["small_file_size"] = args.small_file_size
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = replace(config, **overrides)
+    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in targets:
+        FIGURES[name](config)
+    if args.csv:
+        from repro.experiments.report import SWEEP_CSV_HEADERS, save_csv, sweep_to_rows
+
+        rows: List[List[object]] = []
+        for sweep in _SWEEP_CACHE.values():
+            rows.extend(sweep_to_rows(sweep))
+        save_csv(args.csv, SWEEP_CSV_HEADERS, rows)
+        print(f"wrote {len(rows)} runs to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

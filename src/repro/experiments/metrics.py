@@ -1,0 +1,84 @@
+"""Evaluation metrics.
+
+The central one is the paper's *experimental aggregation benefit*
+(§4.1, after Kaspar 2012 / Paasch 2013): instead of comparing against
+nominal link capacities, it compares the multipath goodput with the
+goodputs single-path protocols actually achieved on each path::
+
+              Gm - Gmax_s
+    EBen =  ----------------      if Gm >= Gmax_s
+            (sum_i G_i) - Gmax_s
+
+            Gm - Gmax_s
+         =  -----------           otherwise
+               Gmax_s
+
+0 means "no better than the best single path", 1 means "the sum of the
+paths", negative values mean multipath *hurt*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def experimental_aggregation_benefit(
+    multipath_goodput: float, single_path_goodputs: Sequence[float]
+) -> float:
+    """The paper's EBen(C) metric (see module docstring)."""
+    if not single_path_goodputs:
+        raise ValueError("at least one single-path goodput is required")
+    g_max = max(single_path_goodputs)
+    total = sum(single_path_goodputs)
+    if g_max <= 0:
+        raise ValueError("single-path goodputs must be positive")
+    if multipath_goodput >= g_max:
+        denominator = total - g_max
+        if denominator <= 0:
+            # Degenerate single-path case: no aggregation possible.
+            return 0.0
+        return (multipath_goodput - g_max) / denominator
+    return (multipath_goodput - g_max) / g_max
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as sorted ``(value, P[X <= value])`` pairs."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def fraction_greater_than(values: Iterable[float], threshold: float) -> float:
+    """Share of values strictly above ``threshold``."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(1 for v in data if v > threshold) / len(data)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median (interpolating midpoint for even counts)."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("median of empty sequence")
+    n = len(data)
+    mid = n // 2
+    if n % 2 == 1:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def quartiles(values: Iterable[float]) -> Tuple[float, float, float]:
+    """(Q1, median, Q3) with linear interpolation."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("quartiles of empty sequence")
+
+    def _q(p: float) -> float:
+        idx = p * (len(data) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(data) - 1)
+        frac = idx - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    return _q(0.25), _q(0.5), _q(0.75)

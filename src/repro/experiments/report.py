@@ -1,0 +1,129 @@
+"""Plain-text rendering of experiment results (CDFs, box stats, tables).
+
+The paper presents CDFs of time ratios and box plots of the
+experimental aggregation benefit; these helpers print the same series
+as ASCII so the benchmark harness output is self-contained.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.metrics import cdf_points, quartiles
+
+
+def ascii_cdf(
+    values: Iterable[float],
+    label: str,
+    width: int = 50,
+    points: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+) -> str:
+    """Render an empirical CDF: selected percentiles plus a bar chart."""
+    data = sorted(values)
+    if not data:
+        return f"{label}: (no data)"
+    lines = [f"CDF of {label} ({len(data)} samples)"]
+    for p in points:
+        idx = min(len(data) - 1, max(0, int(p * len(data)) - 1))
+        lines.append(f"  p{int(p * 100):3d} = {data[idx]:8.3f}")
+    lo, hi = data[0], data[-1]
+    span = hi - lo or 1.0
+    for value, prob in cdf_points(data)[:: max(1, len(data) // 10)]:
+        bar = "#" * int(prob * width)
+        lines.append(f"  {value:8.3f} |{bar:<{width}}| {prob:4.2f}")
+    return "\n".join(lines)
+
+
+def box_stats(values: Iterable[float]) -> Dict[str, float]:
+    """Five-number summary used for the aggregation-benefit 'box plots'."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("no data")
+    q1, med, q3 = quartiles(data)
+    return {
+        "min": data[0],
+        "q1": q1,
+        "median": med,
+        "q3": q3,
+        "max": data[-1],
+    }
+
+
+def ascii_box(values: Iterable[float], label: str) -> str:
+    """One-line box-plot summary."""
+    s = box_stats(values)
+    return (
+        f"{label:<40s} min={s['min']:7.3f} q1={s['q1']:7.3f} "
+        f"med={s['median']:7.3f} q3={s['q3']:7.3f} max={s['max']:7.3f}"
+    )
+
+
+def table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def save_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Write results to CSV for external plotting (matplotlib, R, ...)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def sweep_to_rows(sweep) -> List[List[object]]:
+    """Flatten a class sweep into CSV rows.
+
+    One row per (scenario, protocol, initial interface) run, carrying
+    the scenario's path parameters and the measured transfer time.
+    """
+    rows: List[List[object]] = []
+    for scenario, matrix in sweep:
+        for (protocol, initial), result in matrix.items():
+            p0, p1 = scenario.paths
+            rows.append([
+                scenario.env_class, scenario.index, protocol, initial,
+                p0.capacity_mbps, p0.rtt_ms, p0.queuing_delay_ms, p0.loss_percent,
+                p1.capacity_mbps, p1.rtt_ms, p1.queuing_delay_ms, p1.loss_percent,
+                result.transfer_time, result.goodput_bps, result.completed,
+            ])
+    return rows
+
+
+SWEEP_CSV_HEADERS = [
+    "env_class", "scenario", "protocol", "initial_interface",
+    "cap0_mbps", "rtt0_ms", "queue0_ms", "loss0_pct",
+    "cap1_mbps", "rtt1_ms", "queue1_ms", "loss1_pct",
+    "transfer_time_s", "goodput_bps", "completed",
+]
+
+
+def timeline(samples: Iterable[Tuple[float, float]], label: str, width: int = 60) -> str:
+    """Render (time, delay) pairs as a text scatter (Fig. 11 style)."""
+    data = list(samples)
+    if not data:
+        return f"{label}: (no data)"
+    max_delay = max(d for _, d in data) or 1.0
+    lines = [f"{label} (delay axis 0..{max_delay * 1e3:.0f} ms)"]
+    for t, d in data:
+        bar = int(d / max_delay * width)
+        lines.append(f"  t={t:6.2f}s {'.' * bar}* {d * 1e3:7.1f} ms")
+    return "\n".join(lines)

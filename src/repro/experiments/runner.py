@@ -1,0 +1,161 @@
+"""Run one protocol over one scenario and collect results.
+
+The measurement mirrors the paper's §4.1: the client downloads a file
+on a single stream and times the interval between its first connection
+packet and the last response byte.  Lossy scenarios are repeated with
+different seeds and summarised by the median run (the paper repeats
+each simulation three times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.bulk import BulkTransferApp
+from repro.apps.reqres import RequestResponseApp
+from repro.apps.transport import make_client_server
+from repro.experiments.metrics import median
+from repro.experiments.scenarios import HANDOVER_SCENARIO, HandoverScenario
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+from repro.tcp.config import TcpConfig
+
+#: Hard ceiling on simulated seconds per run; generous enough for a
+#: 0.1 Mbps path (the range minimum) to finish any benchmark transfer.
+DEFAULT_SIM_TIMEOUT = 4000.0
+
+
+@dataclass
+class BulkRunResult:
+    """Outcome of one bulk-transfer run (median over repetitions)."""
+
+    protocol: str
+    initial_interface: int
+    file_size: int
+    transfer_time: float
+    goodput_bps: float
+    completed: bool
+    repetitions: int = 1
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+def _single_bulk(
+    protocol: str,
+    paths: Sequence[PathConfig],
+    file_size: int,
+    initial_interface: int,
+    seed: int,
+    quic_config: Optional[QuicConfig],
+    tcp_config: Optional[TcpConfig],
+    timeout: float,
+) -> Tuple[bool, float]:
+    sim = Simulator()
+    topo = TwoPathTopology(sim, list(paths), seed=seed)
+    client, server = make_client_server(
+        protocol, sim, topo,
+        initial_interface=initial_interface,
+        quic_config=quic_config, tcp_config=tcp_config,
+    )
+    app = BulkTransferApp(sim, client, server, file_size, initial_interface)
+    ok = app.run(timeout=timeout)
+    return ok, app.transfer_time if ok else timeout
+
+
+def run_bulk(
+    protocol: str,
+    paths: Sequence[PathConfig],
+    file_size: int,
+    initial_interface: int = 0,
+    repetitions: int = 1,
+    base_seed: int = 1,
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+    timeout: float = DEFAULT_SIM_TIMEOUT,
+) -> BulkRunResult:
+    """Run a bulk download, reporting the median over ``repetitions``.
+
+    Loss-free scenarios are deterministic, so a single repetition
+    suffices; lossy ones should use 3, matching the paper.
+    """
+    times: List[float] = []
+    all_ok = True
+    for rep in range(repetitions):
+        ok, duration = _single_bulk(
+            protocol, paths, file_size, initial_interface,
+            seed=base_seed + rep * 1000,
+            quic_config=quic_config, tcp_config=tcp_config, timeout=timeout,
+        )
+        all_ok = all_ok and ok
+        times.append(duration)
+    t = median(times)
+    return BulkRunResult(
+        protocol=protocol,
+        initial_interface=initial_interface,
+        file_size=file_size,
+        transfer_time=t,
+        goodput_bps=file_size * 8.0 / t if t > 0 else 0.0,
+        completed=all_ok,
+        repetitions=repetitions,
+    )
+
+
+def run_handover(
+    scenario: HandoverScenario = HANDOVER_SCENARIO,
+    seed: int = 3,
+    quic_config: Optional[QuicConfig] = None,
+    protocol: str = "mpquic",
+    tcp_config: Optional[TcpConfig] = None,
+) -> List[Tuple[float, float]]:
+    """Reproduce the §4.3 handover experiment.
+
+    Returns ``(request sent time, response delay)`` pairs — the series
+    of the paper's Fig. 11.  At ``scenario.failure_time`` the initial
+    path becomes completely lossy in both directions.
+    """
+    sim = Simulator()
+    topo = TwoPathTopology(sim, list(scenario.paths), seed=seed)
+    client, server = make_client_server(
+        protocol, sim, topo, initial_interface=0,
+        quic_config=quic_config, tcp_config=tcp_config,
+    )
+    app = RequestResponseApp(
+        sim, client, server,
+        message_size=scenario.message_size,
+        interval=scenario.interval,
+        total_requests=scenario.total_requests,
+    )
+    sim.schedule_at(
+        scenario.failure_time,
+        topo.set_path_loss, 0, scenario.failure_loss_percent,
+    )
+    app.run(timeout=scenario.failure_time + scenario.total_requests * scenario.interval + 30.0)
+    return app.delays()
+
+
+def run_scenario_protocol_matrix(
+    paths: Sequence[PathConfig],
+    file_size: int,
+    lossy: bool,
+    base_seed: int = 1,
+    protocols: Sequence[str] = ("tcp", "quic", "mptcp", "mpquic"),
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+) -> Dict[Tuple[str, int], BulkRunResult]:
+    """All (protocol, initial interface) runs for one scenario.
+
+    This is the unit of the paper's sweep: four protocols, each started
+    once on each of the two paths.
+    """
+    reps = 3 if lossy else 1
+    out: Dict[Tuple[str, int], BulkRunResult] = {}
+    for protocol in protocols:
+        for initial in (0, 1):
+            out[(protocol, initial)] = run_bulk(
+                protocol, paths, file_size,
+                initial_interface=initial,
+                repetitions=reps, base_seed=base_seed,
+                quic_config=quic_config, tcp_config=tcp_config,
+            )
+    return out

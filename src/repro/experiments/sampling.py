@@ -1,0 +1,139 @@
+"""Time-series sampling of connection state during a simulation.
+
+The paper's analysis reasons about congestion-window evolution,
+per-path traffic split and goodput over time; this module records those
+series so examples and tests can assert on dynamics rather than just
+end-to-end totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.engine import Simulator
+
+
+@dataclass
+class Sample:
+    """One snapshot of a connection's state."""
+
+    time: float
+    stream_bytes_received: int
+    stream_bytes_sent: int
+    per_path_cwnd: Dict[int, float]
+    per_path_bytes_sent: Dict[int, int]
+    per_path_srtt: Dict[int, float]
+
+
+class ConnectionSampler:
+    """Periodically snapshots a (MP)QUIC connection.
+
+    Works for single- and multipath QUIC connections (anything with
+    ``paths`` and ``stats``); see :class:`MptcpSampler` for the TCP
+    family.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connection,
+        interval: float = 0.1,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.connection = connection
+        self.interval = interval
+        self.stop_when = stop_when
+        self.samples: List[Sample] = []
+
+    def start(self) -> None:
+        self.sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        conn = self.connection
+        self.samples.append(
+            Sample(
+                time=self.sim.now,
+                stream_bytes_received=conn.stats.stream_bytes_received,
+                stream_bytes_sent=conn.stats.stream_bytes_sent,
+                per_path_cwnd={
+                    pid: p.cc.cwnd_bytes for pid, p in conn.paths.items()
+                },
+                per_path_bytes_sent={
+                    pid: p.bytes_sent for pid, p in conn.paths.items()
+                },
+                per_path_srtt={
+                    pid: p.rtt.smoothed for pid, p in conn.paths.items()
+                },
+            )
+        )
+        if self.stop_when is None or not self.stop_when():
+            self.sim.schedule(self.interval, self._tick)
+
+    def goodput_series(self, direction: str = "recv") -> List[tuple]:
+        """``(time, bits/s)`` pairs of goodput per interval.
+
+        ``direction`` is ``"recv"`` (bytes delivered to this endpoint's
+        application) or ``"sent"`` (new stream bytes this endpoint sent).
+        """
+        out = []
+        prev_bytes = 0
+        prev_time = 0.0
+        for sample in self.samples:
+            value = (
+                sample.stream_bytes_received
+                if direction == "recv"
+                else sample.stream_bytes_sent
+            )
+            dt = sample.time - prev_time
+            if dt > 0:
+                out.append((sample.time, (value - prev_bytes) * 8.0 / dt))
+            prev_bytes = value
+            prev_time = sample.time
+        return out
+
+    def cwnd_series(self, path_id: int) -> List[tuple]:
+        """``(time, cwnd bytes)`` pairs for one path."""
+        return [
+            (s.time, s.per_path_cwnd[path_id])
+            for s in self.samples
+            if path_id in s.per_path_cwnd
+        ]
+
+    def path_split(self) -> Dict[int, float]:
+        """Final fraction of bytes each path carried."""
+        if not self.samples:
+            return {}
+        last = self.samples[-1].per_path_bytes_sent
+        total = sum(last.values()) or 1
+        return {pid: b / total for pid, b in last.items()}
+
+
+class MptcpSampler:
+    """Periodic snapshots of an MPTCP connection's subflows."""
+
+    def __init__(self, sim: Simulator, connection, interval: float = 0.1) -> None:
+        self.sim = sim
+        self.connection = connection
+        self.interval = interval
+        self.samples: List[Dict] = []
+
+    def start(self) -> None:
+        self.sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        conn = self.connection
+        self.samples.append(
+            {
+                "time": self.sim.now,
+                "app_bytes": conn.app_bytes_received,
+                "cwnd": {
+                    i: f.cc.cwnd_bytes for i, f in conn.subflows.items()
+                },
+                "outstanding": {
+                    i: f.bytes_outstanding for i, f in conn.subflows.items()
+                },
+            }
+        )
+        self.sim.schedule(self.interval, self._tick)

@@ -1,0 +1,36 @@
+"""Fixed experiment scenarios beyond the WSP sweeps.
+
+Currently just the network-handover setup of §4.3: an initial path with
+15 ms RTT, a second path with 25 ms RTT, 750-byte requests every
+400 ms, and the initial path turning completely lossy after 3 seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.netsim.topology import PathConfig
+
+
+@dataclass(frozen=True)
+class HandoverScenario:
+    """Parameters of the Fig. 11 experiment."""
+
+    paths: Tuple[PathConfig, PathConfig]
+    message_size: int = 750
+    interval: float = 0.4
+    total_requests: int = 35
+    failure_time: float = 3.0
+    #: Loss applied to the initial path at ``failure_time`` (percent).
+    failure_loss_percent: float = 100.0
+
+
+#: The paper's §4.3 configuration.  Capacities are not specified there;
+#: 10 Mbps links keep serialization delay negligible for 750 B messages.
+HANDOVER_SCENARIO = HandoverScenario(
+    paths=(
+        PathConfig(capacity_mbps=10.0, rtt_ms=15.0, queuing_delay_ms=20.0),
+        PathConfig(capacity_mbps=10.0, rtt_ms=25.0, queuing_delay_ms=20.0),
+    )
+)

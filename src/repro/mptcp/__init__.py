@@ -1,0 +1,33 @@
+"""Multipath TCP baseline (Linux MPTCP v0.91, the paper's comparator).
+
+Implements the MPTCP mechanisms the paper contrasts with MPQUIC:
+
+* one TCP **subflow** per path, each needing its own 3-way handshake
+  before carrying data (vs MPQUIC's data-in-first-packet paths);
+* a **data sequence space** (DSS mappings) on top of subflow sequence
+  numbers, with a connection-level cumulative DATA_ACK and a shared
+  receive window;
+* the default Linux **lowest-RTT scheduler**, which must bind data to
+  a subflow at transmission time — retransmissions then stay on that
+  subflow, in sequence, to survive middleboxes;
+* **Opportunistic Retransmission and Penalisation** (ORP): when the
+  shared receive window blocks sending, data stuck on a slow subflow
+  is reinjected on the fast one and the slow subflow's window halved;
+* the **potentially-failed** subflow heuristic (an RTO with no network
+  activity since the last transmission) used for handover;
+* **OLIA** coupled congestion control.
+"""
+
+from repro.mptcp.connection import MptcpConnection
+from repro.mptcp.scheduler import (
+    BackupSubflowScheduler,
+    LowestRttSubflowScheduler,
+    RoundRobinSubflowScheduler,
+)
+
+__all__ = [
+    "MptcpConnection",
+    "LowestRttSubflowScheduler",
+    "RoundRobinSubflowScheduler",
+    "BackupSubflowScheduler",
+]

@@ -1,0 +1,189 @@
+"""Shared-bottleneck topology for congestion-fairness experiments.
+
+The paper adopts OLIA because "using CUBIC in a multipath protocol
+would cause unfairness" (§3, citing Wischik et al.).  That unfairness
+only materialises when a multipath connection's subflows share a
+bottleneck with other traffic — a situation the disjoint-path topology
+of Fig. 2 cannot express.  This module provides:
+
+* a :class:`Router` that forwards datagrams between links based on the
+  destination address;
+* :class:`SharedBottleneckTopology`: a multihomed client whose two
+  paths both traverse ONE bottleneck link, plus an optional competing
+  single-homed host pair crossing the same bottleneck.
+
+Layout (downstream direction mirrored)::
+
+    mp-client if0 ──access──┐                       ┌── if0 mp-server
+    mp-client if1 ──access──┤                       ├── if1 mp-server
+                            ├─router═bottleneck═router┤
+    competitor    ──access──┘                       └──  competitor-server
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Datagram, Host
+from repro.netsim.topology import MIN_QUEUE_PACKETS, MTU, PathConfig
+
+
+class Router:
+    """Forwards datagrams to the output link registered for their
+    destination address."""
+
+    def __init__(self, name: str = "router") -> None:
+        self.name = name
+        self._routes: Dict[str, Link] = {}
+        self.forwarded = 0
+        self.dropped_no_route = 0
+
+    def add_route(self, dst_addr: str, link: Link) -> None:
+        self._routes[dst_addr] = link
+
+    def receive(self, datagram: Datagram) -> None:
+        link = self._routes.get(datagram.dst_addr)
+        if link is None:
+            self.dropped_no_route += 1
+            return
+        self.forwarded += 1
+        link.send(datagram)
+
+
+class SharedBottleneckTopology:
+    """A multihomed pair plus a single-homed competitor over one
+    bottleneck.
+
+    Both of the multipath client's interfaces reach the server through
+    the same bottleneck link, so a coupled controller (OLIA) should
+    take roughly ONE fair share of it while uncoupled per-path CUBIC
+    takes closer to two — the fairness property OLIA was designed for.
+
+    Access links are fast (10x the bottleneck) so queueing happens at
+    the bottleneck only.
+    """
+
+    ACCESS_FACTOR = 10.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bottleneck: PathConfig,
+        with_competitor: bool = True,
+        seed: int = 0,
+        access_rtt_ms: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.bottleneck_config = bottleneck
+        self.client = Host("mp-client")
+        self.server = Host("mp-server")
+        self.competitor_client = Host("sp-client")
+        self.competitor_server = Host("sp-server")
+        self.with_competitor = with_competitor
+        rng = random.Random(seed)
+
+        up_router = Router("router-up")
+        down_router = Router("router-down")
+        queue = max(
+            int(bottleneck.rate_bps / 8.0 * bottleneck.queuing_delay_ms / 1e3),
+            MIN_QUEUE_PACKETS * MTU,
+        )
+        self.bottleneck_up = Link(
+            sim, bottleneck.rate_bps, bottleneck.one_way_delay, queue,
+            loss_rate=bottleneck.loss_rate,
+            rng=random.Random(rng.getrandbits(32)),
+            sink=down_router.receive, name="bottleneck-up",
+        )
+        self.bottleneck_down = Link(
+            sim, bottleneck.rate_bps, bottleneck.one_way_delay, queue,
+            loss_rate=bottleneck.loss_rate,
+            rng=random.Random(rng.getrandbits(32)),
+            sink=up_router.receive, name="bottleneck-down",
+        )
+        self.up_router = up_router
+        self.down_router = down_router
+
+        access_rate = bottleneck.rate_bps * self.ACCESS_FACTOR
+        access_delay = access_rtt_ms / 2.0 / 1e3
+        access_queue = MIN_QUEUE_PACKETS * MTU * 4
+
+        def access_link(sink, name):
+            return Link(
+                sim, access_rate, access_delay, access_queue,
+                rng=random.Random(rng.getrandbits(32)), sink=sink, name=name,
+            )
+
+        # Multipath client interfaces: both feed the shared bottleneck.
+        for i in range(2):
+            c_iface = self.client.add_interface(f"10.{i}.0.1")
+            s_iface = self.server.add_interface(f"10.{i}.0.2")
+            up = access_link(
+                _stamp_and_forward(self.bottleneck_up), f"access-up-{i}"
+            )
+            c_iface.attach(up)
+            down = access_link(
+                _deliver_to(self.server, i), f"access-srv-{i}"
+            )
+            # Downstream router routes the server address to this link.
+            down_router.add_route(f"10.{i}.0.2", down)
+            # Server replies go up through its own access link.
+            srv_up = access_link(
+                _stamp_and_forward(self.bottleneck_down), f"access-srv-up-{i}"
+            )
+            s_iface.attach(srv_up)
+            cli_down = access_link(
+                _deliver_to(self.client, i), f"access-cli-{i}"
+            )
+            up_router.add_route(f"10.{i}.0.1", cli_down)
+
+        if with_competitor:
+            cc_iface = self.competitor_client.add_interface("10.9.0.1")
+            cs_iface = self.competitor_server.add_interface("10.9.0.2")
+            up = access_link(
+                _stamp_and_forward(self.bottleneck_up), "access-comp-up"
+            )
+            cc_iface.attach(up)
+            comp_srv_down = access_link(
+                _deliver_to(self.competitor_server, 0), "access-comp-srv"
+            )
+            down_router.add_route("10.9.0.2", comp_srv_down)
+            srv_up = access_link(
+                _stamp_and_forward(self.bottleneck_down), "access-comp-srv-up"
+            )
+            cs_iface.attach(srv_up)
+            comp_cli_down = access_link(
+                _deliver_to(self.competitor_client, 0), "access-comp-cli"
+            )
+            up_router.add_route("10.9.0.1", comp_cli_down)
+
+
+def _stamp_and_forward(bottleneck: Link):
+    """Access-link sink: stamp the destination, enter the bottleneck.
+
+    The destination is the peer address for the source interface, set
+    by the sending endpoint via ``Datagram.dst_addr`` (or inferred from
+    the source when the endpoint did not bother — our endpoints address
+    interface-symmetrically).
+    """
+
+    def sink(datagram: Datagram) -> None:
+        if not datagram.dst_addr:
+            # 10.x.0.1 <-> 10.x.0.2 symmetry.
+            src = datagram.src_addr
+            if src.endswith(".1"):
+                datagram.dst_addr = src[:-2] + ".2"
+            else:
+                datagram.dst_addr = src[:-2] + ".1"
+        bottleneck.send(datagram)
+
+    return sink
+
+
+def _deliver_to(host: Host, interface_index: int):
+    def sink(datagram: Datagram) -> None:
+        host.deliver(datagram, interface_index)
+
+    return sink

@@ -1,0 +1,119 @@
+"""Event loop for the network simulator.
+
+A classic calendar-queue simulator: callbacks are scheduled at absolute
+simulated times and executed in order.  Ties are broken by insertion
+order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._counter = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        timer = Timer(time, fn, args)
+        heapq.heappush(self._heap, (time, next(self._counter), timer))
+        return timer
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Process events in time order.
+
+        Args:
+            until: stop once simulated time would exceed this value
+                (remaining events stay queued).
+            max_events: safety valve against runaway simulations.
+        """
+        processed = 0
+        while self._heap:
+            time, _seq, timer = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self.now = time
+            timer.fn(*timer.args)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        max_events: int = 100_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` is true.  Returns False on timeout."""
+        processed = 0
+        while not predicate():
+            if not self._heap:
+                return False
+            time, _seq, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            if timeout is not None and time > timeout:
+                self.now = timeout
+                return False
+            self.now = time
+            timer.fn(*timer.args)
+            processed += 1
+            self.events_processed += 1
+            if processed >= max_events:
+                raise RuntimeError("simulation exceeded the event budget")
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)

@@ -1,0 +1,202 @@
+"""Unidirectional link with rate, delay, drop-tail queue and random loss.
+
+Mirrors the netem/htb configuration used by the paper's Mininet setup:
+a token-less serializer at ``rate`` feeding a propagation-delay pipe,
+preceded by a finite drop-tail buffer sized from the configured maximum
+queuing delay, with optional random loss on the wire — either
+independent (Bernoulli, the paper's model) or bursty (Gilbert-Elliott,
+closer to real wireless fading).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Datagram
+
+
+class GilbertElliottLoss:
+    """Two-state Markov loss process (netem's ``loss gemodel``).
+
+    In the *good* state packets survive; in the *bad* state each packet
+    is dropped with probability ``bad_loss``.  Transition probabilities
+    are chosen from the desired average loss rate and mean burst
+    length:  p(good->bad) = avg / (burst * bad_loss - avg ...), solved
+    via the stationary distribution pi_bad = p / (p + r).
+    """
+
+    def __init__(
+        self,
+        avg_loss_rate: float,
+        mean_burst: float = 4.0,
+        bad_loss: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 < avg_loss_rate < 1.0:
+            raise ValueError("avg_loss_rate must be in (0, 1)")
+        if mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1")
+        self.rng = rng or random.Random(0)
+        self.bad_loss = bad_loss
+        # Mean sojourn in bad state = mean_burst packets -> r = 1/burst.
+        self.r = 1.0 / mean_burst  # bad -> good
+        pi_bad = avg_loss_rate / bad_loss
+        if pi_bad >= 1.0:
+            raise ValueError("average loss too high for the burst model")
+        # pi_bad = p / (p + r)  =>  p = r * pi_bad / (1 - pi_bad).
+        self.p = self.r * pi_bad / (1.0 - pi_bad)  # good -> bad
+        self._bad = False
+
+    def lose(self) -> bool:
+        """Advance one packet; return True if it should be dropped."""
+        if self._bad:
+            if self.rng.random() < self.r:
+                self._bad = False
+        else:
+            if self.rng.random() < self.p:
+                self._bad = True
+        return self._bad and self.rng.random() < self.bad_loss
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated over the life of a link."""
+
+    datagrams_sent: int = 0
+    bytes_sent: int = 0
+    datagrams_delivered: int = 0
+    queue_drops: int = 0
+    random_losses: int = 0
+    max_queue_bytes: int = 0
+
+
+class Link:
+    """One direction of a point-to-point link.
+
+    Args:
+        sim: the event loop.
+        rate_bps: serialization rate in bits per second.
+        prop_delay: one-way propagation delay in seconds.
+        queue_capacity: drop-tail buffer size in bytes (the packet being
+            serialized does not count against it).
+        loss_rate: Bernoulli per-datagram loss probability applied on the
+            wire (after the queue), as in netem random loss.
+        rng: random source for loss decisions; supply a seeded
+            ``random.Random`` for reproducible lossy runs.
+        sink: callback invoked with each delivered datagram.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        prop_delay: float,
+        queue_capacity: int,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+        sink: Optional[Callable[[Datagram], None]] = None,
+        name: str = "link",
+        jitter: float = 0.0,
+        burst_loss: Optional[GilbertElliottLoss] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        if jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        #: netem-style delay variation: each datagram gets an extra
+        #: uniform [0, jitter) seconds of propagation, which (like
+        #: netem without reorder protection) may reorder packets.
+        self.jitter = jitter
+        self.queue_capacity = queue_capacity
+        self.loss_rate = loss_rate
+        #: Optional bursty (Gilbert-Elliott) loss; replaces Bernoulli
+        #: loss when set.
+        self.burst_loss = burst_loss
+        self.rng = rng or random.Random(0)
+        self.sink = sink
+        self.name = name
+        self.stats = LinkStats()
+        self._queue: Deque[Datagram] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the random-loss probability mid-simulation.
+
+        Used by the handover experiment where a path becomes completely
+        lossy at a given instant (Fig. 11).
+        """
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be within [0, 1]")
+        self.loss_rate = loss_rate
+
+    def send(self, datagram: Datagram) -> bool:
+        """Offer a datagram to the link.
+
+        Returns False when the drop-tail queue rejected it.
+        """
+        if self._busy:
+            if self._queued_bytes + datagram.size > self.queue_capacity:
+                self.stats.queue_drops += 1
+                return False
+            self._queue.append(datagram)
+            self._queued_bytes += datagram.size
+            if self._queued_bytes > self.stats.max_queue_bytes:
+                self.stats.max_queue_bytes = self._queued_bytes
+            return True
+        self._transmit(datagram)
+        return True
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes currently waiting in the drop-tail buffer."""
+        return self._queued_bytes
+
+    @property
+    def serialization_busy(self) -> bool:
+        """True while a datagram is being clocked onto the wire."""
+        return self._busy
+
+    def transmission_delay(self, size: int) -> float:
+        """Seconds needed to serialize ``size`` bytes at the link rate."""
+        return size * 8.0 / self.rate_bps
+
+    def _transmit(self, datagram: Datagram) -> None:
+        self._busy = True
+        tx_delay = self.transmission_delay(datagram.size)
+        self.sim.schedule(tx_delay, self._serialization_done, datagram)
+
+    def _serialization_done(self, datagram: Datagram) -> None:
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += datagram.size
+        if self.burst_loss is not None:
+            lost = self.burst_loss.lose()
+        else:
+            lost = self.loss_rate > 0.0 and self.rng.random() < self.loss_rate
+        if lost:
+            self.stats.random_losses += 1
+        else:
+            delay = self.prop_delay
+            if self.jitter > 0.0:
+                delay += self.rng.random() * self.jitter
+            self.sim.schedule(delay, self._deliver, datagram)
+        if self._queue:
+            next_datagram = self._queue.popleft()
+            self._queued_bytes -= next_datagram.size
+            self._transmit(next_datagram)
+        else:
+            self._busy = False
+
+    def _deliver(self, datagram: Datagram) -> None:
+        self.stats.datagrams_delivered += 1
+        if self.sink is not None:
+            self.sink(datagram)

@@ -1,0 +1,89 @@
+"""Hosts, interfaces and datagrams.
+
+A :class:`Host` owns one interface per attached network path.  Protocol
+endpoints register a datagram handler and transmit via an interface
+index, mirroring how the paper's multihomed Mininet hosts expose one IP
+address per (disjoint) path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netsim.link import Link
+
+
+@dataclass
+class Datagram:
+    """A UDP-datagram-like unit travelling over a link.
+
+    ``payload`` is an opaque protocol object (a QUIC packet or a TCP
+    segment); ``size`` is its wire size in bytes including all headers.
+    """
+
+    payload: Any
+    size: int
+    src_addr: str = ""
+    dst_addr: str = ""
+
+
+class Interface:
+    """A host network interface bound to the TX side of a link."""
+
+    def __init__(self, host: "Host", index: int, address: str) -> None:
+        self.host = host
+        self.index = index
+        self.address = address
+        self.link: Optional["Link"] = None
+        self.up = True
+
+    def attach(self, link: "Link") -> None:
+        """Bind the interface to its outgoing link."""
+        self.link = link
+
+    def send(self, datagram: Datagram) -> bool:
+        """Transmit a datagram; returns False if dropped at the NIC."""
+        if not self.up or self.link is None:
+            return False
+        datagram.src_addr = datagram.src_addr or self.address
+        return self.link.send(datagram)
+
+
+DatagramHandler = Callable[[Datagram, int], None]
+
+
+class Host:
+    """A (possibly multihomed) end host."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.interfaces: List[Interface] = []
+        self._handler: Optional[DatagramHandler] = None
+
+    def add_interface(self, address: str) -> Interface:
+        """Create a new interface with the given address."""
+        iface = Interface(self, len(self.interfaces), address)
+        self.interfaces.append(iface)
+        return iface
+
+    def set_datagram_handler(self, handler: DatagramHandler) -> None:
+        """Register the protocol endpoint receiving inbound datagrams."""
+        self._handler = handler
+
+    def send(self, datagram: Datagram, interface_index: int) -> bool:
+        """Send a datagram out of a specific interface."""
+        return self.interfaces[interface_index].send(datagram)
+
+    def deliver(self, datagram: Datagram, interface_index: int) -> None:
+        """Called by the RX link when a datagram arrives at this host."""
+        if not self.interfaces[interface_index].up:
+            return
+        if self._handler is not None:
+            self._handler(datagram, interface_index)
+
+    @property
+    def addresses(self) -> List[str]:
+        """All interface addresses owned by the host."""
+        return [iface.address for iface in self.interfaces]

@@ -1,0 +1,178 @@
+"""Topology builders.
+
+The paper's main evaluation topology (its Fig. 2) is two multihomed
+hosts connected by two fully disjoint paths, each path characterised by
+a capacity, a round-trip-time, a maximum queuing delay (bufferbloat) and
+a random loss percentage (its Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import GilbertElliottLoss, Link
+from repro.netsim.node import Host
+
+#: Conservative MTU; both stacks cap their datagrams at this size.
+MTU = 1500
+
+#: Minimum buffer so a zero queuing-delay path can absorb an initial
+#: window burst (IW10) without pathological startup losses.
+MIN_QUEUE_PACKETS = 10
+
+
+@dataclass(frozen=True)
+class PathConfig:
+    """Characteristics of one end-to-end path (both directions symmetric).
+
+    Attributes:
+        capacity_mbps: link rate in Mbit/s.
+        rtt_ms: two-way propagation delay in milliseconds (split evenly
+            between the forward and return links).
+        queuing_delay_ms: maximum extra delay a full drop-tail buffer may
+            add; the buffer is sized as ``capacity * queuing_delay``.
+        loss_percent: random loss probability per datagram, in percent,
+            applied independently on both directions.
+    """
+
+    capacity_mbps: float
+    rtt_ms: float
+    queuing_delay_ms: float = 0.0
+    loss_percent: float = 0.0
+    #: Optional netem-style delay variation per direction (ms).
+    jitter_ms: float = 0.0
+    #: Mean loss-burst length in packets (0 = independent Bernoulli
+    #: losses, the paper's model; >= 1 = Gilbert-Elliott bursts with
+    #: this mean length at the same average ``loss_percent``).
+    loss_burst: float = 0.0
+
+    @property
+    def rate_bps(self) -> float:
+        return self.capacity_mbps * 1e6
+
+    @property
+    def one_way_delay(self) -> float:
+        return self.rtt_ms / 2.0 / 1e3
+
+    @property
+    def loss_rate(self) -> float:
+        return self.loss_percent / 100.0
+
+    @property
+    def queue_capacity_bytes(self) -> int:
+        by_delay = int(self.rate_bps / 8.0 * self.queuing_delay_ms / 1e3)
+        return max(by_delay, MIN_QUEUE_PACKETS * MTU)
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the bare path (no queuing)."""
+        return self.rate_bps / 8.0 * self.rtt_ms / 1e3
+
+
+class TwoPathTopology:
+    """Two hosts joined by ``len(paths)`` disjoint symmetric paths.
+
+    One forward and one return :class:`Link` is created per path.  The
+    client's interface *i* talks exclusively to the server's interface
+    *i*.  Loss randomness on the four/two links derives from a single
+    seed so a scenario replays identically.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: List[PathConfig],
+        seed: int = 0,
+        client_name: str = "client",
+        server_name: str = "server",
+    ) -> None:
+        if not paths:
+            raise ValueError("at least one path is required")
+        self.sim = sim
+        self.paths = list(paths)
+        self.client = Host(client_name)
+        self.server = Host(server_name)
+        self.forward_links: List[Link] = []
+        self.return_links: List[Link] = []
+        base_rng = random.Random(seed)
+
+        def burst_model(cfg: PathConfig) -> Optional[GilbertElliottLoss]:
+            if cfg.loss_burst >= 1.0 and cfg.loss_percent > 0.0:
+                return GilbertElliottLoss(
+                    avg_loss_rate=cfg.loss_rate,
+                    mean_burst=cfg.loss_burst,
+                    rng=random.Random(base_rng.getrandbits(32)),
+                )
+            return None
+
+        for i, cfg in enumerate(paths):
+            c_iface = self.client.add_interface(f"10.{i}.0.1")
+            s_iface = self.server.add_interface(f"10.{i}.0.2")
+            fwd = Link(
+                sim,
+                rate_bps=cfg.rate_bps,
+                prop_delay=cfg.one_way_delay,
+                queue_capacity=cfg.queue_capacity_bytes,
+                loss_rate=cfg.loss_rate,
+                rng=random.Random(base_rng.getrandbits(32)),
+                sink=_make_sink(self.server, i),
+                name=f"path{i}-fwd",
+                jitter=cfg.jitter_ms / 1e3,
+                burst_loss=burst_model(cfg),
+            )
+            ret = Link(
+                sim,
+                rate_bps=cfg.rate_bps,
+                prop_delay=cfg.one_way_delay,
+                queue_capacity=cfg.queue_capacity_bytes,
+                loss_rate=cfg.loss_rate,
+                rng=random.Random(base_rng.getrandbits(32)),
+                sink=_make_sink(self.client, i),
+                name=f"path{i}-ret",
+                jitter=cfg.jitter_ms / 1e3,
+                burst_loss=burst_model(cfg),
+            )
+            c_iface.attach(fwd)
+            s_iface.attach(ret)
+            self.forward_links.append(fwd)
+            self.return_links.append(ret)
+
+    def set_path_loss(self, path_index: int, loss_percent: float) -> None:
+        """Change a path's random loss in both directions (handover test).
+
+        Overrides any burst-loss model on the path with plain Bernoulli
+        loss at the given rate.
+        """
+        rate = loss_percent / 100.0
+        for link in (self.forward_links[path_index], self.return_links[path_index]):
+            link.burst_loss = None
+            link.set_loss_rate(rate)
+
+    def set_path_up(self, path_index: int, up: bool) -> None:
+        """Administratively enable or disable a path at both hosts."""
+        self.client.interfaces[path_index].up = up
+        self.server.interfaces[path_index].up = up
+
+    def best_path_index(self) -> int:
+        """Index of the path with the highest capacity (ties: lowest RTT)."""
+        return min(
+            range(len(self.paths)),
+            key=lambda i: (-self.paths[i].capacity_mbps, self.paths[i].rtt_ms),
+        )
+
+    def worst_path_index(self) -> int:
+        """Index of the path with the lowest capacity (ties: highest RTT)."""
+        return min(
+            range(len(self.paths)),
+            key=lambda i: (self.paths[i].capacity_mbps, -self.paths[i].rtt_ms),
+        )
+
+
+def _make_sink(host: Host, interface_index: int):
+    def sink(datagram):
+        host.deliver(datagram, interface_index)
+
+    return sink

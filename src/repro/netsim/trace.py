@@ -1,0 +1,73 @@
+"""Lightweight packet/event tracing.
+
+Endpoints may attach a :class:`PacketTrace`; records are plain tuples so
+tracing stays cheap and tests/examples can assert on protocol behaviour
+(e.g. which path carried which packet number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced protocol event."""
+
+    time: float
+    host: str
+    event: str
+    path_id: int
+    packet_number: int
+    size: int
+    detail: str = ""
+
+
+class PacketTrace:
+    """Accumulates :class:`TraceRecord` entries during a simulation."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def log(
+        self,
+        time: float,
+        host: str,
+        event: str,
+        path_id: int = 0,
+        packet_number: int = -1,
+        size: int = 0,
+        detail: str = "",
+    ) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(time, host, event, path_id, packet_number, size, detail)
+        )
+
+    def filter(
+        self,
+        event: Optional[str] = None,
+        host: Optional[str] = None,
+        path_id: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Records matching all provided criteria."""
+        out = []
+        for rec in self.records:
+            if event is not None and rec.event != event:
+                continue
+            if host is not None and rec.host != host:
+                continue
+            if path_id is not None and rec.path_id != path_id:
+                continue
+            out.append(rec)
+        return out
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

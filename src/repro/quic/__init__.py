@@ -1,0 +1,44 @@
+"""Single-path QUIC transport.
+
+Implements the (Google-era, pre-IETF) QUIC machinery the paper builds
+on: packets carrying frames, per-packet monotonically increasing packet
+numbers, rich ACK frames (up to 256 ranges), stream multiplexing with
+offset-based reassembly, connection/stream flow control with
+WINDOW_UPDATE frames, a 1-RTT secure handshake and modern loss
+recovery.  :mod:`repro.core` extends this into Multipath QUIC.
+"""
+
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+from repro.quic.frames import (
+    AckFrame,
+    AddAddressFrame,
+    ConnectionCloseFrame,
+    HandshakeFrame,
+    PathInfo,
+    PathsFrame,
+    PingFrame,
+    StreamFrame,
+    WindowUpdateFrame,
+)
+from repro.quic.mux import ConnectionMux
+from repro.quic.nonce import PathAwareNonce, SharedNonceSpace
+from repro.quic.packet import Packet
+
+__all__ = [
+    "QuicConfig",
+    "QuicConnection",
+    "ConnectionMux",
+    "PathAwareNonce",
+    "SharedNonceSpace",
+    "Packet",
+    "StreamFrame",
+    "AckFrame",
+    "WindowUpdateFrame",
+    "PathsFrame",
+    "PathInfo",
+    "AddAddressFrame",
+    "HandshakeFrame",
+    "PingFrame",
+    "ConnectionCloseFrame",
+]

@@ -1,0 +1,970 @@
+"""The QUIC connection: handshake, streams, recovery, sending logic.
+
+This class is written path-generically so :class:`repro.core.connection.
+MultipathQuicConnection` can extend it with a path manager and a packet
+scheduler; a plain :class:`QuicConnection` simply never opens a second
+path.  The separation mirrors the paper's observation that most QUIC
+machinery (streams, frames, flow control) is already multipath-ready —
+only packet-number spaces, scheduling and path management need work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cc import make_controller
+from repro.cc.base import CongestionController
+from repro.netsim.engine import Simulator, Timer
+from repro.netsim.node import Datagram, Host
+from repro.netsim.trace import PacketTrace
+from repro.quic import wire
+from repro.quic.ackmgr import AckManager, MAX_ACK_DELAY
+from repro.quic.config import QuicConfig
+from repro.quic.flowcontrol import FlowControlError, ReceiveWindow, SendWindow
+from repro.quic.frames import (
+    AckFrame,
+    AddAddressFrame,
+    ConnectionCloseFrame,
+    Frame,
+    HandshakeFrame,
+    PathInfo,
+    PathsFrame,
+    PingFrame,
+    StreamFrame,
+    WindowUpdateFrame,
+)
+from repro.quic.nonce import PathAwareNonce
+from repro.quic.packet import Packet, UDP_IP_OVERHEAD
+from repro.quic.recovery import LossRecovery, SentPacket
+from repro.quic.rtt import RttEstimator
+from repro.quic.stream import RecvStream, SendStream
+
+
+class PathState:
+    """Everything one path owns: number space, recovery, CC, ack state.
+
+    Per the paper's design (§3), each path has its own packet-number
+    space (avoiding giant ACK frames under heterogeneous delays) and
+    its own congestion-control state, while streams and flow control
+    remain connection-level.
+    """
+
+    def __init__(
+        self,
+        path_id: int,
+        interface_index: int,
+        cc: CongestionController,
+        config: QuicConfig,
+    ) -> None:
+        self.path_id = path_id
+        self.interface_index = interface_index
+        self.rtt = RttEstimator(use_ack_delay=True)
+        self.recovery = LossRecovery(
+            self.rtt,
+            packet_threshold=config.packet_reordering_threshold,
+            time_fraction=config.time_reordering_fraction,
+        )
+        self.ack_mgr = AckManager(path_id)
+        self.cc = cc
+        self.next_packet_number = 0
+        self.active = True
+        self.potentially_failed = False
+        #: Loss episode bookkeeping: packets lost while the largest
+        #: acknowledged number is below this mark belong to the current
+        #: recovery episode and trigger no further window reduction
+        #: (mirrors TCP's one-reduction-per-recovery semantics).
+        self.recovery_exit_pn = -1
+        #: Tail loss probes sent since the last acknowledged packet
+        #: (gQUIC sends up to two TLPs before declaring an RTO).
+        self.tlp_count = 0
+        self.last_send_time = -1.0
+        self.last_receive_time = -1.0
+        # Timers (owned by the connection, slot per purpose).
+        self.rto_timer: Optional[Timer] = None
+        self.loss_timer: Optional[Timer] = None
+        self.ack_timer: Optional[Timer] = None
+        # Stats.
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.duplicated_packets = 0
+
+    @property
+    def rtt_known(self) -> bool:
+        """True once the path has produced at least one RTT sample."""
+        return self.rtt.has_sample
+
+    def take_packet_number(self) -> int:
+        pn = self.next_packet_number
+        self.next_packet_number += 1
+        return pn
+
+    def can_send_data(self) -> bool:
+        """Congestion-window room for one more data packet?"""
+        return self.cc.can_send(self.recovery.bytes_in_flight)
+
+
+@dataclass
+class ConnectionStats:
+    """Aggregate counters exposed to experiments."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    stream_bytes_sent: int = 0
+    stream_bytes_retransmitted: int = 0
+    stream_bytes_received: int = 0
+    handshake_completed_at: Optional[float] = None
+    rto_count: int = 0
+    packets_lost: int = 0
+
+
+class QuicConnection:
+    """One endpoint of a (MP)QUIC connection, attached to a host."""
+
+    #: Stream carrying connection-level WINDOW_UPDATE frames.
+    CONNECTION_FC_STREAM = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        role: str,
+        config: Optional[QuicConfig] = None,
+        trace: Optional[PacketTrace] = None,
+        connection_id: int = 0x1234,
+    ) -> None:
+        if role not in ("client", "server"):
+            raise ValueError("role must be 'client' or 'server'")
+        self.sim = sim
+        self.host = host
+        self.role = role
+        self.config = config or QuicConfig()
+        self.trace = trace
+        self.connection_id = connection_id
+        self.established = False
+        self.closed = False
+        self.stats = ConnectionStats()
+
+        self.paths: Dict[int, PathState] = {}
+        #: Enforces the paper's nonce-uniqueness rule: the Path ID is
+        #: part of the nonce, and packet numbers never repeat per path.
+        self._nonce = PathAwareNonce()
+        host.set_datagram_handler(self.datagram_received)
+
+        # Streams and flow control.
+        self._send_streams: Dict[int, SendStream] = {}
+        self._recv_streams: Dict[int, RecvStream] = {}
+        self._next_stream_id = 1 if role == "client" else 2
+        cfg = self.config
+        self._conn_recv_window = ReceiveWindow(
+            cfg.initial_connection_window,
+            cfg.max_connection_window,
+            autotune=cfg.window_autotune,
+        )
+        self._conn_send_window = SendWindow(cfg.initial_connection_window)
+        self._stream_recv_windows: Dict[int, ReceiveWindow] = {}
+        self._stream_send_windows: Dict[int, SendWindow] = {}
+        self._conn_recv_sum = 0  # sum of per-stream highest offsets seen
+        self._stream_recv_highest: Dict[int, int] = {}
+        self._stream_rr_index = 0  # round-robin cursor over send streams
+
+        # Control frames waiting to go out, per path id.
+        self._pending_control: Dict[int, List[Frame]] = {}
+        # Handshake state.
+        self._handshake_sent = False
+        self._handshake_acked = False
+        self.peer_addresses: List[str] = []
+
+        # Application callbacks.
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_stream_data: Optional[Callable[[int, bytes, bool], None]] = None
+        self.on_closed: Optional[Callable[[], None]] = None
+
+        self._in_send_loop = False
+
+    # ------------------------------------------------------------------
+    # Path setup
+    # ------------------------------------------------------------------
+
+    def _make_cc(self, path_id: int) -> CongestionController:
+        return make_controller(self.config.cc_algorithm, mss=self.config.mss)
+
+    def _create_path(self, path_id: int, interface_index: int) -> PathState:
+        path = PathState(path_id, interface_index, self._make_cc(path_id), self.config)
+        self.paths[path_id] = path
+        self._pending_control.setdefault(path_id, [])
+        return path
+
+    def _ensure_path(self, path_id: int, interface_index: int) -> PathState:
+        """Fetch a path, creating state for peer-initiated paths."""
+        path = self.paths.get(path_id)
+        if path is None:
+            path = self._create_path(path_id, interface_index)
+            self._on_new_remote_path(path)
+        return path
+
+    def _on_new_remote_path(self, path: PathState) -> None:
+        """Hook: the peer started using a new path."""
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def connect(self, initial_interface: int = 0) -> None:
+        """Client: start the secure handshake on a path.
+
+        With ``zero_rtt`` enabled the connection is usable immediately:
+        application data may ride alongside the CHLO (the repeat-
+        connection resumption gQUIC offered).
+        """
+        if self.role != "client":
+            raise ValueError("only clients connect()")
+        path = self._create_path(0, initial_interface)
+        self._queue_control(
+            path.path_id, HandshakeFrame("CHLO", self.config.chlo_size)
+        )
+        self._handshake_sent = True
+        if self.config.zero_rtt and not self.established:
+            self.established = True
+            self.stats.handshake_completed_at = self.sim.now
+            self._handshake_complete()
+        self._send_pending()
+
+    def open_stream(self) -> int:
+        """Create a new stream; returns its id."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2
+        self._get_send_stream(stream_id)
+        return stream_id
+
+    def send_stream_data(self, stream_id: int, data: bytes, fin: bool = False) -> None:
+        """Write application data on a stream."""
+        if self.closed:
+            raise RuntimeError("connection is closed")
+        self._get_send_stream(stream_id).write(data, fin)
+        self._send_pending()
+
+    def close(self, error_code: int = 0, reason: str = "") -> None:
+        """Send CONNECTION_CLOSE and stop."""
+        if self.closed:
+            return
+        path = self._first_usable_path()
+        if path is not None:
+            frames: Tuple[Frame, ...] = (
+                ConnectionCloseFrame(error_code, reason),
+            )
+            self._send_packet(path, frames)
+        self.closed = True
+        self._cancel_all_timers()
+
+    def migrate(self, interface_index: int) -> None:
+        """QUIC connection migration: rebind the flow to a new address.
+
+        This is the "hard handover" the paper contrasts with MPQUIC
+        (§1): the single UDP flow moves to another interface, and path
+        characteristics must be relearned — congestion and RTT state
+        are reset, exactly why it is no substitute for true multipath.
+        """
+        path = self._first_usable_path() or next(iter(self.paths.values()))
+        if path.interface_index == interface_index:
+            return
+        path.interface_index = interface_index
+        path.cc = self._make_cc(path.path_id)
+        path.rtt = RttEstimator(use_ack_delay=True)
+        path.recovery.rtt = path.rtt
+        path.potentially_failed = False
+        path.tlp_count = 0
+        if self.trace is not None:
+            self.trace.log(
+                self.sim.now, self.host.name, "migrate", path.path_id,
+                detail=f"iface={interface_index}",
+            )
+        self._send_pending()
+
+    def _on_path_potentially_failed(self, path: PathState) -> None:
+        """Hook: single-path QUIC may migrate; MPQUIC overrides this."""
+        if not self.config.migrate_on_failure or self.config.enable_multipath:
+            return
+        for iface in self.host.interfaces:
+            if iface.index != path.interface_index and iface.up:
+                self.migrate(iface.index)
+                return
+
+    def stream_fully_acked(self, stream_id: int) -> bool:
+        """True when every byte written (plus FIN) was delivered."""
+        stream = self._send_streams.get(stream_id)
+        return stream is not None and stream.all_acked
+
+    @property
+    def smoothed_rtt(self) -> float:
+        """Best smoothed RTT across paths (0 when unknown)."""
+        rtts = [p.rtt.smoothed for p in self.paths.values() if p.rtt.has_sample]
+        return min(rtts) if rtts else 0.0
+
+    # ------------------------------------------------------------------
+    # Stream helpers
+    # ------------------------------------------------------------------
+
+    def _get_send_stream(self, stream_id: int) -> SendStream:
+        stream = self._send_streams.get(stream_id)
+        if stream is None:
+            stream = SendStream(stream_id)
+            self._send_streams[stream_id] = stream
+            self._stream_send_windows[stream_id] = SendWindow(
+                self.config.initial_stream_window
+            )
+        return stream
+
+    def _get_recv_stream(self, stream_id: int) -> RecvStream:
+        stream = self._recv_streams.get(stream_id)
+        if stream is None:
+            stream = RecvStream(stream_id)
+            self._recv_streams[stream_id] = stream
+            self._stream_recv_windows[stream_id] = ReceiveWindow(
+                self.config.initial_stream_window,
+                self.config.max_stream_window,
+                autotune=self.config.window_autotune,
+            )
+            self._stream_recv_highest[stream_id] = 0
+        return stream
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def datagram_received(self, datagram: Datagram, interface_index: int) -> None:
+        """Entry point for packets delivered by the simulator."""
+        if self.closed:
+            return
+        packet: Packet = datagram.payload
+        path = self._ensure_path(packet.path_id, interface_index)
+        if path.interface_index != interface_index:
+            # The peer's address changed (connection migration or NAT
+            # rebinding).  Thanks to the explicit Path ID, path state —
+            # RTT estimate, congestion window, packet numbers — carries
+            # over (paper §3, Path Identification).
+            path.interface_index = interface_index
+            if self.trace is not None:
+                self.trace.log(
+                    self.sim.now, self.host.name, "rebind", path.path_id,
+                    detail=f"iface={interface_index}",
+                )
+        now = self.sim.now
+        path.last_receive_time = now
+        path.packets_received += 1
+        path.bytes_received += datagram.size
+        self.stats.packets_received += 1
+        self.stats.bytes_received += datagram.size
+        if path.potentially_failed:
+            # Network activity: the path works again (paper §4.3).
+            path.potentially_failed = False
+        if self.trace is not None:
+            self.trace.log(
+                now, self.host.name, "recv", path.path_id,
+                packet.packet_number, datagram.size,
+            )
+        path.ack_mgr.on_packet_received(
+            packet.packet_number, now, packet.is_ack_eliciting
+        )
+        try:
+            for frame in packet.frames:
+                self._dispatch_frame(frame, path)
+        except FlowControlError as exc:
+            # A peer violating its advertised limits is a protocol
+            # error: close the connection instead of crashing the host.
+            self.close(error_code=0x03, reason=f"flow control: {exc}")
+            return
+        self._schedule_acks(path)
+        self._send_pending()
+
+    def _dispatch_frame(self, frame: Frame, path: PathState) -> None:
+        if isinstance(frame, StreamFrame):
+            self._on_stream_frame(frame)
+        elif isinstance(frame, AckFrame):
+            self._on_ack_frame(frame)
+        elif isinstance(frame, WindowUpdateFrame):
+            self._on_window_update(frame)
+        elif isinstance(frame, HandshakeFrame):
+            self._on_handshake_frame(frame, path)
+        elif isinstance(frame, PathsFrame):
+            self._on_paths_frame(frame, path)
+        elif isinstance(frame, AddAddressFrame):
+            if frame.address not in self.peer_addresses:
+                self.peer_addresses.append(frame.address)
+        elif isinstance(frame, ConnectionCloseFrame):
+            self.closed = True
+            self._cancel_all_timers()
+            if self.on_closed:
+                self.on_closed()
+        elif isinstance(frame, PingFrame):
+            pass  # Being ack-eliciting is its entire job.
+
+    def _on_handshake_frame(self, frame: HandshakeFrame, path: PathState) -> None:
+        if self.role == "server" and frame.kind == "CHLO":
+            if not self.established:
+                self.established = True
+                self.stats.handshake_completed_at = self.sim.now
+                self._queue_control(
+                    path.path_id, HandshakeFrame("SHLO", self.config.shlo_size)
+                )
+                self._advertise_addresses(path)
+                self._handshake_complete()
+        elif self.role == "client" and frame.kind == "SHLO":
+            if not self.established:
+                self.established = True
+                self.stats.handshake_completed_at = self.sim.now
+                self._handshake_complete()
+
+    def _advertise_addresses(self, path: PathState) -> None:
+        """Server advertises its addresses via ADD_ADDRESS (§3)."""
+        for address in self.host.addresses:
+            self._queue_control(path.path_id, AddAddressFrame(address))
+
+    def _handshake_complete(self) -> None:
+        """Hook extended by MPQUIC's path manager; fires the callback."""
+        if self.config.keepalive_interval > 0:
+            self.sim.schedule(self.config.keepalive_interval, self._on_keepalive)
+        if self.on_established:
+            self.on_established()
+
+    def _on_keepalive(self) -> None:
+        """Send a PING if this endpoint has been silent for a while."""
+        if self.closed:
+            return
+        interval = self.config.keepalive_interval
+        path = self._first_usable_path()
+        if path is not None and self.sim.now - path.last_send_time >= interval:
+            self._queue_control(path.path_id, PingFrame())
+            self._send_pending()
+        self.sim.schedule(interval, self._on_keepalive)
+
+    def _on_stream_frame(self, frame: StreamFrame) -> None:
+        stream = self._get_recv_stream(frame.stream_id)
+        stream_window = self._stream_recv_windows[frame.stream_id]
+        new_highest = max(
+            self._stream_recv_highest[frame.stream_id],
+            frame.offset + len(frame.data),
+        )
+        delta = new_highest - self._stream_recv_highest[frame.stream_id]
+        stream_window.on_data_received(new_highest)
+        if delta:
+            self._conn_recv_sum += delta
+            self._conn_recv_window.on_data_received(self._conn_recv_sum)
+            self._stream_recv_highest[frame.stream_id] = new_highest
+        ready = stream.on_frame(frame)
+        fin_now = stream.is_complete
+        if ready or fin_now:
+            self.stats.stream_bytes_received += len(ready)
+            if self.config.app_consume_rate_bps > 0:
+                self._queue_consumption(frame.stream_id, len(ready))
+            else:
+                # The application consumes immediately.
+                stream_window.on_data_consumed(len(ready))
+                self._conn_recv_window.on_data_consumed(len(ready))
+                self._maybe_send_window_updates(frame.stream_id)
+            if self.on_stream_data:
+                self.on_stream_data(frame.stream_id, ready, fin_now)
+
+    def _queue_consumption(self, stream_id: int, n: int) -> None:
+        """Model a rate-limited application reader.
+
+        Bytes are credited back to the flow-control windows at
+        ``app_consume_rate_bps``; while the reader lags, the windows
+        fill up and the peer is throttled.
+        """
+        if n <= 0:
+            return
+        if not hasattr(self, "_consume_backlog"):
+            self._consume_backlog: List[Tuple[int, int]] = []
+            self._consume_busy = False
+        self._consume_backlog.append((stream_id, n))
+        if not self._consume_busy:
+            self._consume_busy = True
+            self._drain_consumption()
+
+    def _drain_consumption(self) -> None:
+        if self.closed or not self._consume_backlog:
+            self._consume_busy = False
+            return
+        stream_id, n = self._consume_backlog.pop(0)
+        chunk = min(n, 16 * 1024)
+        if n - chunk > 0:
+            self._consume_backlog.insert(0, (stream_id, n - chunk))
+        delay = chunk * 8.0 / self.config.app_consume_rate_bps
+        self.sim.schedule(delay, self._finish_consume, stream_id, chunk)
+
+    def _finish_consume(self, stream_id: int, n: int) -> None:
+        window = self._stream_recv_windows.get(stream_id)
+        if window is not None:
+            window.on_data_consumed(n)
+        self._conn_recv_window.on_data_consumed(n)
+        self._maybe_send_window_updates(stream_id)
+        self._send_pending()
+        self._drain_consumption()
+
+    def _maybe_send_window_updates(self, stream_id: int) -> None:
+        now = self.sim.now
+        srtt = self.smoothed_rtt
+        new_limit = self._conn_recv_window.maybe_update(now, srtt)
+        if new_limit is not None:
+            self._queue_window_update(
+                WindowUpdateFrame(self.CONNECTION_FC_STREAM, new_limit)
+            )
+        stream_limit = self._stream_recv_windows[stream_id].maybe_update(now, srtt)
+        if stream_limit is not None:
+            self._queue_window_update(WindowUpdateFrame(stream_id, stream_limit))
+
+    def _queue_window_update(self, frame: WindowUpdateFrame) -> None:
+        """Queue a WINDOW_UPDATE; multipath sends it on every path (§3)."""
+        if self.config.window_update_all_paths:
+            for path in self._active_paths():
+                self._queue_control(path.path_id, frame)
+        else:
+            path = self._first_usable_path()
+            if path is not None:
+                self._queue_control(path.path_id, frame)
+
+    def _on_window_update(self, frame: WindowUpdateFrame) -> None:
+        if frame.stream_id == self.CONNECTION_FC_STREAM:
+            self._conn_send_window.update_limit(frame.byte_offset)
+        else:
+            window = self._stream_send_windows.get(frame.stream_id)
+            if window is None:
+                self._get_send_stream(frame.stream_id)
+                window = self._stream_send_windows[frame.stream_id]
+            window.update_limit(frame.byte_offset)
+
+    def _on_paths_frame(self, frame: PathsFrame, path: PathState) -> None:
+        """Learn the peer's path view; mark remotely-failed paths."""
+        for path_id in frame.failed:
+            failed_path = self.paths.get(path_id)
+            if failed_path is not None:
+                failed_path.potentially_failed = True
+
+    def _on_ack_frame(self, ack: AckFrame) -> None:
+        path = self.paths.get(ack.path_id)
+        if path is None:
+            return
+        now = self.sim.now
+        result = path.recovery.on_ack_received(ack, now)
+        if result.newly_acked:
+            path.tlp_count = 0
+            if result.rtt_sample is not None:
+                path.cc.on_ack(now, result.acked_bytes, path.rtt.latest)
+            else:
+                path.cc.on_ack(
+                    now, result.acked_bytes, path.rtt.smoothed or path.rtt.latest
+                )
+            for sp in result.newly_acked:
+                self._on_packet_acked(path, sp)
+        if result.lost:
+            self._handle_lost_packets(path, result.lost)
+        elif path.recovery.largest_acked >= path.recovery_exit_pn:
+            path.cc.exit_recovery()
+        self._rearm_rto(path)
+        self._rearm_loss_timer(path)
+
+    def _on_packet_acked(self, path: PathState, sp: SentPacket) -> None:
+        for frame in sp.frames:
+            if isinstance(frame, StreamFrame):
+                stream = self._send_streams.get(frame.stream_id)
+                if stream is not None:
+                    stream.on_frame_acked(frame)
+            elif isinstance(frame, HandshakeFrame):
+                self._handshake_acked = True
+
+    def _handle_lost_packets(self, path: PathState, lost: List[SentPacket]) -> None:
+        self.stats.packets_lost += len(lost)
+        # One window reduction per loss episode: a new episode starts
+        # only once packets sent after the previous reduction have been
+        # acknowledged (same semantics as TCP fast recovery).
+        if path.recovery.largest_acked >= path.recovery_exit_pn:
+            path.recovery_exit_pn = path.recovery.largest_sent + 1
+            path.cc.on_loss_event(self.sim.now, self.sim.now)
+        for sp in lost:
+            self._requeue_frames(sp.frames, path)
+        self._on_packets_lost_hook(path, lost)
+
+    def _on_packets_lost_hook(self, path: PathState, lost: List[SentPacket]) -> None:
+        """Hook for subclasses (MPQUIC schedules across paths)."""
+
+    def _requeue_frames(self, frames: Tuple[Frame, ...], from_path: PathState) -> None:
+        """Return a lost packet's frames to the send queues.
+
+        Crucially, stream data goes back to the *stream* retransmission
+        queue, not to the path it was lost on — so MPQUIC may resend it
+        anywhere (paper §3: "when a packet is marked as lost, its
+        frames are not necessarily retransmitted over the same path").
+        """
+        for frame in frames:
+            if isinstance(frame, StreamFrame):
+                stream = self._send_streams.get(frame.stream_id)
+                if stream is not None:
+                    stream.on_frame_lost(frame)
+            elif isinstance(frame, WindowUpdateFrame):
+                # Only retransmit if still the freshest limit we issued.
+                current = (
+                    self._conn_recv_window.advertised_limit
+                    if frame.stream_id == self.CONNECTION_FC_STREAM
+                    else self._stream_recv_windows.get(
+                        frame.stream_id,
+                        self._conn_recv_window,
+                    ).advertised_limit
+                )
+                if frame.byte_offset >= current:
+                    self._queue_window_update(frame)
+            elif isinstance(frame, (HandshakeFrame, AddAddressFrame, PathsFrame)):
+                target = self._first_usable_path() or from_path
+                self._queue_control(target.path_id, frame)
+            # ACK and PING frames are never retransmitted.
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+
+    def _queue_control(self, path_id: int, frame: Frame) -> None:
+        self._pending_control.setdefault(path_id, []).append(frame)
+
+    def _active_paths(self) -> List[PathState]:
+        return [p for p in self.paths.values() if p.active]
+
+    def _usable_paths(self) -> List[PathState]:
+        """Active paths, preferring ones not marked potentially failed."""
+        active = self._active_paths()
+        good = [p for p in active if not p.potentially_failed]
+        return good or active
+
+    def _first_usable_path(self) -> Optional[PathState]:
+        paths = self._usable_paths()
+        return paths[0] if paths else None
+
+    def _select_data_path(self) -> Optional[PathState]:
+        """Pick the path for the next data packet (overridden by MPQUIC)."""
+        for path in self._usable_paths():
+            if path.can_send_data():
+                return path
+        return None
+
+    def _send_pending(self) -> None:
+        """Drain everything currently sendable.
+
+        Re-entrant calls (e.g. triggered from within frame dispatch)
+        are flattened to avoid interleaved packet construction.
+        """
+        if self._in_send_loop or self.closed:
+            return
+        self._in_send_loop = True
+        try:
+            self._flush_control_and_acks()
+            self._send_data_packets()
+        finally:
+            self._in_send_loop = False
+
+    def _flush_control_and_acks(self) -> None:
+        """Send control frames and due ACKs, ignoring the cwnd.
+
+        Control/ACK packets are tiny; QUIC does not block ACKs on
+        congestion control.
+        """
+        for path in list(self.paths.values()):
+            pending = self._pending_control.get(path.path_id, [])
+            while pending:
+                frames: List[Frame] = []
+                budget = self.config.max_packet_size - wire.public_header_size(True)
+                target = path if path.active else (self._first_usable_path() or path)
+                budget -= 64  # reserve room to piggyback an ACK
+                while pending and pending[0].wire_size() <= budget:
+                    frame = pending.pop(0)
+                    frames.append(frame)
+                    budget -= frame.wire_size()
+                if not frames:
+                    break  # oversized control frame; should not happen
+                ack = self._pending_ack_frame(target)
+                if ack is not None and ack.wire_size() <= budget + 64:
+                    frames.insert(0, ack)
+                self._send_packet(target, tuple(frames))
+        for path in list(self.paths.values()):
+            if path.ack_mgr.should_ack_now():
+                target = path if (path.active and not path.potentially_failed) else (
+                    self._first_usable_path() or path
+                )
+                ack = path.ack_mgr.build_ack(self.sim.now)
+                if ack is not None:
+                    self._send_packet(target, (ack,))
+
+    def _pending_ack_frame(self, path: PathState) -> Optional[AckFrame]:
+        """Piggyback an ACK for this path if one is pending.
+
+        The pending state is committed, so the caller must actually
+        place the returned frame in a packet (or check the size budget
+        via ``build_ack(commit=False)`` first).
+        """
+        if path.ack_mgr.ack_pending:
+            return path.ack_mgr.build_ack(self.sim.now)
+        return None
+
+    def _send_data_packets(self) -> None:
+        while True:
+            path = self._select_data_path()
+            if path is None:
+                return
+            frames, new_bytes = self._build_data_frames(path)
+            if not frames:
+                return
+            packet = self._send_packet(path, tuple(frames))
+            self._after_data_packet_sent(path, packet, new_bytes)
+
+    def _after_data_packet_sent(self, path: PathState, packet: Packet, new_bytes: int) -> None:
+        """Hook: MPQUIC duplicates onto RTT-unknown paths here."""
+
+    def _build_data_frames(self, path: PathState) -> Tuple[List[Frame], int]:
+        """Assemble a data packet's frames for ``path``.
+
+        Returns the frames plus how many *new* (never-sent) stream
+        bytes they carry.  Piggybacks a pending ACK and any queued
+        control frames first, then fills with stream data under both
+        the connection and per-stream flow-control windows.
+        """
+        frames: List[Frame] = []
+        budget = self.config.max_packet_size - wire.public_header_size(True)
+        ack_reserve = 64
+        budget -= ack_reserve
+        pending = self._pending_control.get(path.path_id, [])
+        while pending and pending[0].wire_size() <= budget:
+            frame = pending.pop(0)
+            frames.append(frame)
+            budget -= frame.wire_size()
+        new_bytes_total = 0
+        if self.established or self.role == "server":
+            # Round-robin across streams so concurrent downloads share
+            # the connection instead of the oldest stream monopolising
+            # it (per-object fairness, as in HTTP/2 default weights).
+            stream_ids = list(self._send_streams)
+            if stream_ids:
+                self._stream_rr_index %= len(stream_ids)
+                stream_ids = (
+                    stream_ids[self._stream_rr_index:]
+                    + stream_ids[: self._stream_rr_index]
+                )
+                self._stream_rr_index += 1
+            for stream_id in stream_ids:
+                stream = self._send_streams[stream_id]
+                if budget < 32:
+                    break
+                window = self._stream_send_windows[stream_id]
+                conn_budget = self._conn_send_window.available
+                if not stream.has_data_to_send(min(window.available, conn_budget)):
+                    continue
+                header_overhead = 16
+                result = stream.next_frame(
+                    budget - header_overhead,
+                    min(window.available, conn_budget),
+                )
+                if result is None:
+                    continue
+                frame, new_bytes = result
+                if new_bytes:
+                    window.consume(new_bytes)
+                    self._conn_send_window.consume(new_bytes)
+                    self.stats.stream_bytes_sent += new_bytes
+                else:
+                    self.stats.stream_bytes_retransmitted += len(frame.data)
+                new_bytes_total += new_bytes
+                frames.append(frame)
+                budget -= frame.wire_size()
+        if not frames:
+            return [], 0
+        # Piggyback a pending ACK for this path on the data packet.
+        ack = self._pending_ack_frame(path)
+        if ack is not None and ack.wire_size() <= budget + ack_reserve:
+            frames.insert(0, ack)
+        return frames, new_bytes_total
+
+    def _send_packet(self, path: PathState, frames: Tuple[Frame, ...]) -> Packet:
+        """Emit one packet on a path and register it with recovery."""
+        packet = Packet(
+            path_id=path.path_id,
+            packet_number=path.take_packet_number(),
+            frames=frames,
+            connection_id=self.connection_id,
+            multipath=self.config.enable_multipath,
+        )
+        # Every transmission (including retransmitted data, which gets a
+        # fresh packet number) must map to a unique AEAD nonce (§3).
+        self._nonce.derive(path.path_id, packet.packet_number)
+        size = packet.wire_size + UDP_IP_OVERHEAD
+        datagram = Datagram(payload=packet, size=size)
+        now = self.sim.now
+        path.last_send_time = now
+        path.packets_sent += 1
+        path.bytes_sent += size
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += size
+        if packet.is_ack_eliciting:
+            path.recovery.on_packet_sent(
+                packet.packet_number, frames, size, now, ack_eliciting=True
+            )
+            self._rearm_rto(path)
+        if self.trace is not None:
+            self.trace.log(
+                now, self.host.name, "send", path.path_id,
+                packet.packet_number, size,
+            )
+        self.host.send(datagram, path.interface_index)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _schedule_acks(self, path: PathState) -> None:
+        """Arm the delayed-ACK timer when an ACK is pending but not due."""
+        if path.ack_mgr.ack_pending and not path.ack_mgr.should_ack_now():
+            if path.ack_timer is None or path.ack_timer.cancelled:
+                path.ack_timer = self.sim.schedule(
+                    MAX_ACK_DELAY, self._on_ack_timer, path
+                )
+
+    def _on_ack_timer(self, path: PathState) -> None:
+        if path.ack_timer is not None:
+            path.ack_timer.cancelled = True
+            path.ack_timer = None
+        if self.closed or not path.ack_mgr.ack_pending:
+            return
+        ack = path.ack_mgr.build_ack(self.sim.now)
+        if ack is not None:
+            target = path if (path.active and not path.potentially_failed) else (
+                self._first_usable_path() or path
+            )
+            self._send_packet(target, (ack,))
+
+    def _rearm_rto(self, path: PathState) -> None:
+        """Arm the retransmission timer.
+
+        While fewer than two tail loss probes have gone unanswered and
+        an RTT estimate exists, the timer fires earlier (~2 smoothed
+        RTTs, as in gQUIC's TLP) and re-sends the newest packet instead
+        of collapsing the window.
+        """
+        if path.rto_timer is not None:
+            path.rto_timer.cancel()
+            path.rto_timer = None
+        if self.closed or not path.recovery.has_eliciting_in_flight():
+            return
+        timeout = path.recovery.rto_timeout(
+            self.config.min_rto, self.config.max_rto, self.config.initial_rto
+        )
+        if path.tlp_count < 2 and path.rtt.has_sample:
+            timeout = min(timeout, max(2.0 * path.rtt.smoothed, 0.01))
+        deadline = max(
+            path.recovery.time_of_last_eliciting + timeout, self.sim.now
+        )
+        path.rto_timer = self.sim.schedule_at(deadline, self._on_rto, path)
+
+    def _rearm_loss_timer(self, path: PathState) -> None:
+        if path.loss_timer is not None:
+            path.loss_timer.cancel()
+            path.loss_timer = None
+        next_time = path.recovery.next_loss_time(self.sim.now)
+        if next_time is not None and not self.closed:
+            # Small offset so the >= comparison in loss detection is
+            # guaranteed to hold when the timer fires.
+            path.loss_timer = self.sim.schedule_at(
+                max(next_time + 1e-6, self.sim.now), self._on_loss_timer, path
+            )
+
+    def _on_loss_timer(self, path: PathState) -> None:
+        path.loss_timer = None
+        if self.closed:
+            return
+        lost = path.recovery.detect_losses_now(self.sim.now)
+        if lost:
+            self._handle_lost_packets(path, lost)
+        self._rearm_loss_timer(path)
+        self._send_pending()
+
+    def _on_rto(self, path: PathState) -> None:
+        path.rto_timer = None
+        if self.closed or not path.recovery.has_eliciting_in_flight():
+            return
+        now = self.sim.now
+        if path.tlp_count < 2 and path.rtt.has_sample:
+            self._send_tail_loss_probe(path)
+            self._rearm_rto(path)
+            return
+        # "Potentially failed": an RTO with no network activity since the
+        # last packet transmission (paper §4.3, mirroring MPTCP's logic).
+        if path.last_receive_time < path.last_send_time:
+            newly_failed = not path.potentially_failed
+            path.potentially_failed = True
+        else:
+            newly_failed = False
+        lost = path.recovery.on_rto_fired(now)
+        path.cc.on_rto(now)
+        path.recovery_exit_pn = path.recovery.largest_sent + 1
+        self.stats.rto_count += 1
+        self.stats.packets_lost += len(lost)
+        for sp in lost:
+            self._requeue_frames(sp.frames, path)
+        if self.trace is not None:
+            self.trace.log(now, self.host.name, "rto", path.path_id)
+        if newly_failed:
+            self._on_path_potentially_failed(path)
+        self._rearm_rto(path)
+        self._send_pending()
+
+    def _send_tail_loss_probe(self, path: PathState) -> None:
+        """Re-send the newest unacked packet's frames as a fresh packet.
+
+        Elicits an ACK that lets ordinary loss detection flush any tail
+        loss without the window collapse of a full RTO.
+        """
+        path.tlp_count += 1
+        newest_pn = max(
+            (pn for pn, sp in path.recovery.sent.items() if sp.ack_eliciting),
+            default=None,
+        )
+        if newest_pn is None:
+            return
+        frames = tuple(
+            f for f in path.recovery.sent[newest_pn].frames if f.retransmittable
+        )
+        if not frames:
+            frames = (PingFrame(),)
+        self._send_packet(path, frames)
+        if self.trace is not None:
+            self.trace.log(self.sim.now, self.host.name, "tlp", path.path_id)
+
+    def _cancel_all_timers(self) -> None:
+        for path in self.paths.values():
+            for timer in (path.rto_timer, path.loss_timer, path.ack_timer):
+                if timer is not None:
+                    timer.cancel()
+            path.rto_timer = path.loss_timer = path.ack_timer = None
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and experiments
+    # ------------------------------------------------------------------
+
+    @property
+    def total_stream_bytes_received(self) -> int:
+        return self.stats.stream_bytes_received
+
+    def path_stats(self) -> Dict[int, Dict[str, float]]:
+        """Per-path summary used by experiments and the PATHS frame."""
+        out: Dict[int, Dict[str, float]] = {}
+        for path_id, path in self.paths.items():
+            out[path_id] = {
+                "packets_sent": path.packets_sent,
+                "packets_received": path.packets_received,
+                "bytes_sent": path.bytes_sent,
+                "srtt": path.rtt.smoothed,
+                "lost": path.recovery.packets_lost_total,
+                "rtos": path.recovery.rto_count,
+                "potentially_failed": float(path.potentially_failed),
+            }
+        return out

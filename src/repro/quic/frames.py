@@ -1,0 +1,188 @@
+"""QUIC frames.
+
+Frames are the unit of information inside QUIC packets; packets are
+merely their containers (paper §2).  Because frames are independent of
+the packets carrying them, a multipath sender may rebind the frames of
+a lost packet onto any path — the flexibility MPQUIC's scheduler
+exploits (paper §3, *Packet Scheduling*).
+
+Wire sizes follow :mod:`repro.quic.wire`; each frame knows its encoded
+size so the simulator can account for bandwidth without serializing
+every packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.quic import wire
+
+#: Maximum number of ACK ranges one ACK frame may carry (paper §4.1:
+#: "the ACK frame ... can acknowledge up to 256 packet number ranges").
+MAX_ACK_RANGES = 256
+
+
+class Frame:
+    """Base class; concrete frames are frozen dataclasses."""
+
+    #: Frames that must be retransmitted when their packet is lost.
+    retransmittable = True
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StreamFrame(Frame):
+    """Carries ``data`` of stream ``stream_id`` starting at ``offset``."""
+
+    stream_id: int
+    offset: int
+    data: bytes
+    fin: bool = False
+
+    def wire_size(self) -> int:
+        return (
+            1  # type byte
+            + wire.varint_size(self.stream_id)
+            + wire.varint_size(self.offset)
+            + 2  # explicit 16-bit length
+            + len(self.data)
+        )
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class AckFrame(Frame):
+    """Acknowledges packet numbers received on one path.
+
+    ``ranges`` are half-open ``[start, stop)`` intervals sorted in
+    descending order (highest packets first), at most
+    :data:`MAX_ACK_RANGES` of them.  ``ack_delay`` is the time the
+    receiver held the largest acknowledged packet before acking —
+    letting the peer compute unambiguous RTT estimates even when ACKs
+    are delayed (paper §2).
+
+    ``path_id`` identifies the packet-number space being acknowledged;
+    MPQUIC lets the ACK for one path travel on any other path (§3).
+    """
+
+    path_id: int
+    largest_acked: int
+    ack_delay: float
+    ranges: Tuple[Tuple[int, int], ...]
+
+    retransmittable = False
+
+    def __post_init__(self) -> None:
+        if len(self.ranges) > MAX_ACK_RANGES:
+            raise ValueError(
+                f"ACK frame limited to {MAX_ACK_RANGES} ranges, got {len(self.ranges)}"
+            )
+
+    def wire_size(self) -> int:
+        size = (
+            1  # type
+            + 1  # path id
+            + wire.varint_size(self.largest_acked)
+            + 2  # ack delay (microseconds, float16-like)
+            + 2  # range count
+        )
+        for start, stop in self.ranges:
+            size += wire.varint_size(stop - start) + wire.varint_size(start)
+        return size
+
+    def acked_packet_count(self) -> int:
+        return sum(stop - start for start, stop in self.ranges)
+
+
+@dataclass(frozen=True)
+class WindowUpdateFrame(Frame):
+    """Advertises a new flow-control limit.
+
+    ``stream_id`` 0 denotes the connection-level window.  MPQUIC sends
+    these on *all* paths to dodge receive-buffer deadlocks when one
+    path stalls (paper §3, *Packet Scheduling*).
+    """
+
+    stream_id: int
+    byte_offset: int
+
+    def wire_size(self) -> int:
+        return 1 + wire.varint_size(self.stream_id) + 8
+
+
+@dataclass(frozen=True)
+class PathInfo:
+    """Per-path statistics carried by a PATHS frame."""
+
+    path_id: int
+    rtt_us: int
+
+
+@dataclass(frozen=True)
+class PathsFrame(Frame):
+    """Shares the sender's view of its active (and failed) paths.
+
+    Lets a host detect under-performing or broken paths and speeds up
+    handover: on path failure, the retransmitted request carries a
+    PATHS frame telling the server not to answer on the dead path
+    (paper §3 *Path Management* and §4.3).
+    """
+
+    active: Tuple[PathInfo, ...]
+    failed: Tuple[int, ...] = ()
+
+    def wire_size(self) -> int:
+        return 1 + 1 + len(self.active) * (1 + 4) + 1 + len(self.failed)
+
+
+@dataclass(frozen=True)
+class AddAddressFrame(Frame):
+    """Advertises one address owned by the sending host.
+
+    Encrypted and authenticated, so it avoids the security concerns of
+    MPTCP's cleartext ADD_ADDR (paper §3, *Path Management*).
+    """
+
+    address: str
+
+    def wire_size(self) -> int:
+        return 1 + 1 + len(self.address.encode())
+
+
+@dataclass(frozen=True)
+class PingFrame(Frame):
+    """Solicits an ACK; used to probe a path."""
+
+    def wire_size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class HandshakeFrame(Frame):
+    """Crypto handshake message (QUIC crypto, 1-RTT).
+
+    ``kind`` is ``"CHLO"`` (client hello) or ``"SHLO"`` (server hello).
+    ``length`` models the size of the real crypto payload.
+    """
+
+    kind: str
+    length: int = 0
+
+    def wire_size(self) -> int:
+        return 1 + 2 + self.length
+
+
+@dataclass(frozen=True)
+class ConnectionCloseFrame(Frame):
+    """Terminates the connection."""
+
+    error_code: int = 0
+    reason: str = ""
+
+    def wire_size(self) -> int:
+        return 1 + 4 + 2 + len(self.reason.encode())

@@ -1,0 +1,71 @@
+"""Connection multiplexing: several QUIC connections on one host.
+
+Real hosts demultiplex QUIC packets by Connection ID (the CID is in the
+public header precisely so one UDP socket can serve many connections
+and survive address changes).  :class:`ConnectionMux` installs itself
+as the host's datagram handler and routes packets to the registered
+connection; unknown CIDs go to an optional listener factory (a server
+accepting new connections).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.netsim.node import Datagram, Host
+from repro.quic.connection import QuicConnection
+from repro.quic.packet import Packet
+
+
+class ConnectionMux:
+    """Routes datagrams to connections by Connection ID."""
+
+    def __init__(
+        self,
+        host: Host,
+        accept: Optional[Callable[[int], Optional[QuicConnection]]] = None,
+    ) -> None:
+        """Args:
+            host: the host whose datagram handler to own.
+            accept: optional factory invoked with an unknown CID; return
+                a new (server) connection to accept it, or None to drop.
+        """
+        self.host = host
+        self.accept = accept
+        self._connections: Dict[int, QuicConnection] = {}
+        self.dropped_unknown = 0
+        host.set_datagram_handler(self._datagram_received)
+
+    def register(self, connection: QuicConnection) -> None:
+        """Attach a connection; its CID must be unique on this host."""
+        cid = connection.connection_id
+        if cid in self._connections:
+            raise ValueError(f"connection id 0x{cid:x} already registered")
+        self._connections[cid] = connection
+        # The mux owns the host handler; make sure a connection created
+        # after the mux does not steal it back.
+        self.host.set_datagram_handler(self._datagram_received)
+
+    def unregister(self, connection: QuicConnection) -> None:
+        self._connections.pop(connection.connection_id, None)
+
+    def connection(self, cid: int) -> Optional[QuicConnection]:
+        return self._connections.get(cid)
+
+    def __len__(self) -> int:
+        return len(self._connections)
+
+    def _datagram_received(self, datagram: Datagram, interface_index: int) -> None:
+        packet: Packet = datagram.payload
+        conn = self._connections.get(packet.connection_id)
+        if conn is None and self.accept is not None:
+            conn = self.accept(packet.connection_id)
+            if conn is not None:
+                self._connections[packet.connection_id] = conn
+                # Constructing a connection rebinds the host handler;
+                # take it back.
+                self.host.set_datagram_handler(self._datagram_received)
+        if conn is None:
+            self.dropped_unknown += 1
+            return
+        conn.datagram_received(datagram, interface_index)

@@ -1,0 +1,56 @@
+"""QUIC packets: containers of frames.
+
+Each packet carries a small public header (flags, connection ID, packet
+number and — under multipath — the Path ID) and a payload of frames.
+Packet numbers increase monotonically within one path's number space
+and are never reused, even for retransmitted data (which removes the
+retransmission ambiguity that plagues TCP RTT estimation; paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.quic import wire
+from repro.quic.frames import Frame
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An outgoing or incoming QUIC packet."""
+
+    path_id: int
+    packet_number: int
+    frames: Tuple[Frame, ...]
+    connection_id: int = 0
+    multipath: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire (header + frames), sans UDP/IP."""
+        return wire.public_header_size(self.multipath) + sum(
+            frame.wire_size() for frame in self.frames
+        )
+
+    @property
+    def is_ack_eliciting(self) -> bool:
+        """True when the peer must acknowledge this packet.
+
+        Packets containing only ACK frames are not themselves acked,
+        preventing infinite ACK ping-pong.
+        """
+        return any(frame.retransmittable for frame in self.frames)
+
+    def encode(self) -> bytes:
+        """Serialize to bytes (see :mod:`repro.quic.wire`)."""
+        return wire.encode_packet(self)
+
+    @staticmethod
+    def decode(buf: bytes) -> "Packet":
+        """Parse bytes back into a packet."""
+        return wire.decode_packet(buf)
+
+
+#: Per-datagram overhead charged by the simulator: IPv4 (20) + UDP (8).
+UDP_IP_OVERHEAD = 28

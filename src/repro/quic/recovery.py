@@ -1,0 +1,204 @@
+"""Loss detection for one packet-number space (one path).
+
+Implements QUIC-style recovery: every transmission gets a fresh packet
+number, losses are declared via a packet-reordering threshold or a time
+threshold, and a retransmission timeout (RTO) with exponential backoff
+backstops tail losses.  Frames from lost packets are returned to the
+connection, which is free to rebind them onto *any* path (paper §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.quic.frames import AckFrame, Frame
+from repro.quic.rtt import RttEstimator
+
+
+@dataclass
+class SentPacket:
+    """Bookkeeping for one in-flight packet."""
+
+    packet_number: int
+    frames: Tuple[Frame, ...]
+    size: int
+    time_sent: float
+    ack_eliciting: bool
+
+
+@dataclass
+class AckResult:
+    """Outcome of processing one ACK frame."""
+
+    newly_acked: List[SentPacket]
+    lost: List[SentPacket]
+    rtt_sample: Optional[float]
+    acked_bytes: int
+
+
+class LossRecovery:
+    """Sender-side recovery state for a single path."""
+
+    def __init__(
+        self,
+        rtt: RttEstimator,
+        packet_threshold: int = 3,
+        time_fraction: float = 1.125,
+    ) -> None:
+        self.rtt = rtt
+        self.packet_threshold = packet_threshold
+        self.time_fraction = time_fraction
+        self.sent: Dict[int, SentPacket] = {}
+        self.largest_acked = -1
+        self.largest_sent = -1
+        #: Packet numbers below this are known to be fully resolved;
+        #: lets ACK-range processing skip history in O(1).
+        self._floor = 0
+        self.bytes_in_flight = 0
+        self.consecutive_rtos = 0
+        self.time_of_last_eliciting = 0.0
+        #: Statistics.
+        self.packets_lost_total = 0
+        self.packets_acked_total = 0
+        self.rto_count = 0
+
+    # -- sending -------------------------------------------------------------
+
+    def on_packet_sent(self, packet_number: int, frames: Tuple[Frame, ...], size: int, now: float, ack_eliciting: bool) -> None:
+        """Register a freshly transmitted packet."""
+        sp = SentPacket(packet_number, frames, size, now, ack_eliciting)
+        self.sent[packet_number] = sp
+        if packet_number > self.largest_sent:
+            self.largest_sent = packet_number
+        if ack_eliciting:
+            self.bytes_in_flight += size
+            self.time_of_last_eliciting = now
+
+    # -- ack processing --------------------------------------------------------
+
+    def on_ack_received(self, ack: AckFrame, now: float) -> AckResult:
+        """Process an ACK frame for this path's number space."""
+        newly_acked: List[SentPacket] = []
+        rtt_sample: Optional[float] = None
+        acked_bytes = 0
+        for start, stop in ack.ranges:
+            # Everything below the floor was already acked or declared
+            # lost; skipping it keeps processing linear over a transfer.
+            pn = max(start, self._floor)
+            while pn < stop:
+                sp = self.sent.pop(pn, None)
+                if sp is not None:
+                    newly_acked.append(sp)
+                    if sp.ack_eliciting:
+                        self.bytes_in_flight -= sp.size
+                        acked_bytes += sp.size
+                    if pn == ack.largest_acked:
+                        rtt_sample = now - sp.time_sent
+                pn += 1
+        if ack.largest_acked > self.largest_acked:
+            self.largest_acked = ack.largest_acked
+        while self._floor < self.largest_acked and self._floor not in self.sent:
+            self._floor += 1
+        if rtt_sample is not None:
+            self.rtt.update(rtt_sample, ack.ack_delay)
+        if newly_acked:
+            self.consecutive_rtos = 0
+        lost = self._detect_losses(now)
+        self.packets_acked_total += len(newly_acked)
+        self.packets_lost_total += len(lost)
+        return AckResult(newly_acked, lost, rtt_sample, acked_bytes)
+
+    def _loss_delay(self) -> float:
+        base = max(self.rtt.smoothed, self.rtt.latest)
+        if base <= 0:
+            base = 0.1
+        return self.time_fraction * base
+
+    def _detect_losses(self, now: float) -> List[SentPacket]:
+        """Packet- and time-threshold loss detection below largest_acked."""
+        if self.largest_acked < 0:
+            return []
+        loss_delay = self._loss_delay()
+        lost: List[SentPacket] = []
+        # `sent` is insertion-ordered by ascending packet number, so we
+        # may stop at the first pn >= largest_acked.
+        for pn, sp in self.sent.items():
+            if pn >= self.largest_acked:
+                break
+            if (
+                self.largest_acked - pn >= self.packet_threshold
+                # The 1us slack avoids a floating-point livelock when a
+                # loss timer fires exactly at time_sent + loss_delay.
+                or now - sp.time_sent >= loss_delay - 1e-6
+            ):
+                lost.append(sp)
+        for sp in lost:
+            del self.sent[sp.packet_number]
+            if sp.ack_eliciting:
+                self.bytes_in_flight -= sp.size
+        return lost
+
+    def next_loss_time(self, now: float) -> Optional[float]:
+        """Earliest instant a time-threshold loss could be declared."""
+        if self.largest_acked < 0:
+            return None
+        loss_delay = self._loss_delay()
+        candidate: Optional[float] = None
+        for pn, sp in self.sent.items():
+            if pn >= self.largest_acked:
+                break
+            t = sp.time_sent + loss_delay
+            if candidate is None or t < candidate:
+                candidate = t
+        return candidate
+
+    def detect_losses_now(self, now: float) -> List[SentPacket]:
+        """Re-run time-threshold detection (loss timer fired)."""
+        lost = self._detect_losses(now)
+        self.packets_lost_total += len(lost)
+        return lost
+
+    # -- RTO ------------------------------------------------------------------
+
+    def rto_timeout(self, min_rto: float, max_rto: float, initial_rto: float) -> float:
+        """Current RTO value, with exponential backoff applied."""
+        if self.rtt.has_sample:
+            base = self.rtt.rto(min_rto=min_rto, max_rto=max_rto)
+        else:
+            base = initial_rto
+        return min(base * (2 ** self.consecutive_rtos), max_rto)
+
+    def has_eliciting_in_flight(self) -> bool:
+        """True while any ack-eliciting packet awaits acknowledgment."""
+        return any(sp.ack_eliciting for sp in self.sent.values())
+
+    def on_rto_fired(self, now: float) -> List[SentPacket]:
+        """Handle an RTO: hand back all in-flight packets for retransmission.
+
+        Like a TCP RTO (which marks every unacknowledged segment lost),
+        the whole outstanding window becomes eligible again.  This
+        matters for multipath: the retransmissions are new packets that
+        may be scheduled onto *other* paths, so this path's own number
+        space may never advance again — waiting for per-packet RTOs
+        would drip out the backlog two packets per backed-off timeout.
+        Ranges meanwhile acknowledged through a duplicate copy are
+        filtered out by the stream layer, bounding spurious traffic.
+        """
+        self.consecutive_rtos += 1
+        self.rto_count += 1
+        lost: List[SentPacket] = []
+        for pn in list(self.sent):
+            sp = self.sent[pn]
+            if sp.ack_eliciting:
+                del self.sent[pn]
+                self.bytes_in_flight -= sp.size
+                lost.append(sp)
+        self.packets_lost_total += len(lost)
+        return lost
+
+    # -- misc -----------------------------------------------------------------
+
+    @property
+    def smallest_unacked(self) -> Optional[int]:
+        return min(self.sent) if self.sent else None

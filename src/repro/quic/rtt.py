@@ -1,0 +1,68 @@
+"""Round-trip-time estimation.
+
+QUIC obtains unambiguous RTT samples because retransmissions get fresh
+packet numbers, and the ACK frame's *ack delay* field subtracts the
+receiver's deliberate delaying of the acknowledgment (paper §2).  The
+same estimator, run in ``karn`` mode, models classic TCP: samples from
+retransmitted segments are discarded and no ack-delay correction is
+available, which is precisely the "ambiguities linked to the estimation
+of the round-trip-time in the Linux kernel" the paper blames for
+MPTCP's scheduler mis-preferring slow paths (§4.1).
+"""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """RFC 6298-style smoothed RTT with optional ack-delay correction."""
+
+    ALPHA = 0.125
+    BETA = 0.25
+
+    def __init__(self, use_ack_delay: bool = True) -> None:
+        self.use_ack_delay = use_ack_delay
+        self.latest: float = 0.0
+        self.min_rtt: float = float("inf")
+        self.smoothed: float = 0.0
+        self.variance: float = 0.0
+        self._has_sample = False
+        self.samples_taken = 0
+
+    @property
+    def has_sample(self) -> bool:
+        """True once at least one valid sample was absorbed."""
+        return self._has_sample
+
+    def update(self, rtt_sample: float, ack_delay: float = 0.0) -> None:
+        """Absorb a new RTT measurement.
+
+        Args:
+            rtt_sample: measured time from send to ACK receipt.
+            ack_delay: receiver-reported delay, subtracted when the
+                estimator trusts it (QUIC mode) and doing so would not
+                push the sample below the observed minimum.
+        """
+        if rtt_sample <= 0:
+            return
+        self.latest = rtt_sample
+        if rtt_sample < self.min_rtt:
+            self.min_rtt = rtt_sample
+        adjusted = rtt_sample
+        if self.use_ack_delay and rtt_sample - ack_delay >= self.min_rtt:
+            adjusted = rtt_sample - ack_delay
+        if not self._has_sample:
+            self.smoothed = adjusted
+            self.variance = adjusted / 2.0
+            self._has_sample = True
+        else:
+            delta = abs(self.smoothed - adjusted)
+            self.variance = (1 - self.BETA) * self.variance + self.BETA * delta
+            self.smoothed = (1 - self.ALPHA) * self.smoothed + self.ALPHA * adjusted
+        self.samples_taken += 1
+
+    def rto(self, min_rto: float = 0.2, max_rto: float = 60.0, max_ack_delay: float = 0.025) -> float:
+        """Retransmission timeout derived from the current estimate."""
+        if not self._has_sample:
+            return 0.5  # initial RTO before any sample (gQUIC default)
+        timeout = self.smoothed + max(4.0 * self.variance, 0.001) + max_ack_delay
+        return min(max(timeout, min_rto), max_rto)

@@ -1,0 +1,21 @@
+"""TCP + TLS 1.2 baseline (the paper's HTTPS-over-TCP comparator).
+
+Models the Linux TCP properties the paper's analysis leans on:
+
+* a 3-RTT connection setup (3-way handshake plus a 2-RTT TLS 1.2
+  exchange) versus QUIC's single round trip (§4.2);
+* SACK limited to at most 3 blocks per ACK versus QUIC's 256 ACK
+  ranges, making early retransmission less effective under random
+  loss (§4.1, low-BDP-losses);
+* Karn's algorithm: no RTT samples from retransmitted segments and no
+  ack-delay correction, yielding the noisy estimates that mislead the
+  MPTCP scheduler (§4.1);
+* CUBIC congestion control and receive-window auto-tuning up to 16 MB.
+"""
+
+from repro.tcp.config import TcpConfig, TLS_MESSAGE_SIZES
+from repro.tcp.connection import TcpConnection
+from repro.tcp.flow import TcpFlow
+from repro.tcp.segment import Segment
+
+__all__ = ["TcpConfig", "TcpConnection", "TcpFlow", "Segment", "TLS_MESSAGE_SIZES"]

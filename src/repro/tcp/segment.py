@@ -1,0 +1,71 @@
+"""TCP segments (with the MPTCP DSS option where applicable)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: IPv4 + TCP base headers.
+BASE_HEADER = 40
+#: Timestamp option (RFC 7323), always on in Linux.
+TIMESTAMP_OPTION = 12
+#: SACK option overhead: 2 bytes kind/len plus 8 per block.
+SACK_BLOCK_SIZE = 8
+SACK_BASE = 2
+#: MPTCP DSS option (data sequence signal: mapping + data ack).
+DSS_OPTION = 20
+
+
+@dataclass
+class Segment:
+    """One TCP segment.
+
+    ``seq`` is the sequence number of the first payload byte; SYN and
+    FIN each consume one sequence number.  ``window_edge`` is the
+    absolute receive-window limit (ack + scaled window) — carrying the
+    absolute edge sidesteps window-scale bookkeeping without changing
+    semantics.  ``sack_blocks`` holds at most 3 ``[start, stop)`` spans.
+    MPTCP segments additionally carry ``dsn`` (the data-level sequence
+    of the first payload byte) and ``data_ack`` (cumulative data-level
+    acknowledgment).
+    """
+
+    seq: int
+    ack: int
+    data: bytes = b""
+    syn: bool = False
+    fin: bool = False
+    window_edge: int = 0
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+    # -- MPTCP DSS fields --
+    dsn: Optional[int] = None
+    data_ack: Optional[int] = None
+    #: DATA_FIN: this segment carries the last byte of the data stream.
+    data_fin: bool = False
+    #: True when this segment is a subflow-level retransmission.
+    retransmission: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        size = BASE_HEADER + TIMESTAMP_OPTION + len(self.data)
+        if self.sack_blocks:
+            size += SACK_BASE + SACK_BLOCK_SIZE * len(self.sack_blocks)
+        if self.dsn is not None or self.data_ack is not None:
+            size += DSS_OPTION
+        return size
+
+    @property
+    def seq_length(self) -> int:
+        """Sequence space consumed: payload plus SYN/FIN flags."""
+        return len(self.data) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.seq_length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = ("S" if self.syn else "") + ("F" if self.fin else "")
+        return (
+            f"Segment(seq={self.seq}, ack={self.ack}, len={len(self.data)},"
+            f" flags={flags or '.'}, sack={list(self.sack_blocks)})"
+        )

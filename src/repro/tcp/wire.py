@@ -1,0 +1,109 @@
+"""Byte-level encoding of TCP segments.
+
+Like :mod:`repro.quic.wire`, this codec exists to keep the simulator's
+size accounting honest — ``Segment.wire_size`` must equal the length of
+the actual encoding — and to make the option layouts (timestamps, SACK,
+MPTCP DSS) concrete and testable.
+
+Layout: 20-byte IPv4 header, 20-byte TCP header, then options in a
+fixed order (timestamps; SACK; DSS), padded as real stacks do via the
+option length fields themselves (we count exact sizes; alignment NOPs
+are folded into the per-option constants of :mod:`repro.tcp.segment`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.tcp.segment import (
+    BASE_HEADER,
+    DSS_OPTION,
+    SACK_BASE,
+    SACK_BLOCK_SIZE,
+    Segment,
+    TIMESTAMP_OPTION,
+)
+
+_FLAG_SYN = 0x02
+_FLAG_FIN = 0x01
+_FLAG_DATA_FIN = 0x04
+_FLAG_RETRANSMISSION = 0x08
+_FLAG_HAS_DSS = 0x10
+
+_FIXED = struct.Struct(">IIQB B H")  # seq, ack, window_edge, flags, nsack, datalen
+
+
+def encode_segment(segment: Segment) -> bytes:
+    """Serialize a segment (a compact stand-in for the real layouts)."""
+    flags = 0
+    if segment.syn:
+        flags |= _FLAG_SYN
+    if segment.fin:
+        flags |= _FLAG_FIN
+    if segment.data_fin:
+        flags |= _FLAG_DATA_FIN
+    if segment.retransmission:
+        flags |= _FLAG_RETRANSMISSION
+    has_dss = segment.dsn is not None or segment.data_ack is not None
+    if has_dss:
+        flags |= _FLAG_HAS_DSS
+    out = bytearray()
+    out += _FIXED.pack(
+        segment.seq, segment.ack, segment.window_edge, flags,
+        len(segment.sack_blocks), len(segment.data),
+    )
+    # Pad the fixed part up to IP+TCP+timestamps.
+    fixed_target = BASE_HEADER + TIMESTAMP_OPTION
+    out += b"\x00" * (fixed_target - len(out))
+    for start, stop in segment.sack_blocks:
+        out += struct.pack(">II", start, stop)
+    if segment.sack_blocks:
+        out += b"\x00" * SACK_BASE
+    if has_dss:
+        out += struct.pack(
+            ">QQHBB",
+            segment.dsn if segment.dsn is not None else 0,
+            segment.data_ack if segment.data_ack is not None else 0,
+            0,
+            1 if segment.dsn is not None else 0,
+            1 if segment.data_ack is not None else 0,
+        )
+    out += segment.data
+    return bytes(out)
+
+
+def decode_segment(buf: bytes) -> Segment:
+    """Parse bytes produced by :func:`encode_segment`."""
+    seq, ack, window_edge, flags, n_sack, data_len = _FIXED.unpack_from(buf, 0)
+    pos = BASE_HEADER + TIMESTAMP_OPTION
+    sack_blocks: List[Tuple[int, int]] = []
+    for _ in range(n_sack):
+        start, stop = struct.unpack_from(">II", buf, pos)
+        sack_blocks.append((start, stop))
+        pos += SACK_BLOCK_SIZE
+    if n_sack:
+        pos += SACK_BASE
+    dsn = None
+    data_ack = None
+    if flags & _FLAG_HAS_DSS:
+        raw_dsn, raw_dack, _res, has_dsn, has_dack = struct.unpack_from(
+            ">QQHBB", buf, pos
+        )
+        pos += DSS_OPTION
+        dsn = raw_dsn if has_dsn else None
+        data_ack = raw_dack if has_dack else None
+    data = buf[pos:pos + data_len]
+    return Segment(
+        seq=seq,
+        ack=ack,
+        data=data,
+        syn=bool(flags & _FLAG_SYN),
+        fin=bool(flags & _FLAG_FIN),
+        window_edge=window_edge,
+        sack_blocks=tuple(sack_blocks),
+        dsn=dsn,
+        data_ack=data_ack,
+        data_fin=bool(flags & _FLAG_DATA_FIN),
+        retransmission=bool(flags & _FLAG_RETRANSMISSION),
+    )

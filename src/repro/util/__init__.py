@@ -1,0 +1,6 @@
+"""Shared utilities: integer range sets and byte-stream reassembly."""
+
+from repro.util.ranges import RangeSet
+from repro.util.reassembly import Reassembler
+
+__all__ = ["RangeSet", "Reassembler"]

@@ -1,0 +1,131 @@
+"""In-order byte-stream reassembly from out-of-order chunks.
+
+Shared by the QUIC receive stream (STREAM frames carry ``(offset, data)``)
+and the TCP receiver (segments carry ``(seq, data)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.ranges import RangeSet
+
+
+class Reassembler:
+    """Reassembles a byte stream from ``(offset, bytes)`` chunks.
+
+    Chunks may arrive out of order, overlap or duplicate each other.
+    ``pop_ready()`` returns the longest prefix of newly contiguous data
+    starting at the current read offset.
+    """
+
+    def __init__(self) -> None:
+        self._received = RangeSet()
+        self._chunks: Dict[int, bytes] = {}
+        self._read_offset = 0
+        self._final_size: Optional[int] = None
+
+    @property
+    def read_offset(self) -> int:
+        """Offset of the next byte to be delivered to the application."""
+        return self._read_offset
+
+    @property
+    def final_size(self) -> Optional[int]:
+        """Stream length as signalled by a FIN, if seen."""
+        return self._final_size
+
+    @property
+    def bytes_received(self) -> int:
+        """Number of distinct byte positions received so far."""
+        return self._received.total
+
+    @property
+    def highest_offset(self) -> int:
+        """One past the highest byte offset seen (flow-control relevant)."""
+        return self._received.max + 1 if self._received else 0
+
+    def set_final_size(self, size: int) -> None:
+        """Record the total stream size signalled by a FIN marker."""
+        if self._final_size is not None and self._final_size != size:
+            raise ValueError(
+                f"conflicting final sizes: {self._final_size} vs {size}"
+            )
+        if self._received and self._received.max >= size:
+            raise ValueError("data received beyond the signalled final size")
+        self._final_size = size
+
+    def insert(self, offset: int, data: bytes) -> None:
+        """Store a chunk; overlapping parts of older chunks are trimmed."""
+        if not data:
+            return
+        end = offset + len(data)
+        if self._final_size is not None and end > self._final_size:
+            raise ValueError("data received beyond the signalled final size")
+        if end <= self._read_offset:
+            return  # Entirely in the past.
+        if offset < self._read_offset:
+            data = data[self._read_offset - offset:]
+            offset = self._read_offset
+        # Trim against already-received spans so stored chunks are disjoint.
+        pieces: List[Tuple[int, bytes]] = []
+        cursor = offset
+        stop = offset + len(data)
+        while cursor < stop:
+            gap_start = self._received.first_gap_after(cursor)
+            if gap_start >= stop:
+                break
+            gap_end = stop
+            for start, end_ in self._received:
+                if start > gap_start:
+                    gap_end = min(gap_end, start)
+                    break
+            pieces.append((gap_start, data[gap_start - offset:gap_end - offset]))
+            cursor = gap_end
+        for piece_offset, piece in pieces:
+            self._chunks[piece_offset] = piece
+            self._received.add(piece_offset, piece_offset + len(piece))
+
+    def pop_ready(self) -> bytes:
+        """Return (and consume) contiguous data at the read offset."""
+        out: List[bytes] = []
+        while self._read_offset in self._chunks:
+            chunk = self._chunks.pop(self._read_offset)
+            out.append(chunk)
+            self._read_offset += len(chunk)
+        # Chunks are stored disjoint but may start mid-way through a span
+        # if a prior pop consumed part of a coalesced range; handle any
+        # chunk whose stored offset is behind the read offset.
+        if not out and self._chunks:
+            # Defensive path: find a chunk covering the read offset.
+            for off in sorted(self._chunks):
+                if off > self._read_offset:
+                    break
+                chunk = self._chunks.pop(off)
+                if off + len(chunk) > self._read_offset:
+                    out.append(chunk[self._read_offset - off:])
+                    self._read_offset = off + len(chunk)
+                    return self.pop_ready() if out else b""
+        return b"".join(out)
+
+    def pending_ranges(self, limit: int = 0) -> List[Tuple[int, int]]:
+        """Out-of-order spans above the read offset, newest (highest) first.
+
+        This is exactly what a TCP receiver advertises in SACK blocks.
+        """
+        out = [
+            (start, stop)
+            for start, stop in self._received
+            if stop > self._read_offset
+        ]
+        out.reverse()
+        if limit:
+            out = out[:limit]
+        return out
+
+    def is_complete(self) -> bool:
+        """True when a FIN was seen and every byte has been delivered."""
+        return (
+            self._final_size is not None
+            and self._read_offset >= self._final_size
+        )

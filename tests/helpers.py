@@ -1,0 +1,74 @@
+"""Shared helpers for integration tests: one-call transfer runners."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.apps.bulk import BulkTransferApp
+from repro.apps.transport import TransportEndpoint, make_client_server
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+from repro.tcp.config import TcpConfig
+
+
+class TransferResult:
+    """Everything a test may want to inspect after a bulk transfer."""
+
+    def __init__(self, app, client, server, sim, topo, ok):
+        self.app = app
+        self.client = client
+        self.server = server
+        self.sim = sim
+        self.topology = topo
+        self.ok = ok
+
+    @property
+    def transfer_time(self):
+        return self.app.transfer_time
+
+
+def run_transfer(
+    protocol: str,
+    paths: Sequence[PathConfig],
+    file_size: int = 500_000,
+    initial_interface: int = 0,
+    seed: int = 1,
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+    timeout: float = 2000.0,
+) -> TransferResult:
+    """Run a bulk download and return the full context for assertions."""
+    sim = Simulator()
+    topo = TwoPathTopology(sim, list(paths), seed=seed)
+    client, server = make_client_server(
+        protocol, sim, topo,
+        initial_interface=initial_interface,
+        quic_config=quic_config, tcp_config=tcp_config,
+    )
+    app = BulkTransferApp(sim, client, server, file_size, initial_interface)
+    ok = app.run(timeout=timeout)
+    return TransferResult(app, client, server, sim, topo, ok)
+
+
+#: A clean symmetric two-path network used by many tests.
+TWO_CLEAN_PATHS = [
+    PathConfig(capacity_mbps=10.0, rtt_ms=40.0, queuing_delay_ms=50.0),
+    PathConfig(capacity_mbps=10.0, rtt_ms=40.0, queuing_delay_ms=50.0),
+]
+
+#: Heterogeneous paths (fast/low-delay + slow/high-delay).
+HETEROGENEOUS_PATHS = [
+    PathConfig(capacity_mbps=10.0, rtt_ms=20.0, queuing_delay_ms=50.0),
+    PathConfig(capacity_mbps=2.0, rtt_ms=100.0, queuing_delay_ms=100.0),
+]
+
+#: Symmetric paths with random loss.
+LOSSY_PATHS = [
+    PathConfig(capacity_mbps=10.0, rtt_ms=40.0, queuing_delay_ms=50.0,
+               loss_percent=1.5),
+    PathConfig(capacity_mbps=10.0, rtt_ms=40.0, queuing_delay_ms=50.0,
+               loss_percent=1.5),
+]

@@ -1,0 +1,128 @@
+"""Tests for the application layer and the protocol-agnostic transport."""
+
+import pytest
+
+from repro.apps.bulk import BulkTransferApp
+from repro.apps.reqres import RequestResponseApp
+from repro.apps.transport import PROTOCOLS, make_client_server
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+
+from tests.helpers import TWO_CLEAN_PATHS
+
+
+def make_env(protocol, paths=None, seed=1):
+    sim = Simulator()
+    topo = TwoPathTopology(sim, paths or TWO_CLEAN_PATHS, seed=seed)
+    client, server = make_client_server(protocol, sim, topo)
+    return sim, topo, client, server
+
+
+class TestTransportFacade:
+    def test_unknown_protocol_rejected(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, TWO_CLEAN_PATHS)
+        with pytest.raises(ValueError):
+            make_client_server("sctp", sim, topo)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_echo_roundtrip(self, protocol):
+        sim, topo, client, server = make_env(protocol)
+        got = {}
+        state = {}
+
+        def on_server(data, fin):
+            if "seen" not in state:
+                state["seen"] = True
+                server.send(b"pong", fin=False)
+
+        def on_client(data, fin):
+            got.setdefault("data", bytearray()).extend(data)
+
+        server.on_data = on_server
+        client.on_data = on_client
+        client.on_established = lambda: client.send(b"ping")
+        client.connect()
+        sim.run(until=5.0)
+        assert bytes(got["data"]) == b"pong"
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_established_flag(self, protocol):
+        sim, topo, client, server = make_env(protocol)
+        assert not client.established
+        client.connect()
+        sim.run(until=2.0)
+        assert client.established
+
+
+class TestBulkApp:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_measures_from_first_packet(self, protocol):
+        sim, topo, client, server = make_env(protocol)
+        app = BulkTransferApp(sim, client, server, file_size=100_000)
+        assert app.run()
+        assert app.bytes_received == 100_000
+        # Transfer time includes the handshake; QUIC < TCP.
+        assert app.transfer_time > 0.04  # at least one RTT
+
+    def test_goodput_property(self):
+        sim, topo, client, server = make_env("quic")
+        app = BulkTransferApp(sim, client, server, file_size=1_000_000)
+        assert app.run()
+        assert app.goodput_bps == pytest.approx(
+            1_000_000 * 8 / app.transfer_time
+        )
+
+    def test_transfer_time_before_completion_raises(self):
+        sim, topo, client, server = make_env("quic")
+        app = BulkTransferApp(sim, client, server, file_size=1000)
+        with pytest.raises(RuntimeError):
+            _ = app.transfer_time
+
+    def test_handshake_difference_visible_in_short_transfers(self):
+        """QUIC's 1-RTT vs HTTPS's 3-RTT handshake (paper §4.2)."""
+        times = {}
+        for protocol in ("quic", "tcp"):
+            sim, topo, client, server = make_env(protocol)
+            app = BulkTransferApp(sim, client, server, file_size=20_000)
+            assert app.run()
+            times[protocol] = app.transfer_time
+        assert times["tcp"] > times["quic"] + 0.05  # ~2 extra RTTs at 40ms
+
+
+class TestReqResApp:
+    def test_all_requests_answered(self):
+        sim, topo, client, server = make_env("mpquic")
+        app = RequestResponseApp(
+            sim, client, server, message_size=750, interval=0.1,
+            total_requests=10,
+        )
+        assert app.run()
+        assert len(app.samples) == 10
+
+    def test_delays_reflect_rtt(self):
+        sim, topo, client, server = make_env(
+            "mpquic", paths=[PathConfig(10, 30, 50), PathConfig(10, 80, 50)]
+        )
+        app = RequestResponseApp(
+            sim, client, server, message_size=750, interval=0.2,
+            total_requests=8,
+        )
+        assert app.run()
+        delays = [d for _, d in app.delays()]
+        # Steady state rides the 30 ms path.
+        assert min(delays) < 0.045
+
+    def test_message_size_validation(self):
+        sim, topo, client, server = make_env("mpquic")
+        with pytest.raises(ValueError):
+            RequestResponseApp(sim, client, server, message_size=4)
+
+    def test_works_over_tcp_framing(self):
+        sim, topo, client, server = make_env("tcp")
+        app = RequestResponseApp(
+            sim, client, server, message_size=300, interval=0.05,
+            total_requests=6,
+        )
+        assert app.run()
+        assert len(app.samples) == 6

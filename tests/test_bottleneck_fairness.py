@@ -1,0 +1,96 @@
+"""Tests for the shared-bottleneck topology and the fairness experiment."""
+
+import pytest
+
+from repro.experiments.fairness import DEFAULT_BOTTLENECK, run_fairness
+from repro.netsim.bottleneck import Router, SharedBottleneckTopology
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Datagram
+from repro.netsim.topology import PathConfig
+
+
+class TestRouter:
+    def test_routes_by_destination(self):
+        sim = Simulator()
+        got = []
+        link = Link(sim, 8e6, 0.001, 100_000, sink=lambda d: got.append(d.payload))
+        router = Router()
+        router.add_route("10.0.0.2", link)
+        router.receive(Datagram(payload="x", size=100, dst_addr="10.0.0.2"))
+        sim.run()
+        assert got == ["x"]
+        assert router.forwarded == 1
+
+    def test_unroutable_dropped(self):
+        router = Router()
+        router.receive(Datagram(payload="x", size=100, dst_addr="10.0.0.9"))
+        assert router.dropped_no_route == 1
+
+
+class TestSharedBottleneckTopology:
+    def make(self):
+        sim = Simulator()
+        topo = SharedBottleneckTopology(
+            sim, PathConfig(10, 40, 100), with_competitor=True, seed=1
+        )
+        return sim, topo
+
+    def test_multipath_pair_connected_on_both_interfaces(self):
+        sim, topo = self.make()
+        got = []
+        topo.server.set_datagram_handler(lambda d, i: got.append((d.payload, i)))
+        topo.client.send(Datagram(payload="a", size=100), 0)
+        topo.client.send(Datagram(payload="b", size=100), 1)
+        sim.run()
+        assert sorted(got) == [("a", 0), ("b", 1)]
+
+    def test_reverse_direction(self):
+        sim, topo = self.make()
+        got = []
+        topo.client.set_datagram_handler(lambda d, i: got.append((d.payload, i)))
+        topo.server.send(Datagram(payload="r", size=100), 1)
+        sim.run()
+        assert got == [("r", 1)]
+
+    def test_competitor_pair_connected(self):
+        sim, topo = self.make()
+        got = []
+        topo.competitor_server.set_datagram_handler(
+            lambda d, i: got.append(d.payload)
+        )
+        topo.competitor_client.send(Datagram(payload="c", size=100), 0)
+        sim.run()
+        assert got == ["c"]
+
+    def test_all_flows_share_the_bottleneck_link(self):
+        sim, topo = self.make()
+        topo.server.set_datagram_handler(lambda d, i: None)
+        topo.competitor_server.set_datagram_handler(lambda d, i: None)
+        topo.client.send(Datagram(payload="a", size=100), 0)
+        topo.client.send(Datagram(payload="b", size=100), 1)
+        topo.competitor_client.send(Datagram(payload="c", size=100), 0)
+        sim.run()
+        assert topo.bottleneck_up.stats.datagrams_sent == 3
+
+
+class TestFairness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            cc: run_fairness(multipath_cc=cc, duration=10.0, warmup=3.0)
+            for cc in ("olia", "cubic2")
+        }
+
+    def test_bottleneck_saturated(self, results):
+        for r in results.values():
+            total = r.mp_goodput_bps + r.competitor_goodput_bps
+            assert total > DEFAULT_BOTTLENECK.rate_bps * 0.75
+
+    def test_olia_is_fair(self, results):
+        # Coupled OLIA should take roughly ONE share of the bottleneck.
+        assert 0.30 <= results["olia"].mp_share <= 0.60
+
+    def test_uncoupled_cubic_is_aggressive(self, results):
+        # Two independent CUBIC paths grab more than their fair share.
+        assert results["cubic2"].mp_share > results["olia"].mp_share + 0.05

@@ -1,0 +1,81 @@
+"""Tests for the Gilbert-Elliott burst-loss model."""
+
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.link import GilbertElliottLoss
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.netsim.engine import Simulator
+
+from tests.helpers import run_transfer
+
+
+class TestGilbertElliott:
+    def test_average_rate_matches(self):
+        ge = GilbertElliottLoss(0.02, mean_burst=5.0, rng=random.Random(1))
+        n = 100_000
+        rate = sum(ge.lose() for _ in range(n)) / n
+        assert rate == pytest.approx(0.02, rel=0.2)
+
+    def test_mean_burst_length_matches(self):
+        ge = GilbertElliottLoss(0.03, mean_burst=6.0, rng=random.Random(2))
+        losses = [ge.lose() for _ in range(200_000)]
+        bursts, cur = [], 0
+        for lost in losses:
+            if lost:
+                cur += 1
+            elif cur:
+                bursts.append(cur)
+                cur = 0
+        assert statistics.mean(bursts) == pytest.approx(6.0, rel=0.25)
+
+    def test_burstier_than_bernoulli(self):
+        ge = GilbertElliottLoss(0.02, mean_burst=8.0, rng=random.Random(3))
+        losses = [ge.lose() for _ in range(100_000)]
+        # Count loss-after-loss transitions: far above the 2% that
+        # independent losses would give.
+        pairs = sum(1 for a, b in zip(losses, losses[1:]) if a and b)
+        loss_count = sum(losses)
+        assert pairs / max(loss_count, 1) > 0.3
+
+    @given(
+        st.floats(0.005, 0.1), st.floats(1.0, 20.0), st.integers(0, 100)
+    )
+    @settings(max_examples=30)
+    def test_rate_property(self, rate, burst, seed):
+        ge = GilbertElliottLoss(rate, mean_burst=burst, rng=random.Random(seed))
+        n = 50_000
+        observed = sum(ge.lose() for _ in range(n)) / n
+        assert observed == pytest.approx(rate, rel=0.5, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(0.5, mean_burst=0.5)
+
+
+class TestBurstLossTransfers:
+    PATHS = [
+        PathConfig(10, 40, 50, loss_percent=2.0, loss_burst=6.0),
+        PathConfig(10, 40, 50, loss_percent=2.0, loss_burst=6.0),
+    ]
+
+    @pytest.mark.parametrize("protocol", ["tcp", "quic", "mptcp", "mpquic"])
+    def test_reliability_under_bursts(self, protocol):
+        result = run_transfer(
+            protocol, self.PATHS, file_size=300_000, timeout=3000.0
+        )
+        assert result.ok
+        assert result.app.bytes_received == 300_000
+
+    def test_handover_override_clears_burst_model(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, self.PATHS, seed=1)
+        topo.set_path_loss(0, 100.0)
+        assert topo.forward_links[0].burst_loss is None
+        assert topo.forward_links[0].loss_rate == 1.0

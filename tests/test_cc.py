@@ -1,0 +1,267 @@
+"""Tests for the congestion controllers (NewReno, CUBIC, OLIA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import Cubic, NewReno, OliaCoordinator, make_controller
+from repro.cc.base import CcState, INITIAL_WINDOW_SEGMENTS, MIN_WINDOW_SEGMENTS
+
+MSS = 1400
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_controller("cubic"), Cubic)
+        assert isinstance(make_controller("NewReno"), NewReno)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_controller("bbr")
+
+
+class TestNewReno:
+    def test_initial_window(self):
+        cc = NewReno(mss=MSS)
+        assert cc.cwnd_bytes == INITIAL_WINDOW_SEGMENTS * MSS
+        assert cc.in_slow_start
+
+    def test_slow_start_doubles_per_rtt(self):
+        cc = NewReno(mss=MSS)
+        start = cc.cwnd_bytes
+        for _ in range(10):
+            cc.on_ack(now=1.0, acked_bytes=MSS, rtt=0.05)
+        assert cc.cwnd_bytes == start + 10 * MSS
+
+    def test_loss_halves_window(self):
+        cc = NewReno(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 50 * MSS
+        cc.on_loss_event(now=1.0, sent_time=0.9)
+        assert cc.cwnd_bytes == pytest.approx(50 * MSS)
+        assert cc.state is CcState.RECOVERY
+
+    def test_loss_events_coalesced_within_recovery(self):
+        cc = NewReno(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.on_loss_event(now=1.0, sent_time=0.9)
+        w = cc.cwnd_bytes
+        cc.on_loss_event(now=1.01, sent_time=0.95)  # sent before recovery start
+        assert cc.cwnd_bytes == w
+
+    def test_new_loss_after_recovery_reduces_again(self):
+        cc = NewReno(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.on_loss_event(now=1.0, sent_time=0.9)
+        cc.exit_recovery()
+        w = cc.cwnd_bytes
+        cc.on_loss_event(now=2.0, sent_time=1.5)
+        assert cc.cwnd_bytes < w
+
+    def test_rto_collapses_window(self):
+        cc = NewReno(mss=MSS)
+        cc.cwnd_bytes = 80 * MSS
+        cc.on_rto(now=2.0)
+        assert cc.cwnd_bytes == MIN_WINDOW_SEGMENTS * MSS
+        assert cc.ssthresh_bytes == pytest.approx(40 * MSS)
+        assert cc.in_slow_start
+
+    def test_congestion_avoidance_linear(self):
+        cc = NewReno(mss=MSS)
+        cc.ssthresh_bytes = cc.cwnd_bytes  # force CA
+        w0 = cc.cwnd_bytes
+        # One window's worth of ACKs grows the window by about one MSS.
+        acks = int(w0 / MSS)
+        for _ in range(acks):
+            cc.on_ack(now=1.0, acked_bytes=MSS, rtt=0.05)
+        assert cc.cwnd_bytes == pytest.approx(w0 + MSS, rel=0.05)
+
+    def test_can_send_and_available_window(self):
+        cc = NewReno(mss=MSS)
+        assert cc.can_send(bytes_in_flight=0)
+        assert not cc.can_send(bytes_in_flight=int(cc.cwnd_bytes))
+        assert cc.available_window(int(cc.cwnd_bytes) - 100) == 100
+
+
+class TestCubic:
+    def test_slow_start_exponential(self):
+        cc = Cubic(mss=MSS)
+        w0 = cc.cwnd_bytes
+        cc.on_ack(1.0, 5 * MSS, rtt=0.05)
+        assert cc.cwnd_bytes == w0 + 5 * MSS
+
+    def test_loss_reduces_by_beta(self):
+        cc = Cubic(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 100 * MSS
+        cc.on_loss_event(now=1.0, sent_time=0.9)
+        assert cc.cwnd_bytes == pytest.approx(70 * MSS)
+
+    def test_cubic_growth_accelerates_away_from_wmax(self):
+        cc = Cubic(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 50 * MSS  # in CA
+        cc.on_loss_event(now=0.0, sent_time=-0.1)
+        cc.exit_recovery()
+        now = 0.0
+        growth = []
+        last = cc.cwnd_bytes
+        # K = ((100-70)/0.4)^(1/3) ~= 4.2 s; run to 7 s to cross the plateau.
+        for step in range(140):
+            now += 0.05
+            for _ in range(max(1, int(cc.cwnd_bytes / MSS))):
+                cc.on_ack(now, MSS, rtt=0.05)
+            growth.append(cc.cwnd_bytes - last)
+            last = cc.cwnd_bytes
+        # Concave then convex: growth near the end exceeds the plateau phase
+        # around t = K (steps ~70-95).
+        assert growth[-1] > min(growth[70:95])
+
+    def test_window_recovers_to_wmax_region(self):
+        cc = Cubic(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 50 * MSS
+        cc.on_loss_event(now=0.0, sent_time=-0.1)
+        cc.exit_recovery()
+        now = 0.0
+        for _ in range(200):
+            now += 0.05
+            for _ in range(max(1, int(cc.cwnd_bytes / MSS))):
+                cc.on_ack(now, MSS, rtt=0.05)
+        assert cc.cwnd_bytes >= 95 * MSS
+
+    def test_rto_resets_epoch(self):
+        cc = Cubic(mss=MSS)
+        cc.cwnd_bytes = 50 * MSS
+        cc.on_rto(now=1.0)
+        assert cc.cwnd_bytes == MIN_WINDOW_SEGMENTS * MSS
+
+    @given(st.floats(min_value=0.001, max_value=1.0), st.integers(1, 100))
+    @settings(max_examples=50)
+    def test_window_never_below_floor(self, rtt, events):
+        cc = Cubic(mss=MSS)
+        now = 0.0
+        for i in range(events):
+            now += rtt
+            if i % 3 == 2:
+                cc.on_loss_event(now, sent_time=now - rtt / 2)
+                cc.exit_recovery()
+            else:
+                cc.on_ack(now, MSS, rtt)
+        assert cc.cwnd_bytes >= MIN_WINDOW_SEGMENTS * MSS - 1e-6
+
+
+class TestOlia:
+    def make_two_paths(self):
+        coord = OliaCoordinator(mss=MSS)
+        p0 = coord.path_controller(0)
+        p1 = coord.path_controller(1)
+        return coord, p0, p1
+
+    def drive_to_ca(self, path, rtt=0.05):
+        path.ssthresh_bytes = path.cwnd_bytes
+        path.on_ack(0.0, MSS, rtt)
+
+    def test_paths_registered_once(self):
+        coord, p0, _ = self.make_two_paths()
+        assert coord.path_controller(0) is p0
+        assert len(coord.paths) == 2
+
+    def test_slow_start_uncoupled(self):
+        coord, p0, p1 = self.make_two_paths()
+        w = p0.cwnd_bytes
+        p0.on_ack(0.0, MSS, 0.05)
+        assert p0.cwnd_bytes == w + MSS
+
+    def test_coupled_increase_smaller_than_reno(self):
+        coord, p0, p1 = self.make_two_paths()
+        for p in (p0, p1):
+            p.ssthresh_bytes = p.cwnd_bytes  # force CA
+            p.smoothed_rtt = 0.05
+        w = p0.cwnd_bytes
+        p0.on_ack(1.0, MSS, 0.05)
+        coupled_gain = p0.cwnd_bytes - w
+        reno_gain = MSS * MSS / w
+        assert 0 < coupled_gain <= reno_gain * 1.01
+
+    def test_single_path_behaves_like_reno_increase(self):
+        coord = OliaCoordinator(mss=MSS)
+        p = coord.path_controller(0)
+        p.ssthresh_bytes = p.cwnd_bytes
+        p.smoothed_rtt = 0.05
+        w = p.cwnd_bytes
+        p.on_ack(1.0, MSS, 0.05)
+        gain = p.cwnd_bytes - w
+        # With one path the coupled term reduces to 1/w (in segments).
+        assert gain == pytest.approx(MSS * MSS / w, rel=0.01)
+
+    def test_loss_halves_and_tracks_interloss_bytes(self):
+        coord, p0, _ = self.make_two_paths()
+        p0.cwnd_bytes = 40 * MSS
+        for _ in range(10):
+            p0.on_ack(1.0, MSS, 0.05)
+        p0.on_loss_event(now=2.0, sent_time=1.5)
+        assert p0.cwnd_bytes == pytest.approx(max(20 * MSS, 2 * MSS), rel=0.3)
+        assert p0.inter_loss_bytes >= 10 * MSS
+
+    def test_alpha_shifts_towards_best_path(self):
+        coord, p0, p1 = self.make_two_paths()
+        # p0: big window but lossy (small inter-loss bytes).
+        # p1: small window, clean (large inter-loss bytes) -> best path.
+        p0.cwnd_bytes = 50 * MSS
+        p1.cwnd_bytes = 10 * MSS
+        p0.smoothed_rtt = p1.smoothed_rtt = 0.05
+        p0._bytes_since_loss = 5 * MSS
+        p1._bytes_since_loss = 500 * MSS
+        active = coord.paths
+        assert coord._alpha(p1, active) > 0  # best, not max-window: boosted
+        assert coord._alpha(p0, active) < 0  # max-window: dampened
+
+    def test_alpha_zero_when_best_is_max(self):
+        coord, p0, p1 = self.make_two_paths()
+        p0.cwnd_bytes = 50 * MSS
+        p1.cwnd_bytes = 10 * MSS
+        p0.smoothed_rtt = p1.smoothed_rtt = 0.05
+        p0._bytes_since_loss = 500 * MSS
+        p1._bytes_since_loss = 5 * MSS
+        active = coord.paths
+        assert coord._alpha(p0, active) == 0.0
+        assert coord._alpha(p1, active) == 0.0
+
+    def test_negative_alpha_never_collapses_window(self):
+        coord, p0, p1 = self.make_two_paths()
+        p0.cwnd_bytes = MIN_WINDOW_SEGMENTS * MSS
+        p0.ssthresh_bytes = p0.cwnd_bytes
+        p1.cwnd_bytes = MIN_WINDOW_SEGMENTS * MSS
+        p0.smoothed_rtt = p1.smoothed_rtt = 0.05
+        p1._bytes_since_loss = 100 * MSS
+        for _ in range(50):
+            p0.on_ack(1.0, MSS, 0.05)
+        assert p0.cwnd_bytes >= MIN_WINDOW_SEGMENTS * MSS - 1e-6
+
+    def test_remove_path(self):
+        coord, p0, p1 = self.make_two_paths()
+        coord.remove_path(1)
+        assert len(coord.paths) == 1
+
+    def test_aggregate_growth_bounded_by_single_flow(self):
+        # OLIA design goal: total increase across paths stays comparable
+        # to a single Reno flow on the best path (fairness at bottleneck).
+        coord, p0, p1 = self.make_two_paths()
+        for p in (p0, p1):
+            p.ssthresh_bytes = p.cwnd_bytes
+            p.smoothed_rtt = 0.05
+        total_gain = 0.0
+        for _ in range(100):
+            w0, w1 = p0.cwnd_bytes, p1.cwnd_bytes
+            p0.on_ack(1.0, MSS, 0.05)
+            p1.on_ack(1.0, MSS, 0.05)
+            total_gain += (p0.cwnd_bytes - w0) + (p1.cwnd_bytes - w1)
+        reno = NewReno(mss=MSS)
+        reno.ssthresh_bytes = reno.cwnd_bytes
+        reno_gain = 0.0
+        for _ in range(200):
+            w = reno.cwnd_bytes
+            reno.on_ack(1.0, MSS, 0.05)
+            reno_gain += reno.cwnd_bytes - w
+        assert total_gain <= reno_gain * 1.1

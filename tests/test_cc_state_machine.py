@@ -1,0 +1,77 @@
+"""State-machine tests for the congestion-controller base class."""
+
+import pytest
+
+from repro.cc import Cubic, NewReno
+from repro.cc.base import CcState, INITIAL_WINDOW_SEGMENTS
+
+MSS = 1400
+
+
+class TestRecoveryTransitions:
+    def test_exit_recovery_to_congestion_avoidance(self):
+        cc = NewReno(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.on_loss_event(now=1.0, sent_time=0.5)
+        assert cc.state is CcState.RECOVERY
+        cc.exit_recovery()
+        # Post-loss cwnd equals ssthresh: congestion avoidance.
+        assert cc.state is CcState.CONGESTION_AVOIDANCE
+
+    def test_exit_recovery_to_slow_start_after_rto(self):
+        cc = NewReno(mss=MSS)
+        cc.cwnd_bytes = 100 * MSS
+        cc.on_rto(now=1.0)
+        assert cc.in_slow_start
+        # Growth during slow start crosses into CA at ssthresh.
+        while cc.in_slow_start:
+            cc.on_ack(1.1, MSS, 0.05)
+        assert cc.state is CcState.CONGESTION_AVOIDANCE
+
+    def test_exit_recovery_noop_outside_recovery(self):
+        cc = Cubic(mss=MSS)
+        state = cc.state
+        cc.exit_recovery()
+        assert cc.state is state
+
+    def test_no_growth_during_recovery(self):
+        cc = Cubic(mss=MSS)
+        cc.cwnd_bytes = 50 * MSS
+        cc.on_loss_event(1.0, 0.9)
+        w = cc.cwnd_bytes
+        for _ in range(20):
+            cc.on_ack(1.1, MSS, 0.05)
+        assert cc.cwnd_bytes == w
+
+    def test_initial_window_is_ten_segments(self):
+        assert Cubic(mss=MSS).cwnd_bytes == INITIAL_WINDOW_SEGMENTS * MSS
+
+    def test_hystart_exits_slow_start_on_delay_increase(self):
+        cc = Cubic(mss=MSS)
+        base = 0.05
+        # Feed enough samples with clearly inflating RTT.
+        for i in range(40):
+            cc.on_ack(1.0 + i * 0.01, MSS, base + i * 0.003)
+            if not cc.in_slow_start:
+                break
+        assert not cc.in_slow_start
+        assert cc.ssthresh_bytes < float("inf")
+
+    def test_hystart_quiet_rtt_stays_in_slow_start(self):
+        cc = Cubic(mss=MSS)
+        for i in range(30):
+            cc.on_ack(1.0 + i * 0.01, MSS, 0.05)  # flat RTT
+        assert cc.in_slow_start
+
+    def test_cubic2_beta_and_alpha(self):
+        cc = Cubic(mss=MSS, num_connections=2)
+        assert cc.beta_eff == pytest.approx(0.85)
+        assert cc.alpha_eff == pytest.approx(3 * 4 * 0.15 / 1.85)
+        cc.cwnd_bytes = 100 * MSS
+        cc.ssthresh_bytes = 100 * MSS
+        cc.on_loss_event(1.0, 0.9)
+        assert cc.cwnd_bytes == pytest.approx(85 * MSS)
+
+    def test_invalid_num_connections(self):
+        with pytest.raises(ValueError):
+            Cubic(mss=MSS, num_connections=0)

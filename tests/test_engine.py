@@ -1,0 +1,102 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(1.5, order.append, "mid")
+        sim.run()
+        assert order == ["early", "mid", "late"]
+        assert sim.now == 2.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(0.5, second)
+
+        def second():
+            times.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 1.5]
+
+    def test_run_until_time_limit(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        state = {"done": False}
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: state.update(done=True))
+        sim.schedule(3.0, lambda: None)
+        assert sim.run_until(lambda: state["done"])
+        assert sim.now == 2.0
+
+    def test_run_until_exhaustion_returns_false(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert not sim.run_until(lambda: False)
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

@@ -1,0 +1,119 @@
+"""Tests for the WSP experimental design and scenario generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expdesign.parameters import (
+    ENV_CLASSES,
+    PAPER_SCENARIOS_PER_CLASS,
+    generate_scenarios,
+)
+from repro.expdesign.wsp import wsp_select
+
+
+class TestWsp:
+    def test_returns_requested_count_and_shape(self):
+        pts = wsp_select(50, 4, seed=1)
+        assert pts.shape == (50, 4)
+
+    def test_points_in_unit_cube(self):
+        pts = wsp_select(40, 6, seed=2)
+        assert (pts >= 0).all() and (pts < 1).all()
+
+    def test_deterministic_per_seed(self):
+        a = wsp_select(30, 3, seed=7)
+        b = wsp_select(30, 3, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = wsp_select(30, 3, seed=1)
+        b = wsp_select(30, 3, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_space_filling_beats_random_prefix(self):
+        """WSP's minimum pairwise distance should far exceed that of an
+        equally sized random sample."""
+        n, d = 60, 4
+        pts = wsp_select(n, d, seed=3)
+        rng = np.random.default_rng(3)
+        rand = rng.random((n, d))
+
+        def min_dist(x):
+            diffs = x[:, None, :] - x[None, :, :]
+            dist = np.sqrt((diffs ** 2).sum(-1))
+            np.fill_diagonal(dist, np.inf)
+            return dist.min()
+
+        assert min_dist(pts) > min_dist(rand) * 1.5
+
+    def test_single_point(self):
+        assert wsp_select(1, 5, seed=0).shape == (1, 5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            wsp_select(0, 3)
+        with pytest.raises(ValueError):
+            wsp_select(10, 0)
+
+    @given(st.integers(2, 80), st.integers(1, 8), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_always_full_size_property(self, n, d, seed):
+        pts = wsp_select(n, d, seed=seed)
+        assert pts.shape == (n, d)
+        assert (pts >= 0).all() and (pts < 1).all()
+
+
+class TestEnvClasses:
+    def test_four_classes_match_table1(self):
+        assert set(ENV_CLASSES) == {
+            "low-bdp-no-loss", "low-bdp-losses",
+            "high-bdp-no-loss", "high-bdp-losses",
+        }
+        low = ENV_CLASSES["low-bdp-no-loss"]
+        assert low.capacity_range == (0.1, 100.0)
+        assert low.rtt_range == (0.0, 50.0)
+        assert low.queuing_range == (0.0, 100.0)
+        assert not low.lossy
+        high = ENV_CLASSES["high-bdp-losses"]
+        assert high.rtt_range == (0.0, 400.0)
+        assert high.queuing_range == (0.0, 2000.0)
+        assert high.loss_range == (0.0, 2.5)
+
+    def test_paper_scenario_count(self):
+        assert PAPER_SCENARIOS_PER_CLASS == 253
+
+
+class TestScenarioGeneration:
+    def test_count_and_ranges(self):
+        scenarios = generate_scenarios("low-bdp-losses", count=40, seed=5)
+        assert len(scenarios) == 40
+        env = ENV_CLASSES["low-bdp-losses"]
+        for s in scenarios:
+            for p in s.paths:
+                assert env.capacity_range[0] <= p.capacity_mbps <= env.capacity_range[1]
+                assert env.rtt_range[0] <= p.rtt_ms <= env.rtt_range[1]
+                assert env.queuing_range[0] <= p.queuing_delay_ms <= env.queuing_range[1]
+                assert env.loss_range[0] <= p.loss_percent <= env.loss_range[1]
+
+    def test_no_loss_class_is_loss_free(self):
+        for s in generate_scenarios("high-bdp-no-loss", count=10):
+            assert all(p.loss_percent == 0.0 for p in s.paths)
+
+    def test_best_worst_path_classification(self):
+        for s in generate_scenarios("low-bdp-no-loss", count=20):
+            best = s.paths[s.best_path]
+            worst = s.paths[s.worst_path]
+            assert best.capacity_mbps >= worst.capacity_mbps
+            assert s.best_path != s.worst_path
+
+    def test_deterministic(self):
+        a = generate_scenarios("low-bdp-no-loss", count=15, seed=9)
+        b = generate_scenarios("low-bdp-no-loss", count=15, seed=9)
+        assert a == b
+
+    def test_paths_are_heterogeneous_across_scenarios(self):
+        scenarios = generate_scenarios("low-bdp-no-loss", count=30)
+        capacities = {round(s.paths[0].capacity_mbps, 3) for s in scenarios}
+        assert len(capacities) > 25  # WSP spreads the space

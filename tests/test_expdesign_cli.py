@@ -1,0 +1,36 @@
+"""Tests for the expdesign command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.expdesign.__main__ import main
+
+
+class TestExpdesignCli:
+    def test_prints_table(self, capsys):
+        assert main(["low-bdp-no-loss", "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cap0_mbps" in out
+        assert len(out.strip().splitlines()) == 4  # header + 3 rows
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "design.csv"
+        assert main(["high-bdp-losses", "--count", "5", "--csv", str(path)]) == 0
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 6
+        # Losses populated for the lossy class.
+        losses = [float(r[4]) for r in rows[1:]]
+        assert any(l > 0 for l in losses)
+
+    def test_seed_changes_design(self, capsys):
+        main(["low-bdp-no-loss", "--count", "3", "--seed", "1"])
+        a = capsys.readouterr().out
+        main(["low-bdp-no-loss", "--count", "3", "--seed", "2"])
+        b = capsys.readouterr().out
+        assert a != b
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["medium-bdp"])

@@ -1,0 +1,133 @@
+"""Tests for metrics, the scenario runner and the handover experiment."""
+
+import pytest
+
+from repro.experiments.metrics import (
+    cdf_points,
+    experimental_aggregation_benefit,
+    fraction_greater_than,
+    median,
+    quartiles,
+)
+from repro.experiments.report import ascii_box, ascii_cdf, box_stats, table, timeline
+from repro.experiments.runner import run_bulk, run_handover
+from repro.experiments.scenarios import HANDOVER_SCENARIO
+from repro.netsim.topology import PathConfig
+
+
+class TestAggregationBenefit:
+    def test_equal_to_best_single_path_is_zero(self):
+        assert experimental_aggregation_benefit(10.0, [10.0, 5.0]) == 0.0
+
+    def test_perfect_pooling_is_one(self):
+        assert experimental_aggregation_benefit(15.0, [10.0, 5.0]) == pytest.approx(1.0)
+
+    def test_partial_pooling(self):
+        assert experimental_aggregation_benefit(12.5, [10.0, 5.0]) == pytest.approx(0.5)
+
+    def test_failure_is_minus_one(self):
+        assert experimental_aggregation_benefit(0.0, [10.0, 5.0]) == pytest.approx(-1.0)
+
+    def test_worse_than_best_uses_second_formula(self):
+        assert experimental_aggregation_benefit(5.0, [10.0, 5.0]) == pytest.approx(-0.5)
+
+    def test_super_aggregation_above_one(self):
+        # Experimental values can exceed the sum of single-path runs.
+        assert experimental_aggregation_benefit(20.0, [10.0, 5.0]) > 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            experimental_aggregation_benefit(1.0, [])
+        with pytest.raises(ValueError):
+            experimental_aggregation_benefit(1.0, [0.0, 0.0])
+
+
+class TestStatHelpers:
+    def test_cdf_points(self):
+        pts = cdf_points([3.0, 1.0, 2.0])
+        assert pts == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)),
+                       (3.0, pytest.approx(1.0))]
+
+    def test_fraction_greater_than(self):
+        assert fraction_greater_than([0.5, 1.5, 2.0, 1.0], 1.0) == 0.5
+        assert fraction_greater_than([], 1.0) == 0.0
+
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_quartiles(self):
+        q1, med, q3 = quartiles(range(1, 6))
+        assert (q1, med, q3) == (2.0, 3.0, 4.0)
+
+
+class TestReport:
+    def test_ascii_cdf_mentions_percentiles(self):
+        out = ascii_cdf([1.0, 2.0, 3.0, 4.0], "ratio")
+        assert "p 50" in out and "ratio" in out
+
+    def test_box_stats(self):
+        s = box_stats([1, 2, 3, 4, 5])
+        assert s["median"] == 3 and s["min"] == 1 and s["max"] == 5
+
+    def test_ascii_box_contains_label(self):
+        assert "EB" in ascii_box([0.1, 0.5], "EB")
+
+    def test_table_alignment(self):
+        out = table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert "333" in out
+
+    def test_timeline_renders(self):
+        out = timeline([(0.0, 0.016), (0.4, 0.2)], "delays")
+        assert "delays" in out and "ms" in out
+
+
+class TestRunner:
+    PATHS = [PathConfig(10, 30, 50), PathConfig(10, 30, 50)]
+
+    def test_run_bulk_result_fields(self):
+        res = run_bulk("quic", self.PATHS, 200_000)
+        assert res.completed
+        assert res.protocol == "quic"
+        assert res.goodput_bps == pytest.approx(200_000 * 8 / res.transfer_time)
+
+    def test_repetitions_take_median(self):
+        res = run_bulk(
+            "quic",
+            [PathConfig(10, 30, 50, loss_percent=1.0)],
+            200_000,
+            repetitions=3,
+        )
+        assert res.completed
+        assert res.repetitions == 3
+
+    def test_deterministic_without_loss(self):
+        a = run_bulk("mpquic", self.PATHS, 300_000)
+        b = run_bulk("mpquic", self.PATHS, 300_000)
+        assert a.transfer_time == b.transfer_time
+
+
+class TestHandover:
+    def test_mpquic_handover_timeline_shape(self):
+        """The Fig. 11 shape: low delay, one spike at failure, then the
+        second path's RTT."""
+        delays = run_handover(HANDOVER_SCENARIO)
+        assert len(delays) == HANDOVER_SCENARIO.total_requests
+        fail = HANDOVER_SCENARIO.failure_time
+        before = [d for t, d in delays if t < fail - 0.5]
+        spike = [d for t, d in delays if fail - 0.1 <= t < fail + 0.8]
+        after = [d for t, d in delays if t > fail + 1.0]
+        # Steady state before: about the 15 ms path RTT.
+        assert max(before) < 0.025
+        # The affected request pays roughly an RTO (~200 ms), well under
+        # a second thanks to the PATHS-frame assisted failover.
+        assert spike and 0.05 < max(spike) < 1.0
+        # Afterwards: the 25 ms path, still seamless.
+        assert after and max(after) < 0.035
+
+    def test_all_requests_eventually_answered_despite_failure(self):
+        delays = run_handover(HANDOVER_SCENARIO)
+        assert len(delays) == HANDOVER_SCENARIO.total_requests

@@ -1,0 +1,126 @@
+"""Tests for TLS 1.3, TCP Fast Open and QUIC 0-RTT (§4.2's outlook).
+
+The paper notes that TCP's 3-RTT setup "could be reduced by using the
+emerging TLS 1.3 and TCP Fast Open"; these tests pin down the setup
+cost of each combination.
+"""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import TcpConnection
+
+from tests.helpers import run_transfer
+
+RTT = 0.04
+PATH = PathConfig(10, 40, 50)
+
+
+def tcp_setup_time(cfg):
+    sim = Simulator()
+    topo = TwoPathTopology(sim, [PATH], seed=1)
+    client = TcpConnection(sim, topo.client, "client", cfg)
+    server = TcpConnection(sim, topo.server, "server", cfg)
+    out = {}
+    client.on_established = lambda: out.update(t=sim.now)
+    client.connect()
+    sim.run(until=2.0)
+    assert server.secure_established
+    return out["t"]
+
+
+class TestTlsVersions:
+    def test_tls12_costs_three_rtt(self):
+        t = tcp_setup_time(TcpConfig(tls_version="1.2"))
+        assert 3 * RTT <= t < 4.2 * RTT
+
+    def test_tls13_costs_two_rtt(self):
+        t = tcp_setup_time(TcpConfig(tls_version="1.3"))
+        assert 2 * RTT <= t < 2.9 * RTT
+
+    def test_tfo_with_tls13_costs_one_rtt(self):
+        t = tcp_setup_time(TcpConfig(tls_version="1.3", fast_open=True))
+        assert 1 * RTT <= t < 1.9 * RTT
+
+    def test_tfo_with_tls12_costs_two_rtt(self):
+        t = tcp_setup_time(TcpConfig(tls_version="1.2", fast_open=True))
+        assert 2 * RTT <= t < 2.9 * RTT
+
+    def test_transfers_complete_under_all_combinations(self):
+        for version in ("1.2", "1.3"):
+            for tfo in (False, True):
+                cfg = TcpConfig(tls_version=version, fast_open=tfo)
+                result = run_transfer(
+                    "tcp", [PATH], file_size=150_000, tcp_config=cfg
+                )
+                assert result.ok, (version, tfo)
+                assert result.app.bytes_received == 150_000
+
+    def test_tfo_survives_syn_loss(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PATH], seed=1)
+        cfg = TcpConfig(tls_version="1.3", fast_open=True)
+        client = TcpConnection(sim, topo.client, "client", cfg)
+        server = TcpConnection(sim, topo.server, "server", cfg)
+        topo.forward_links[0].set_loss_rate(1.0)
+        client.connect()
+        sim.run(until=0.5)
+        topo.forward_links[0].set_loss_rate(0.0)
+        sim.run(until=5.0)
+        assert client.secure_established
+
+    def test_tfo_survives_synack_loss(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PATH], seed=1)
+        cfg = TcpConfig(tls_version="1.3", fast_open=True)
+        client = TcpConnection(sim, topo.client, "client", cfg)
+        server = TcpConnection(sim, topo.server, "server", cfg)
+        topo.return_links[0].set_loss_rate(1.0)
+        client.connect()
+        sim.run(until=0.5)
+        topo.return_links[0].set_loss_rate(0.0)
+        sim.run(until=5.0)
+        assert client.secure_established
+
+
+class TestZeroRttQuic:
+    def test_client_usable_immediately(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PATH], seed=1)
+        cfg = QuicConfig(zero_rtt=True)
+        client = QuicConnection(sim, topo.client, "client", cfg)
+        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        out = {}
+        client.on_established = lambda: out.update(t=sim.now)
+        client.connect()
+        assert out["t"] == 0.0
+
+    def test_request_data_arrives_with_handshake(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PATH], seed=1)
+        client = QuicConnection(sim, topo.client, "client", QuicConfig(zero_rtt=True))
+        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        got = {}
+        server.on_stream_data = lambda sid, d, fin: got.update(t=sim.now, data=d)
+        client.on_established = lambda: client.send_stream_data(
+            client.open_stream(), b"GET /", fin=True
+        )
+        client.connect()
+        sim.run(until=1.0)
+        # The request arrives half an RTT after connect (with the CHLO).
+        assert got["t"] < RTT
+        assert got["data"] == b"GET /"
+
+    def test_zero_rtt_transfer_faster_than_one_rtt(self):
+        fast = run_transfer(
+            "quic", [PATH], file_size=20_000,
+            quic_config=QuicConfig(zero_rtt=True),
+        )
+        normal = run_transfer(
+            "quic", [PATH], file_size=20_000, quic_config=QuicConfig()
+        )
+        assert normal.transfer_time - fast.transfer_time > RTT * 0.8

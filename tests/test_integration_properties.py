@@ -1,0 +1,95 @@
+"""Property-based integration tests: reliability invariants.
+
+Whatever the network looks like (within Table 1's ranges) and whatever
+the protocol, a transfer must complete, deliver exactly the requested
+bytes, and never violate flow control or nonce uniqueness (both of
+which raise inside the stacks).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.topology import PathConfig
+
+from tests.helpers import run_transfer
+
+
+def path_configs(lossy: bool):
+    loss = st.floats(0.0, 2.5) if lossy else st.just(0.0)
+    return st.builds(
+        PathConfig,
+        capacity_mbps=st.floats(0.5, 100.0),
+        rtt_ms=st.floats(1.0, 200.0),
+        queuing_delay_ms=st.floats(0.0, 400.0),
+        loss_percent=loss,
+    )
+
+
+COMMON_SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTransferInvariants:
+    @pytest.mark.parametrize("protocol", ["tcp", "quic", "mptcp", "mpquic"])
+    def test_delivers_exact_bytes_on_random_networks(self, protocol):
+        @given(
+            paths=st.tuples(path_configs(lossy=True), path_configs(lossy=True)),
+            seed=st.integers(0, 2**16),
+        )
+        @settings(**COMMON_SETTINGS)
+        def check(paths, seed):
+            result = run_transfer(
+                protocol, list(paths), file_size=120_000, seed=seed,
+                timeout=3000.0,
+            )
+            assert result.ok, f"{protocol} stalled on {paths}"
+            assert result.app.bytes_received == 120_000
+
+        check()
+
+    @given(
+        paths=st.tuples(path_configs(lossy=False), path_configs(lossy=False)),
+        initial=st.integers(0, 1),
+    )
+    @settings(**COMMON_SETTINGS)
+    def test_mpquic_initial_path_never_prevents_completion(self, paths, initial):
+        result = run_transfer(
+            "mpquic", list(paths), file_size=150_000,
+            initial_interface=initial, timeout=3000.0,
+        )
+        assert result.ok
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(**COMMON_SETTINGS)
+    def test_heavy_loss_never_breaks_reliability(self, seed):
+        paths = [
+            PathConfig(5.0, 30.0, 50.0, loss_percent=6.0),
+            PathConfig(3.0, 60.0, 80.0, loss_percent=6.0),
+        ]
+        result = run_transfer(
+            "mpquic", paths, file_size=80_000, seed=seed, timeout=3000.0,
+        )
+        assert result.ok
+        assert result.app.bytes_received == 80_000
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("protocol", ["tcp", "quic", "mptcp", "mpquic"])
+    def test_same_seed_same_outcome(self, protocol):
+        paths = [
+            PathConfig(8.0, 35.0, 60.0, loss_percent=1.0),
+            PathConfig(4.0, 70.0, 90.0, loss_percent=1.0),
+        ]
+        a = run_transfer(protocol, paths, file_size=200_000, seed=11)
+        b = run_transfer(protocol, paths, file_size=200_000, seed=11)
+        assert a.transfer_time == b.transfer_time
+        assert (
+            a.client.connection.stats.packets_received
+            == b.client.connection.stats.packets_received
+            if hasattr(a.client.connection, "stats")
+            else True
+        )

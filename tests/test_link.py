@@ -1,0 +1,152 @@
+"""Tests for the link model: serialization, queuing, loss, drops."""
+
+import random
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Datagram
+
+
+def make_link(sim, rate_bps=8e6, delay=0.01, queue=10_000, loss=0.0, sink=None):
+    return Link(
+        sim,
+        rate_bps=rate_bps,
+        prop_delay=delay,
+        queue_capacity=queue,
+        loss_rate=loss,
+        rng=random.Random(42),
+        sink=sink,
+    )
+
+
+class TestLinkTiming:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        arrivals = []
+        link = make_link(sim, rate_bps=8e6, delay=0.01, sink=lambda d: arrivals.append(sim.now))
+        link.send(Datagram(payload=None, size=1000))  # 1000B at 1MB/s = 1ms
+        sim.run()
+        assert arrivals == [pytest.approx(0.001 + 0.01)]
+
+    def test_back_to_back_packets_serialize_sequentially(self):
+        sim = Simulator()
+        arrivals = []
+        link = make_link(sim, rate_bps=8e6, delay=0.0, sink=lambda d: arrivals.append(sim.now))
+        link.send(Datagram(payload=None, size=1000))
+        link.send(Datagram(payload=None, size=1000))
+        sim.run()
+        assert arrivals == [pytest.approx(0.001), pytest.approx(0.002)]
+
+    def test_transmission_delay_helper(self):
+        sim = Simulator()
+        link = make_link(sim, rate_bps=8e6)
+        assert link.transmission_delay(1000) == pytest.approx(0.001)
+
+    def test_fifo_order_preserved(self):
+        sim = Simulator()
+        arrivals = []
+        link = make_link(sim, sink=lambda d: arrivals.append(d.payload))
+        for i in range(5):
+            link.send(Datagram(payload=i, size=500))
+        sim.run()
+        assert arrivals == [0, 1, 2, 3, 4]
+
+
+class TestLinkQueue:
+    def test_drop_tail_when_full(self):
+        sim = Simulator()
+        delivered = []
+        # Queue of 1500 bytes: first packet serializes, one queues, rest drop.
+        link = make_link(sim, queue=1500, sink=lambda d: delivered.append(d.payload))
+        assert link.send(Datagram(payload=0, size=1000))
+        assert link.send(Datagram(payload=1, size=1000))
+        assert not link.send(Datagram(payload=2, size=1000))
+        sim.run()
+        assert delivered == [0, 1]
+        assert link.stats.queue_drops == 1
+
+    def test_queue_drains_and_accepts_again(self):
+        sim = Simulator()
+        delivered = []
+        link = make_link(sim, queue=1000, sink=lambda d: delivered.append(d.payload))
+        link.send(Datagram(payload=0, size=1000))
+        link.send(Datagram(payload=1, size=1000))
+        sim.run()
+        assert link.send(Datagram(payload=2, size=1000))
+        sim.run()
+        assert delivered == [0, 1, 2]
+
+    def test_max_queue_stat(self):
+        sim = Simulator()
+        link = make_link(sim, queue=5000)
+        for i in range(4):
+            link.send(Datagram(payload=i, size=1000))
+        assert link.stats.max_queue_bytes == 3000
+        sim.run()
+        assert link.queued_bytes == 0
+
+
+class TestLinkLoss:
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        delivered = []
+        link = make_link(sim, queue=1_000_000, sink=lambda d: delivered.append(d))
+        for i in range(100):
+            link.send(Datagram(payload=i, size=100))
+        sim.run()
+        assert len(delivered) == 100
+        assert link.stats.random_losses == 0
+
+    def test_full_loss_delivers_nothing(self):
+        sim = Simulator()
+        delivered = []
+        link = make_link(sim, queue=1_000_000, loss=1.0, sink=lambda d: delivered.append(d))
+        for i in range(10):
+            link.send(Datagram(payload=i, size=100))
+        sim.run()
+        assert delivered == []
+        assert link.stats.random_losses == 10
+
+    def test_partial_loss_rate_roughly_respected(self):
+        sim = Simulator()
+        delivered = []
+        link = make_link(sim, queue=10_000_000, loss=0.2, sink=lambda d: delivered.append(d))
+        n = 2000
+        for i in range(n):
+            link.send(Datagram(payload=i, size=100))
+        sim.run()
+        observed = 1.0 - len(delivered) / n
+        assert 0.15 < observed < 0.25
+
+    def test_loss_is_deterministic_given_seed(self):
+        def run():
+            sim = Simulator()
+            delivered = []
+            link = make_link(sim, queue=10_000_000, loss=0.5, sink=lambda d: delivered.append(d.payload))
+            for i in range(50):
+                link.send(Datagram(payload=i, size=100))
+            sim.run()
+            return delivered
+
+        assert run() == run()
+
+    def test_set_loss_rate_midway(self):
+        sim = Simulator()
+        delivered = []
+        link = make_link(sim, queue=10_000_000, sink=lambda d: delivered.append(d.payload))
+        link.send(Datagram(payload=0, size=100))
+        sim.run()
+        link.set_loss_rate(1.0)
+        link.send(Datagram(payload=1, size=100))
+        sim.run()
+        assert delivered == [0]
+
+    def test_invalid_loss_rate_rejected(self):
+        sim = Simulator()
+        link = make_link(sim)
+        with pytest.raises(ValueError):
+            link.set_loss_rate(1.5)
+        with pytest.raises(ValueError):
+            make_link(sim, loss=-0.1)

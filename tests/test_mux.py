@@ -1,0 +1,121 @@
+"""Tests for CID-based connection multiplexing."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+from repro.quic.mux import ConnectionMux
+
+
+def make_muxed_pairs(n_connections=2, path=PathConfig(10, 40, 100)):
+    """``n`` client connections to one server host over one path."""
+    sim = Simulator()
+    topo = TwoPathTopology(sim, [path], seed=1)
+    client_mux = ConnectionMux(topo.client)
+    servers = {}
+
+    def accept(cid):
+        conn = QuicConnection(sim, topo.server, "server", QuicConfig(),
+                              connection_id=cid)
+        servers[cid] = conn
+        return conn
+
+    server_mux = ConnectionMux(topo.server, accept=accept)
+    clients = []
+    for i in range(n_connections):
+        conn = QuicConnection(
+            sim, topo.client, "client", QuicConfig(), connection_id=0x100 + i
+        )
+        client_mux.register(conn)
+        clients.append(conn)
+    return sim, topo, clients, servers, client_mux, server_mux
+
+
+class TestMux:
+    def test_two_connections_handshake_independently(self):
+        sim, topo, clients, servers, cmux, smux = make_muxed_pairs()
+        for c in clients:
+            c.connect()
+        sim.run(until=1.0)
+        assert all(c.established for c in clients)
+        assert len(servers) == 2
+        assert all(s.established for s in servers.values())
+
+    def test_duplicate_cid_rejected(self):
+        sim, topo, clients, servers, cmux, smux = make_muxed_pairs()
+        dup = QuicConnection(
+            sim, topo.client, "client", QuicConfig(),
+            connection_id=clients[0].connection_id,
+        )
+        with pytest.raises(ValueError):
+            cmux.register(dup)
+
+    def test_unknown_cid_dropped_without_acceptor(self):
+        sim, topo, clients, servers, cmux, smux = make_muxed_pairs()
+        # Client mux has no accept factory: a stray server packet with
+        # an unknown CID is counted and dropped.
+        stray = QuicConnection(
+            sim, topo.server, "server", QuicConfig(), connection_id=0xDEAD
+        )
+        smux.register(stray)
+        sid = None  # force a packet from the stray: use a ping path
+        from repro.quic.frames import PingFrame
+        path = stray._create_path(0, 0)
+        stray._queue_control(0, PingFrame())
+        stray._send_pending()
+        sim.run(until=1.0)
+        assert cmux.dropped_unknown >= 1
+
+    def test_concurrent_transfers_share_the_path(self):
+        sim, topo, clients, servers, cmux, smux = make_muxed_pairs()
+        done = {}
+
+        def make_handlers(index, client):
+            def on_server_data(sid, data, fin):
+                server = servers[client.connection_id]
+                if sid not in getattr(server, "_served", {}):
+                    server._served = {sid: True}
+                    server.send_stream_data(sid, b"z" * 400_000, fin=True)
+
+            def on_client_data(sid, data, fin):
+                if fin:
+                    done[index] = sim.now
+
+            return on_server_data, on_client_data
+
+        for i, c in enumerate(clients):
+            c.on_established = (
+                lambda c=c: c.send_stream_data(c.open_stream(), b"GET", fin=True)
+            )
+
+            def bind(i=i, c=c):
+                def client_data(sid, data, fin):
+                    if fin:
+                        done[i] = sim.now
+                c.on_stream_data = client_data
+            bind()
+        # Server-side data handlers attach as connections are accepted.
+        orig_accept = smux.accept
+
+        def accept_and_serve(cid):
+            conn = orig_accept(cid)
+            state = {}
+
+            def on_data(sid, data, fin):
+                if sid not in state:
+                    state[sid] = True
+                    conn.send_stream_data(sid, b"z" * 400_000, fin=True)
+
+            conn.on_stream_data = on_data
+            return conn
+
+        smux.accept = accept_and_serve
+        for c in clients:
+            c.connect()
+        ok = sim.run_until(lambda: len(done) == 2, timeout=30.0)
+        assert ok
+        # Both finished, at similar times (they share the bottleneck).
+        times = sorted(done.values())
+        assert times[1] < times[0] * 1.5

@@ -1,0 +1,174 @@
+"""Tests for the §3 nonce-uniqueness rule and QUIC connection migration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+from repro.quic.nonce import (
+    NonceReuseError,
+    PathAwareNonce,
+    SharedNonceSpace,
+)
+
+from tests.helpers import TWO_CLEAN_PATHS, run_transfer
+
+
+class TestPathAwareNonce:
+    def test_same_pn_on_different_paths_is_fine(self):
+        n = PathAwareNonce()
+        a = n.derive(0, 5)
+        b = n.derive(1, 5)
+        assert a != b
+
+    def test_reuse_within_path_rejected(self):
+        n = PathAwareNonce()
+        n.derive(0, 5)
+        with pytest.raises(NonceReuseError):
+            n.derive(0, 5)
+
+    def test_non_monotonic_rejected(self):
+        n = PathAwareNonce()
+        n.derive(0, 5)
+        with pytest.raises(NonceReuseError):
+            n.derive(0, 4)
+
+    def test_range_validation(self):
+        n = PathAwareNonce()
+        with pytest.raises(ValueError):
+            n.derive(300, 0)
+        with pytest.raises(ValueError):
+            n.derive(0, 1 << 90)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 500)),
+            min_size=1, max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_all_derived_nonces_distinct(self, pairs):
+        n = PathAwareNonce()
+        seen = set()
+        for path_id, pn in pairs:
+            try:
+                value = n.derive(path_id, pn)
+            except NonceReuseError:
+                continue
+            assert value not in seen
+            seen.add(value)
+
+
+class TestSharedNonceSpace:
+    def test_pn_consumed_once_across_paths(self):
+        n = SharedNonceSpace()
+        n.derive(0, 7)
+        with pytest.raises(NonceReuseError):
+            n.derive(1, 7)
+
+    def test_distinct_pns_fine(self):
+        n = SharedNonceSpace()
+        assert n.derive(0, 1) != n.derive(1, 2)
+
+
+class TestConnectionNonceIntegration:
+    def test_multipath_transfer_never_reuses_nonce(self):
+        # The connection derives a nonce for every transmitted packet
+        # and raises on reuse; a full lossy multipath transfer passing
+        # proves the invariant holds under retransmission and
+        # duplication.
+        result = run_transfer(
+            "mpquic",
+            [
+                PathConfig(10, 30, 50, loss_percent=2.0),
+                PathConfig(5, 60, 80, loss_percent=2.0),
+            ],
+            file_size=500_000,
+        )
+        assert result.ok
+
+
+class TestConnectionMigration:
+    def make_pair(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, TWO_CLEAN_PATHS, seed=1)
+        cfg = QuicConfig(migrate_on_failure=True)
+        client = QuicConnection(sim, topo.client, "client", cfg)
+        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        return sim, topo, client, server
+
+    def test_explicit_migrate_switches_interface(self):
+        sim, topo, client, server = self.make_pair()
+        client.connect()
+        sim.run(until=1.0)
+        client.migrate(1)
+        assert client.paths[0].interface_index == 1
+        # Congestion and RTT state were reset (cold path).
+        assert not client.paths[0].rtt.has_sample
+
+    def test_migrate_to_same_interface_is_noop(self):
+        sim, topo, client, server = self.make_pair()
+        client.connect()
+        sim.run(until=1.0)
+        rtt = client.paths[0].rtt
+        client.migrate(0)
+        assert client.paths[0].rtt is rtt
+
+    def test_traffic_continues_after_migration(self):
+        sim, topo, client, server = self.make_pair()
+        received = bytearray()
+        state, done = {}, {}
+
+        def osd(sid, data, fin):
+            if sid not in state:
+                state[sid] = True
+                server.send_stream_data(sid, b"m" * 400_000, fin=True)
+
+        server.on_stream_data = osd
+
+        def ocd(sid, data, fin):
+            received.extend(data)
+            if fin:
+                done["t"] = sim.now
+
+        client.on_stream_data = ocd
+        client.on_established = lambda: client.send_stream_data(
+            client.open_stream(), b"GET", fin=True
+        )
+        client.connect()
+        sim.run(until=0.15)
+        client.migrate(1)
+        ok = sim.run_until(lambda: "t" in done, timeout=30.0)
+        assert ok
+        assert len(received) == 400_000
+
+    def test_auto_migration_on_path_failure(self):
+        # A pure receiver needs keepalives to notice a dead path.
+        sim = Simulator()
+        topo = TwoPathTopology(sim, TWO_CLEAN_PATHS, seed=1)
+        cfg = QuicConfig(migrate_on_failure=True, keepalive_interval=0.2)
+        client = QuicConnection(sim, topo.client, "client", cfg)
+        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        state, done = {}, {}
+
+        def osd(sid, data, fin):
+            if sid not in state:
+                state[sid] = True
+                server.send_stream_data(sid, b"m" * 300_000, fin=True)
+
+        server.on_stream_data = osd
+        client.on_stream_data = (
+            lambda sid, d, fin: done.update(t=sim.now) if fin else None
+        )
+        client.on_established = lambda: client.send_stream_data(
+            client.open_stream(), b"GET", fin=True
+        )
+        client.connect()
+        sim.run(until=0.1)
+        topo.set_path_loss(0, 100.0)  # interface 0 dies
+        ok = sim.run_until(lambda: "t" in done, timeout=60.0)
+        assert ok
+        assert client.paths[0].interface_index == 1

@@ -1,0 +1,190 @@
+"""Unit and property tests for repro.util.ranges.RangeSet."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.ranges import RangeSet
+
+
+class TestRangeSetBasics:
+    def test_empty(self):
+        rs = RangeSet()
+        assert len(rs) == 0
+        assert not rs
+        assert rs.total == 0
+        assert 5 not in rs
+
+    def test_single_add(self):
+        rs = RangeSet()
+        rs.add(3, 7)
+        assert list(rs) == [(3, 7)]
+        assert rs.total == 4
+        assert 3 in rs and 6 in rs
+        assert 2 not in rs and 7 not in rs
+
+    def test_add_value(self):
+        rs = RangeSet()
+        rs.add_value(10)
+        assert list(rs) == [(10, 11)]
+
+    def test_empty_range_ignored(self):
+        rs = RangeSet()
+        rs.add(5, 5)
+        rs.add(7, 3)
+        assert not rs
+
+    def test_disjoint_adds_sorted(self):
+        rs = RangeSet()
+        rs.add(10, 12)
+        rs.add(0, 2)
+        rs.add(5, 6)
+        assert list(rs) == [(0, 2), (5, 6), (10, 12)]
+
+    def test_overlapping_merge(self):
+        rs = RangeSet()
+        rs.add(0, 5)
+        rs.add(3, 8)
+        assert list(rs) == [(0, 8)]
+
+    def test_touching_merge(self):
+        rs = RangeSet()
+        rs.add(0, 5)
+        rs.add(5, 8)
+        assert list(rs) == [(0, 8)]
+
+    def test_bridging_merge(self):
+        rs = RangeSet()
+        rs.add(0, 2)
+        rs.add(4, 6)
+        rs.add(1, 5)
+        assert list(rs) == [(0, 6)]
+
+    def test_superset_add(self):
+        rs = RangeSet()
+        rs.add(2, 3)
+        rs.add(5, 6)
+        rs.add(0, 10)
+        assert list(rs) == [(0, 10)]
+
+    def test_min_max(self):
+        rs = RangeSet([(4, 6), (9, 12)])
+        assert rs.min == 4
+        assert rs.max == 11
+
+    def test_contains_range(self):
+        rs = RangeSet([(0, 10)])
+        assert rs.contains_range(0, 10)
+        assert rs.contains_range(3, 7)
+        assert not rs.contains_range(5, 11)
+        assert rs.contains_range(5, 5)  # empty range is trivially contained
+
+    def test_intersects(self):
+        rs = RangeSet([(5, 10)])
+        assert rs.intersects(9, 20)
+        assert rs.intersects(0, 6)
+        assert not rs.intersects(0, 5)
+        assert not rs.intersects(10, 20)
+
+    def test_remove_middle_splits(self):
+        rs = RangeSet([(0, 10)])
+        rs.remove(3, 6)
+        assert list(rs) == [(0, 3), (6, 10)]
+
+    def test_remove_exact(self):
+        rs = RangeSet([(0, 10)])
+        rs.remove(0, 10)
+        assert not rs
+
+    def test_remove_spanning(self):
+        rs = RangeSet([(0, 3), (5, 8), (10, 12)])
+        rs.remove(2, 11)
+        assert list(rs) == [(0, 2), (11, 12)]
+
+    def test_remove_absent_noop(self):
+        rs = RangeSet([(5, 8)])
+        rs.remove(0, 3)
+        assert list(rs) == [(5, 8)]
+
+    def test_first_gap_after(self):
+        rs = RangeSet([(0, 5), (8, 10)])
+        assert rs.first_gap_after(0) == 5
+        assert rs.first_gap_after(5) == 5
+        assert rs.first_gap_after(8) == 10
+        assert rs.first_gap_after(20) == 20
+
+    def test_descending_ranges_with_limit(self):
+        rs = RangeSet([(0, 1), (3, 4), (6, 7), (9, 10)])
+        assert rs.descending_ranges() == [(9, 10), (6, 7), (3, 4), (0, 1)]
+        assert rs.descending_ranges(limit=2) == [(9, 10), (6, 7)]
+
+    def test_copy_is_independent(self):
+        rs = RangeSet([(0, 5)])
+        dup = rs.copy()
+        dup.add(10, 12)
+        assert list(rs) == [(0, 5)]
+        assert rs == RangeSet([(0, 5)])
+        assert dup != rs
+
+
+@st.composite
+def range_lists(draw):
+    n = draw(st.integers(0, 30))
+    out = []
+    for _ in range(n):
+        start = draw(st.integers(0, 200))
+        length = draw(st.integers(1, 30))
+        out.append((start, start + length))
+    return out
+
+
+class TestRangeSetProperties:
+    @given(range_lists())
+    @settings(max_examples=200)
+    def test_matches_reference_set(self, ranges):
+        rs = RangeSet()
+        reference = set()
+        for start, stop in ranges:
+            rs.add(start, stop)
+            reference.update(range(start, stop))
+        assert rs.total == len(reference)
+        for value in range(0, 240):
+            assert (value in rs) == (value in reference)
+
+    @given(range_lists(), range_lists())
+    @settings(max_examples=100)
+    def test_remove_matches_reference(self, adds, removes):
+        rs = RangeSet()
+        reference = set()
+        for start, stop in adds:
+            rs.add(start, stop)
+            reference.update(range(start, stop))
+        for start, stop in removes:
+            rs.remove(start, stop)
+            reference.difference_update(range(start, stop))
+        assert rs.total == len(reference)
+        for value in range(0, 240):
+            assert (value in rs) == (value in reference)
+
+    @given(range_lists())
+    @settings(max_examples=100)
+    def test_invariants_sorted_disjoint(self, ranges):
+        rs = RangeSet()
+        for start, stop in ranges:
+            rs.add(start, stop)
+        spans = list(rs)
+        for start, stop in spans:
+            assert start < stop
+        for (_, prev_stop), (next_start, _) in zip(spans, spans[1:]):
+            assert prev_stop < next_start  # disjoint and non-touching
+
+    @given(range_lists())
+    @settings(max_examples=50)
+    def test_add_is_idempotent(self, ranges):
+        rs = RangeSet()
+        for start, stop in ranges:
+            rs.add(start, stop)
+        snapshot = list(rs)
+        for start, stop in ranges:
+            rs.add(start, stop)
+        assert list(rs) == snapshot

@@ -1,0 +1,120 @@
+"""Unit and property tests for the byte-stream reassembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.reassembly import Reassembler
+
+
+class TestReassemblerBasics:
+    def test_in_order_delivery(self):
+        r = Reassembler()
+        r.insert(0, b"hello ")
+        assert r.pop_ready() == b"hello "
+        r.insert(6, b"world")
+        assert r.pop_ready() == b"world"
+        assert r.read_offset == 11
+
+    def test_out_of_order_held_back(self):
+        r = Reassembler()
+        r.insert(5, b"world")
+        assert r.pop_ready() == b""
+        r.insert(0, b"hello")
+        assert r.pop_ready() == b"helloworld"
+
+    def test_duplicate_ignored(self):
+        r = Reassembler()
+        r.insert(0, b"abc")
+        r.insert(0, b"abc")
+        assert r.pop_ready() == b"abc"
+        assert r.bytes_received == 3
+
+    def test_overlap_trimmed(self):
+        r = Reassembler()
+        r.insert(0, b"abcd")
+        r.insert(2, b"cdef")
+        assert r.pop_ready() == b"abcdef"
+
+    def test_old_data_dropped(self):
+        r = Reassembler()
+        r.insert(0, b"abc")
+        r.pop_ready()
+        r.insert(0, b"abc")  # already consumed
+        assert r.pop_ready() == b""
+
+    def test_partial_past_chunk(self):
+        r = Reassembler()
+        r.insert(0, b"ab")
+        r.pop_ready()
+        r.insert(1, b"bcd")  # one stale byte, two fresh
+        assert r.pop_ready() == b"cd"
+
+    def test_final_size_and_completion(self):
+        r = Reassembler()
+        r.set_final_size(4)
+        assert not r.is_complete()
+        r.insert(0, b"abcd")
+        r.pop_ready()
+        assert r.is_complete()
+
+    def test_conflicting_final_size_raises(self):
+        r = Reassembler()
+        r.set_final_size(4)
+        with pytest.raises(ValueError):
+            r.set_final_size(5)
+
+    def test_data_beyond_final_size_raises(self):
+        r = Reassembler()
+        r.set_final_size(3)
+        with pytest.raises(ValueError):
+            r.insert(2, b"xy")
+
+    def test_highest_offset(self):
+        r = Reassembler()
+        assert r.highest_offset == 0
+        r.insert(10, b"abc")
+        assert r.highest_offset == 13
+
+
+class TestReassemblerProperties:
+    @given(st.binary(min_size=1, max_size=300), st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_arbitrary_fragmentation_reassembles(self, payload, rng):
+        # Cut the payload into random chunks, deliver shuffled (with some
+        # duplicates), and require exact reconstruction.
+        cuts = sorted(
+            {0, len(payload)}
+            | {rng.randrange(len(payload) + 1) for _ in range(min(10, len(payload)))}
+        )
+        chunks = [
+            (start, payload[start:stop]) for start, stop in zip(cuts, cuts[1:])
+        ]
+        chunks += [chunks[rng.randrange(len(chunks))] for _ in range(2)]
+        rng.shuffle(chunks)
+        r = Reassembler()
+        r.set_final_size(len(payload))
+        received = bytearray()
+        for offset, chunk in chunks:
+            r.insert(offset, chunk)
+            received += r.pop_ready()
+        assert bytes(received) == payload
+        assert r.is_complete()
+
+    @given(st.binary(min_size=1, max_size=200), st.randoms(use_true_random=False))
+    @settings(max_examples=50)
+    def test_overlapping_fragments_reassemble(self, payload, rng):
+        r = Reassembler()
+        n = len(payload)
+        pieces = []
+        for _ in range(12):
+            start = rng.randrange(n)
+            stop = min(n, start + 1 + rng.randrange(40))
+            pieces.append((start, payload[start:stop]))
+        pieces.append((0, payload))  # guarantee full coverage
+        rng.shuffle(pieces)
+        out = bytearray()
+        for offset, chunk in pieces:
+            r.insert(offset, chunk)
+            out += r.pop_ready()
+        assert bytes(out) == payload

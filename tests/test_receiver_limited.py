@@ -1,0 +1,124 @@
+"""Tests for receiver-limited transfers (rate-limited app consumption)
+and per-stream fairness of the round-robin stream scheduler."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+
+from tests.helpers import run_transfer
+
+
+class TestReceiverLimited:
+    def test_flow_control_throttles_to_consume_rate(self):
+        """A 10 Mbps link with a 2 Mbps reader finishes at reader speed."""
+        size = 1_000_000
+        cfg = QuicConfig(app_consume_rate_bps=2e6)
+        result = run_transfer(
+            "quic", [PathConfig(10, 20, 100)], file_size=size,
+            quic_config=cfg, timeout=60.0,
+        )
+        assert result.ok
+        expected = size * 8 / 2e6  # 4 seconds at reader speed
+        assert result.transfer_time == pytest.approx(expected, rel=0.35)
+        # Clearly slower than the network-limited case.
+        network_limited = size * 8 / 10e6
+        assert result.transfer_time > network_limited * 2
+
+    def test_fast_reader_changes_nothing(self):
+        size = 500_000
+        slow = run_transfer(
+            "quic", [PathConfig(10, 20, 100)], file_size=size,
+            quic_config=QuicConfig(app_consume_rate_bps=100e6),
+        )
+        instant = run_transfer(
+            "quic", [PathConfig(10, 20, 100)], file_size=size,
+        )
+        assert slow.transfer_time == pytest.approx(
+            instant.transfer_time, rel=0.15
+        )
+
+    def test_receiver_limited_multipath(self):
+        cfg = QuicConfig(app_consume_rate_bps=3e6)
+        result = run_transfer(
+            "mpquic",
+            [PathConfig(10, 20, 100), PathConfig(10, 20, 100)],
+            file_size=1_000_000, quic_config=cfg, timeout=60.0,
+        )
+        assert result.ok
+        # ~3 Mbps despite 20 Mbps of aggregate capacity.
+        assert result.transfer_time > 1_000_000 * 8 / 20e6 * 3
+
+
+class TestStreamFairness:
+    def test_concurrent_streams_finish_together(self):
+        """Round-robin stream scheduling: two equal downloads started
+        together complete at nearly the same time, instead of the first
+        stream monopolising the connection."""
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PathConfig(10, 40, 80)], seed=1)
+        client = QuicConnection(sim, topo.client, "client", QuicConfig())
+        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        finished = {}
+        state = {}
+
+        def on_server_data(sid, data, fin):
+            if sid not in state:
+                state[sid] = True
+                server.send_stream_data(sid, b"x" * 400_000, fin=True)
+
+        server.on_stream_data = on_server_data
+
+        def on_client_data(sid, data, fin):
+            if fin:
+                finished[sid] = sim.now
+
+        client.on_stream_data = on_client_data
+
+        def go():
+            for _ in range(2):
+                sid = client.open_stream()
+                client.send_stream_data(sid, b"GET", fin=True)
+
+        client.on_established = go
+        client.connect()
+        sim.run_until(lambda: len(finished) == 2, timeout=30.0)
+        times = sorted(finished.values())
+        # The two completions are within 25% of each other.
+        assert times[1] - times[0] < times[1] * 0.25
+
+    def test_interleaving_visible_in_progress(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PathConfig(10, 40, 80)], seed=1)
+        client = QuicConnection(sim, topo.client, "client", QuicConfig())
+        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        progress = {}
+        state = {}
+
+        def on_server_data(sid, data, fin):
+            if sid not in state:
+                state[sid] = True
+                server.send_stream_data(sid, b"x" * 300_000, fin=True)
+
+        server.on_stream_data = on_server_data
+
+        def on_client_data(sid, data, fin):
+            progress.setdefault(sid, 0)
+            progress[sid] += len(data)
+
+        client.on_stream_data = on_client_data
+
+        def go():
+            for _ in range(2):
+                sid = client.open_stream()
+                client.send_stream_data(sid, b"GET", fin=True)
+
+        client.on_established = go
+        client.connect()
+        sim.run(until=0.35)  # mid-transfer
+        # Both streams have made substantial progress concurrently.
+        assert len(progress) == 2
+        low, high = sorted(progress.values())
+        assert low > high * 0.4

@@ -1,0 +1,165 @@
+"""Tests for QUIC loss recovery (one packet-number space)."""
+
+import pytest
+
+from repro.quic.frames import AckFrame, PingFrame, StreamFrame
+from repro.quic.recovery import LossRecovery
+from repro.quic.rtt import RttEstimator
+
+
+def make_recovery():
+    return LossRecovery(RttEstimator())
+
+
+def send(rec, pn, now=0.0, size=1300):
+    rec.on_packet_sent(pn, (StreamFrame(1, pn * size, b"x" * 10, False),),
+                       size, now, ack_eliciting=True)
+
+
+def ack(rec, ranges, now, largest=None, delay=0.0):
+    largest = largest if largest is not None else max(r[1] for r in ranges) - 1
+    return rec.on_ack_received(
+        AckFrame(path_id=0, largest_acked=largest, ack_delay=delay,
+                 ranges=tuple(sorted(ranges, reverse=True))),
+        now,
+    )
+
+
+class TestAckProcessing:
+    def test_simple_ack_removes_and_samples_rtt(self):
+        rec = make_recovery()
+        send(rec, 0, now=0.0)
+        result = ack(rec, [(0, 1)], now=0.05)
+        assert [sp.packet_number for sp in result.newly_acked] == [0]
+        assert result.rtt_sample == pytest.approx(0.05)
+        assert rec.bytes_in_flight == 0
+        assert rec.rtt.has_sample
+
+    def test_rtt_sample_only_from_largest(self):
+        rec = make_recovery()
+        send(rec, 0, now=0.0)
+        send(rec, 1, now=0.01)
+        result = ack(rec, [(0, 2)], now=0.06)
+        assert result.rtt_sample == pytest.approx(0.05)  # 0.06 - 0.01
+
+    def test_duplicate_ack_harmless(self):
+        rec = make_recovery()
+        send(rec, 0)
+        ack(rec, [(0, 1)], now=0.05)
+        result = ack(rec, [(0, 1)], now=0.06)
+        assert result.newly_acked == []
+
+    def test_bytes_in_flight_accounting(self):
+        rec = make_recovery()
+        for pn in range(5):
+            send(rec, pn, size=1000)
+        assert rec.bytes_in_flight == 5000
+        ack(rec, [(0, 3)], now=0.05)
+        assert rec.bytes_in_flight == 2000
+
+
+class TestLossDetection:
+    def test_packet_threshold_loss(self):
+        rec = make_recovery()
+        for pn in range(5):
+            send(rec, pn, now=0.0)
+        # Ack only pn 4: pns 0 and 1 are >= 3 behind -> lost.
+        result = ack(rec, [(4, 5)], now=0.05)
+        lost_pns = sorted(sp.packet_number for sp in result.lost)
+        assert lost_pns == [0, 1]
+        assert 2 in rec.sent and 3 in rec.sent
+
+    def test_time_threshold_loss(self):
+        rec = make_recovery()
+        rec.rtt.update(0.1)
+        send(rec, 0, now=0.0)
+        send(rec, 1, now=0.3)
+        result = ack(rec, [(1, 2)], now=0.4)
+        # pn 0 only 1 behind, but sent 0.4s ago > 1.125 * srtt.
+        assert [sp.packet_number for sp in result.lost] == [0]
+
+    def test_next_loss_time(self):
+        rec = make_recovery()
+        rec.rtt.update(0.1)
+        send(rec, 0, now=0.0)
+        send(rec, 1, now=0.05)
+        ack(rec, [(1, 2)], now=0.1)
+        t = rec.next_loss_time(0.1)
+        # The ack itself updated srtt (sample 0.05): the candidate is
+        # time_sent(pn 0) + 1.125 * max(srtt, latest).
+        expected = 0.0 + 1.125 * max(rec.rtt.smoothed, rec.rtt.latest)
+        assert t == pytest.approx(expected, rel=0.01)
+
+    def test_detect_losses_now_after_timer(self):
+        rec = make_recovery()
+        rec.rtt.update(0.1)
+        send(rec, 0, now=0.0)
+        send(rec, 1, now=0.0)
+        ack(rec, [(1, 2)], now=0.05)
+        assert rec.detect_losses_now(0.05) == []
+        lost = rec.detect_losses_now(0.2)
+        assert [sp.packet_number for sp in lost] == [0]
+
+    def test_spurious_late_ack_after_loss(self):
+        rec = make_recovery()
+        for pn in range(5):
+            send(rec, pn, now=0.0)
+        ack(rec, [(4, 5)], now=0.05)  # declares 0, 1 lost
+        result = ack(rec, [(0, 5)], now=0.06)  # late ack covers them
+        acked = sorted(sp.packet_number for sp in result.newly_acked)
+        assert acked == [2, 3]  # lost ones already handed back
+
+
+class TestRto:
+    def test_rto_timeout_backoff(self):
+        rec = make_recovery()
+        rec.rtt.update(0.1)
+        base = rec.rto_timeout(min_rto=0.2, max_rto=60.0, initial_rto=0.5)
+        rec.consecutive_rtos = 2
+        assert rec.rto_timeout(0.2, 60.0, 0.5) == pytest.approx(base * 4)
+
+    def test_initial_rto_without_sample(self):
+        rec = make_recovery()
+        assert rec.rto_timeout(0.2, 60.0, 0.5) == 0.5
+
+    def test_rto_marks_all_in_flight_lost(self):
+        rec = make_recovery()
+        for pn in range(4):
+            send(rec, pn)
+        lost = rec.on_rto_fired(1.0)
+        assert sorted(sp.packet_number for sp in lost) == [0, 1, 2, 3]
+        assert rec.bytes_in_flight == 0
+        assert rec.consecutive_rtos == 1
+
+    def test_ack_resets_rto_backoff(self):
+        rec = make_recovery()
+        send(rec, 0)
+        rec.on_rto_fired(1.0)
+        send(rec, 1, now=1.0)
+        ack(rec, [(1, 2)], now=1.1)
+        assert rec.consecutive_rtos == 0
+
+    def test_has_eliciting_in_flight(self):
+        rec = make_recovery()
+        assert not rec.has_eliciting_in_flight()
+        send(rec, 0)
+        assert rec.has_eliciting_in_flight()
+        ack(rec, [(0, 1)], now=0.1)
+        assert not rec.has_eliciting_in_flight()
+
+
+class TestFloorOptimisation:
+    def test_floor_advances_past_resolved_packets(self):
+        rec = make_recovery()
+        for pn in range(100):
+            send(rec, pn, now=pn * 0.001)
+        ack(rec, [(0, 100)], now=0.2)
+        assert rec._floor >= 98  # everything below largest resolved
+
+    def test_floor_blocked_by_unacked_holes(self):
+        rec = make_recovery()
+        send(rec, 0)
+        send(rec, 1)
+        send(rec, 2)
+        ack(rec, [(1, 3)], now=0.05)  # pn 0 unresolved but now lost? no: 2 behind
+        assert 0 in rec.sent or rec._floor == 0

@@ -1,0 +1,62 @@
+"""Tests for CSV export and the figures command-line interface."""
+
+import csv
+import os
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.report import SWEEP_CSV_HEADERS, save_csv, sweep_to_rows
+
+
+class TestSaveCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        save_csv(str(path), ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+class TestSweepToRows:
+    def test_rows_match_matrix(self):
+        config = figures.SweepConfig(scenarios=2, file_size=200_000, seed=7)
+        sweep = figures.run_class_sweep("low-bdp-no-loss", config)
+        rows = sweep_to_rows(sweep)
+        # 2 scenarios x 4 protocols x 2 initial interfaces.
+        assert len(rows) == 16
+        assert all(len(row) == len(SWEEP_CSV_HEADERS) for row in rows)
+        protocols = {row[2] for row in rows}
+        assert protocols == {"tcp", "quic", "mptcp", "mpquic"}
+        assert all(row[-1] for row in rows)  # all completed
+
+
+class TestFiguresCli:
+    def test_fig11_via_cli(self, capsys):
+        assert figures.main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 11" in out
+
+    def test_csv_option(self, tmp_path, capsys):
+        out_file = tmp_path / "runs.csv"
+        code = figures.main(
+            ["fig3", "--scenarios", "2", "--file-size", "200000",
+             "--csv", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        with open(out_file) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == SWEEP_CSV_HEADERS
+        assert len(rows) >= 17  # header + 16 runs
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            figures.main(["fig99"])
+
+    def test_scenario_override(self, capsys):
+        code = figures.main(
+            ["fig9", "--scenarios", "2", "--small-file-size", "64000"]
+        )
+        assert code == 0
+        assert "64000" in capsys.readouterr().out

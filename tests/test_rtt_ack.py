@@ -1,0 +1,143 @@
+"""Tests for RTT estimation and the receiver-side ACK manager."""
+
+import pytest
+
+from repro.quic.ackmgr import ACK_EVERY_N, AckManager, MAX_ACK_DELAY
+from repro.quic.frames import MAX_ACK_RANGES
+from repro.quic.rtt import RttEstimator
+
+
+class TestRttEstimator:
+    def test_no_sample_initially(self):
+        rtt = RttEstimator()
+        assert not rtt.has_sample
+        assert rtt.rto() == 0.5  # initial RTO before any sample
+
+    def test_first_sample_initialises(self):
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        assert rtt.smoothed == pytest.approx(0.1)
+        assert rtt.variance == pytest.approx(0.05)
+        assert rtt.min_rtt == pytest.approx(0.1)
+
+    def test_ewma_smoothing(self):
+        rtt = RttEstimator()
+        rtt.update(0.1)
+        rtt.update(0.2)
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+    def test_ack_delay_subtracted_in_quic_mode(self):
+        rtt = RttEstimator(use_ack_delay=True)
+        rtt.update(0.1)
+        rtt.update(0.15, ack_delay=0.04)  # adjusted to 0.11
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.11)
+
+    def test_ack_delay_not_below_min(self):
+        rtt = RttEstimator(use_ack_delay=True)
+        rtt.update(0.1)
+        # Subtracting would push below min_rtt: keep the raw sample.
+        rtt.update(0.105, ack_delay=0.05)
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.105)
+
+    def test_karn_mode_ignores_ack_delay(self):
+        rtt = RttEstimator(use_ack_delay=False)
+        rtt.update(0.1)
+        rtt.update(0.15, ack_delay=0.04)
+        assert rtt.smoothed == pytest.approx(0.875 * 0.1 + 0.125 * 0.15)
+
+    def test_nonpositive_samples_ignored(self):
+        rtt = RttEstimator()
+        rtt.update(0.0)
+        rtt.update(-1.0)
+        assert not rtt.has_sample
+
+    def test_rto_bounds(self):
+        rtt = RttEstimator()
+        rtt.update(0.001)
+        assert rtt.rto(min_rto=0.2) >= 0.2
+        rtt2 = RttEstimator()
+        rtt2.update(100.0)
+        assert rtt2.rto(max_rto=60.0) <= 60.0
+
+    def test_min_rtt_tracks_smallest(self):
+        rtt = RttEstimator()
+        for s in (0.2, 0.1, 0.3, 0.05):
+            rtt.update(s)
+        assert rtt.min_rtt == pytest.approx(0.05)
+
+
+class TestAckManager:
+    def test_ack_pending_after_eliciting(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=True)
+        assert mgr.ack_pending
+        assert not mgr.should_ack_now()  # below threshold, no gap
+
+    def test_ack_every_second_packet(self):
+        mgr = AckManager(path_id=0)
+        for pn in range(ACK_EVERY_N):
+            mgr.on_packet_received(pn, now=0.0, ack_eliciting=True)
+        assert mgr.should_ack_now()
+
+    def test_gap_triggers_immediate_ack(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=True)
+        mgr.build_ack(0.0)
+        mgr.on_packet_received(2, now=0.1, ack_eliciting=True)  # pn 1 missing
+        assert mgr.should_ack_now()
+
+    def test_non_eliciting_does_not_demand_ack(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=False)
+        assert not mgr.ack_pending
+
+    def test_build_ack_contents(self):
+        mgr = AckManager(path_id=2)
+        for pn in (0, 1, 2, 5, 6):
+            mgr.on_packet_received(pn, now=1.0, ack_eliciting=True)
+        ack = mgr.build_ack(now=1.010)
+        assert ack.path_id == 2
+        assert ack.largest_acked == 6
+        assert ack.ranges == ((5, 7), (0, 3))
+        assert ack.ack_delay == pytest.approx(0.010)
+
+    def test_build_ack_commits_state(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=True)
+        mgr.build_ack(0.0)
+        assert not mgr.ack_pending
+
+    def test_build_ack_peek_does_not_commit(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=True)
+        mgr.build_ack(0.0, commit=False)
+        assert mgr.ack_pending
+        mgr.commit_ack()
+        assert not mgr.ack_pending
+
+    def test_duplicate_not_counted(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=True)
+        mgr.on_packet_received(0, now=0.1, ack_eliciting=True)
+        assert not mgr.should_ack_now()  # still a single distinct packet
+
+    def test_range_cap(self):
+        mgr = AckManager(path_id=0)
+        for pn in range(0, 4 * (MAX_ACK_RANGES + 10), 4):
+            mgr.on_packet_received(pn, now=0.0, ack_eliciting=True)
+        ack = mgr.build_ack(0.0)
+        assert len(ack.ranges) == MAX_ACK_RANGES
+        # Highest ranges are reported first.
+        assert ack.ranges[0][1] - 1 == ack.largest_acked
+
+    def test_empty_build_returns_none(self):
+        mgr = AckManager(path_id=0)
+        assert mgr.build_ack(0.0) is None
+
+    def test_forget_below(self):
+        mgr = AckManager(path_id=0)
+        for pn in range(10):
+            mgr.on_packet_received(pn, now=0.0, ack_eliciting=True)
+        mgr.forget_below(5)
+        ack = mgr.build_ack(0.0)
+        assert ack.ranges == ((5, 10),)

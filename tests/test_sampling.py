@@ -1,0 +1,84 @@
+"""Tests for the time-series connection samplers."""
+
+import pytest
+
+from repro.apps.bulk import BulkTransferApp
+from repro.apps.transport import make_client_server
+from repro.experiments.sampling import ConnectionSampler, MptcpSampler
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+
+from tests.helpers import TWO_CLEAN_PATHS
+
+
+def run_sampled(protocol="mpquic", file_size=1_000_000, interval=0.05):
+    sim = Simulator()
+    topo = TwoPathTopology(sim, TWO_CLEAN_PATHS, seed=1)
+    client, server = make_client_server(protocol, sim, topo)
+    app = BulkTransferApp(sim, client, server, file_size)
+    sampler = ConnectionSampler(
+        sim, server.connection, interval=interval,
+        stop_when=lambda: app.complete,
+    )
+    sampler.start()
+    app.start()
+    sim.run_until(lambda: app.complete, timeout=60.0)
+    return app, sampler
+
+
+class TestConnectionSampler:
+    def test_samples_taken_at_interval(self):
+        app, sampler = run_sampled()
+        assert len(sampler.samples) >= 5
+        gaps = [
+            b.time - a.time
+            for a, b in zip(sampler.samples, sampler.samples[1:])
+        ]
+        assert all(g == pytest.approx(0.05) for g in gaps)
+
+    def test_sent_goodput_sums_to_file_size(self):
+        app, sampler = run_sampled()
+        series = sampler.goodput_series(direction="sent")
+        total_bits = sum(
+            bps * dt
+            for (t, bps), dt in zip(
+                series,
+                [series[0][0]] + [b[0] - a[0] for a, b in zip(series, series[1:])],
+            )
+        )
+        # Sampling stops at completion; allow the last interval's slack.
+        assert total_bits >= app.file_size * 8 * 0.8
+
+    def test_cwnd_series_positive_and_growing_early(self):
+        app, sampler = run_sampled()
+        series = sampler.cwnd_series(0)
+        assert all(v > 0 for _, v in series)
+        assert series[-1][1] >= series[0][1]
+
+    def test_path_split_fractions(self):
+        app, sampler = run_sampled()
+        split = sampler.path_split()
+        assert set(split) == {0, 1}
+        assert sum(split.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in split.values())
+
+    def test_stop_when_ends_sampling(self):
+        app, sampler = run_sampled()
+        final = sampler.samples[-1].time
+        assert final <= app.completion_time + 0.05 + 1e-9
+
+
+class TestMptcpSampler:
+    def test_subflow_snapshots(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, TWO_CLEAN_PATHS, seed=1)
+        client, server = make_client_server("mptcp", sim, topo)
+        app = BulkTransferApp(sim, client, server, 500_000)
+        sampler = MptcpSampler(sim, server.connection, interval=0.05)
+        sampler.start()
+        app.start()
+        sim.run_until(lambda: app.complete, timeout=60.0)
+        assert sampler.samples
+        last = sampler.samples[-1]
+        assert set(last["cwnd"]) == {0, 1}
+        assert all(v > 0 for v in last["cwnd"].values())

@@ -1,0 +1,186 @@
+"""Tests for stream send/receive state and flow-control windows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quic.flowcontrol import FlowControlError, ReceiveWindow, SendWindow
+from repro.quic.frames import StreamFrame
+from repro.quic.stream import RecvStream, SendStream
+
+
+class TestSendStream:
+    def test_produces_frames_in_order(self):
+        s = SendStream(1)
+        s.write(b"abcdef", fin=True)
+        f1, new1 = s.next_frame(max_bytes=4, flow_budget=100)
+        f2, new2 = s.next_frame(max_bytes=4, flow_budget=100)
+        assert (f1.offset, f1.data, f1.fin) == (0, b"abcd", False)
+        assert (f2.offset, f2.data, f2.fin) == (4, b"ef", True)
+        assert new1 == 4 and new2 == 2
+
+    def test_flow_budget_limits_new_data(self):
+        s = SendStream(1)
+        s.write(b"abcdef")
+        frame, new = s.next_frame(max_bytes=100, flow_budget=3)
+        assert frame.data == b"abc"
+        assert not s.has_data_to_send(flow_budget=0)
+
+    def test_retransmission_priority_and_no_budget(self):
+        s = SendStream(1)
+        s.write(b"abcdef")
+        frame, _ = s.next_frame(100, 100)
+        s.on_frame_lost(frame)
+        assert s.has_data_to_send(flow_budget=0)  # retransmits bypass budget
+        retx, new = s.next_frame(100, 0)
+        assert retx.data == b"abcdef"
+        assert new == 0
+
+    def test_lost_then_acked_not_retransmitted(self):
+        s = SendStream(1)
+        s.write(b"abcdef")
+        frame, _ = s.next_frame(100, 100)
+        s.on_frame_acked(frame)  # e.g. the duplicate copy arrived first
+        s.on_frame_lost(frame)
+        assert not s.has_data_to_send(flow_budget=100)
+
+    def test_partial_ack_partial_retransmit(self):
+        s = SendStream(1)
+        s.write(b"abcdef")
+        f1, _ = s.next_frame(3, 100)  # abc
+        f2, _ = s.next_frame(3, 100)  # def
+        s.on_frame_acked(f2)
+        s.on_frame_lost(f1)
+        retx, _ = s.next_frame(100, 100)
+        assert (retx.offset, retx.data) == (0, b"abc")
+
+    def test_all_acked_requires_fin(self):
+        s = SendStream(1)
+        s.write(b"ab", fin=True)
+        frame, _ = s.next_frame(100, 100)
+        assert not s.all_acked
+        s.on_frame_acked(frame)
+        assert s.all_acked
+
+    def test_lost_fin_resent(self):
+        s = SendStream(1)
+        s.write(b"ab", fin=True)
+        frame, _ = s.next_frame(100, 100)
+        s.on_frame_lost(frame)
+        retx, _ = s.next_frame(100, 100)
+        assert retx.fin
+
+    def test_empty_fin_frame(self):
+        s = SendStream(1)
+        s.write(b"ab")
+        s.next_frame(100, 100)
+        s.write(b"", fin=True)
+        frame, new = s.next_frame(100, 100)
+        assert frame.fin and frame.data == b"" and new == 0
+
+    def test_write_after_fin_rejected(self):
+        s = SendStream(1)
+        s.write(b"x", fin=True)
+        with pytest.raises(ValueError):
+            s.write(b"y")
+
+    @given(st.binary(min_size=1, max_size=500), st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_fragmentation_preserves_content(self, payload, chunk):
+        s = SendStream(1)
+        s.write(payload, fin=True)
+        out = bytearray(len(payload))
+        fin_seen = False
+        while True:
+            result = s.next_frame(chunk, 10**9)
+            if result is None:
+                break
+            frame, _ = result
+            out[frame.offset:frame.offset + len(frame.data)] = frame.data
+            fin_seen = fin_seen or frame.fin
+        assert bytes(out) == payload
+        assert fin_seen
+
+
+class TestRecvStream:
+    def test_in_order_delivery_and_completion(self):
+        r = RecvStream(1)
+        ready = r.on_frame(StreamFrame(1, 0, b"abc", False))
+        assert ready == b"abc"
+        ready = r.on_frame(StreamFrame(1, 3, b"def", True))
+        assert ready == b"def"
+        assert r.is_complete
+
+    def test_out_of_order_buffered(self):
+        r = RecvStream(1)
+        assert r.on_frame(StreamFrame(1, 3, b"def", True)) == b""
+        assert r.on_frame(StreamFrame(1, 0, b"abc", False)) == b"abcdef"
+
+    def test_highest_offset(self):
+        r = RecvStream(1)
+        r.on_frame(StreamFrame(1, 10, b"xy", False))
+        assert r.highest_offset == 12
+
+
+class TestReceiveWindow:
+    def test_limit_enforced(self):
+        w = ReceiveWindow(initial_window=100, max_window=1000)
+        w.on_data_received(100)
+        with pytest.raises(FlowControlError):
+            w.on_data_received(101)
+
+    def test_update_when_half_consumed(self):
+        w = ReceiveWindow(initial_window=100, max_window=1000, autotune=False)
+        w.on_data_received(60)
+        w.on_data_consumed(60)
+        new_limit = w.maybe_update(now=1.0, smoothed_rtt=0.1)
+        assert new_limit == 160
+
+    def test_no_update_before_half(self):
+        w = ReceiveWindow(initial_window=100, max_window=1000)
+        w.on_data_consumed(10)
+        assert w.maybe_update(1.0, 0.1) is None
+
+    def test_autotune_doubles_under_fast_updates(self):
+        w = ReceiveWindow(initial_window=100, max_window=1000, autotune=True)
+        w.on_data_consumed(60)
+        assert w.maybe_update(now=1.0, smoothed_rtt=0.1) == 160
+        w.on_data_consumed(60)
+        # Second update well within 2 RTT: window doubles to 200.
+        assert w.maybe_update(now=1.05, smoothed_rtt=0.1) == 120 + 200
+
+    def test_autotune_capped_at_max(self):
+        w = ReceiveWindow(initial_window=600, max_window=1000, autotune=True)
+        now = 0.0
+        for i in range(5):
+            w.on_data_consumed(600)
+            now += 0.01
+            w.maybe_update(now, smoothed_rtt=0.5)
+        assert w.window_size == 1000
+
+    def test_no_autotune_with_slow_updates(self):
+        w = ReceiveWindow(initial_window=100, max_window=1000, autotune=True)
+        w.on_data_consumed(60)
+        w.maybe_update(now=1.0, smoothed_rtt=0.01)
+        w.on_data_consumed(60)
+        w.maybe_update(now=2.0, smoothed_rtt=0.01)  # far beyond 2 RTT
+        assert w.window_size == 100
+
+
+class TestSendWindow:
+    def test_consume_and_available(self):
+        w = SendWindow(100)
+        assert w.available == 100
+        w.consume(40)
+        assert w.available == 60
+
+    def test_over_consume_rejected(self):
+        w = SendWindow(10)
+        with pytest.raises(FlowControlError):
+            w.consume(11)
+
+    def test_stale_update_ignored(self):
+        w = SendWindow(100)
+        assert w.update_limit(200)
+        assert not w.update_limit(150)
+        assert w.limit == 200

@@ -1,0 +1,109 @@
+"""Tests for the streaming (paced media) application."""
+
+import pytest
+
+from repro.apps.streaming import StreamingApp
+from repro.apps.transport import make_client_server
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.config import QuicConfig
+
+
+def run_stream(
+    protocol="mpquic",
+    paths=None,
+    bitrate=4e6,
+    duration=6.0,
+    kill_path_at=None,
+    quic_config=None,
+    seed=1,
+):
+    sim = Simulator()
+    topo = TwoPathTopology(
+        sim,
+        paths or [PathConfig(10, 30, 60), PathConfig(10, 30, 60)],
+        seed=seed,
+    )
+    client, server = make_client_server(
+        protocol, sim, topo, quic_config=quic_config
+    )
+    app = StreamingApp(
+        sim, client, server, bitrate_bps=bitrate, duration=duration
+    )
+    if kill_path_at is not None:
+        sim.schedule_at(kill_path_at, topo.set_path_loss, 0, 100.0)
+    ok = app.run(timeout=duration * 6 + 30)
+    return app, ok
+
+
+class TestSmoothPlayback:
+    def test_clean_network_never_rebuffers(self):
+        app, ok = run_stream()
+        assert ok
+        assert app.rebuffer_count == 0
+        assert app.playback_position >= app.total_bytes
+
+    def test_startup_delay_is_buffering_plus_rtt(self):
+        app, ok = run_stream()
+        assert ok
+        # 1 RTT handshake + ~2 chunks of media at 4 Mbps over 10 Mbps.
+        assert 0.03 < app.startup_delay < 0.6
+
+    def test_finishes_roughly_at_media_duration(self):
+        app, ok = run_stream(duration=5.0)
+        assert ok
+        assert app.finished_at == pytest.approx(
+            5.0 + app.startup_delay, abs=1.0
+        )
+
+    def test_underprovisioned_link_rebuffers(self):
+        # 4 Mbps media over a 2 Mbps path must stall repeatedly.
+        app, ok = run_stream(
+            protocol="quic",
+            paths=[PathConfig(2, 30, 60), PathConfig(2, 30, 60)],
+            duration=4.0,
+        )
+        assert ok
+        assert app.rebuffer_count >= 1
+        assert app.rebuffer_time > 0.5
+
+
+class TestStreamingThroughFailure:
+    KILL_AT = 2.0
+
+    def test_mpquic_recovers_quickly(self):
+        app, ok = run_stream(kill_path_at=self.KILL_AT, duration=6.0)
+        assert ok
+        # At most a brief stall around the failure.
+        assert app.rebuffer_time < 1.5
+
+    def test_redundant_scheduler_streams_through_failure(self):
+        app, ok = run_stream(
+            kill_path_at=self.KILL_AT, duration=6.0,
+            quic_config=QuicConfig(scheduler="redundant"),
+        )
+        assert ok
+        assert app.rebuffer_count == 0
+
+    def test_single_path_quic_stalls_without_second_path(self):
+        app, ok = run_stream(
+            protocol="quic",
+            kill_path_at=self.KILL_AT,
+            duration=6.0,
+            quic_config=QuicConfig(),  # no migration configured
+        )
+        # Playback can never complete: the only path is dead.
+        assert not ok
+        assert app.playback_position < app.total_bytes
+
+    def test_migration_saves_single_path_quic(self):
+        app, ok = run_stream(
+            protocol="quic",
+            kill_path_at=self.KILL_AT,
+            duration=6.0,
+            quic_config=QuicConfig(
+                migrate_on_failure=True, keepalive_interval=0.2
+            ),
+        )
+        assert ok
+        assert app.rebuffer_time < 3.0

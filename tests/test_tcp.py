@@ -1,0 +1,188 @@
+"""End-to-end tests of the TCP + TLS 1.2 baseline."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.tcp.config import TcpConfig, TLS_MESSAGE_SIZES
+from repro.tcp.connection import TcpConnection
+from repro.tcp.segment import Segment
+
+from tests.helpers import run_transfer
+
+
+def make_pair(path=None, seed=1, cfg=None):
+    sim = Simulator()
+    topo = TwoPathTopology(sim, [path or PathConfig(10, 40, 50)], seed=seed)
+    client = TcpConnection(sim, topo.client, "client", cfg or TcpConfig())
+    server = TcpConnection(sim, topo.server, "server", cfg or TcpConfig())
+    return sim, topo, client, server
+
+
+class TestSegment:
+    def test_seq_length_counts_flags(self):
+        assert Segment(seq=0, ack=0, syn=True).seq_length == 1
+        assert Segment(seq=1, ack=0, data=b"abc", fin=True).seq_length == 4
+        assert Segment(seq=1, ack=0).seq_length == 0
+
+    def test_wire_size_components(self):
+        plain = Segment(seq=1, ack=1, data=b"x" * 100)
+        assert plain.wire_size == 40 + 12 + 100
+        sacked = Segment(seq=1, ack=1, sack_blocks=((5, 10), (20, 30)))
+        assert sacked.wire_size == 40 + 12 + 2 + 16
+        dss = Segment(seq=1, ack=1, data=b"x", dsn=7)
+        assert dss.wire_size == 40 + 12 + 1 + 20
+
+
+class TestHandshake:
+    def test_three_rtt_to_established_with_tls(self):
+        sim, topo, client, server = make_pair(PathConfig(10, 40, 50))
+        established = {}
+        client.on_established = lambda: established.update(t=sim.now)
+        client.connect()
+        sim.run(until=2.0)
+        # 3WHS (1 RTT) + TLS 1.2 (2 RTT) = 3 RTT = 120 ms plus a little
+        # serialization for the certificate flight.
+        assert 0.12 <= established["t"] < 0.20
+
+    def test_without_tls_one_rtt(self):
+        cfg = TcpConfig(use_tls=False)
+        sim, topo, client, server = make_pair(PathConfig(10, 40, 50), cfg=cfg)
+        established = {}
+        client.on_established = lambda: established.update(t=sim.now)
+        client.connect()
+        sim.run(until=1.0)
+        assert 0.04 <= established["t"] < 0.08
+
+    def test_tls_slower_than_quic_by_two_rtt(self):
+        # The §4.2 short-transfer effect in its purest form.
+        quic = run_transfer("quic", [PathConfig(10, 40, 50)], file_size=10_000)
+        tcp = run_transfer("tcp", [PathConfig(10, 40, 50)], file_size=10_000)
+        assert tcp.transfer_time - quic.transfer_time > 0.06  # ~2 RTT
+
+    def test_syn_loss_recovered(self):
+        sim, topo, client, server = make_pair(PathConfig(10, 40, 50))
+        topo.forward_links[0].set_loss_rate(1.0)
+        client.connect()
+        sim.run(until=0.5)
+        topo.forward_links[0].set_loss_rate(0.0)
+        sim.run(until=4.0)
+        assert client.secure_established
+
+    def test_server_consumed_tls_bytes_not_delivered_to_app(self):
+        sim, topo, client, server = make_pair()
+        got = []
+        server.on_app_data = lambda d, fin: got.append(d)
+        client.on_established = lambda: client.send_app_data(b"REQ")
+        client.connect()
+        sim.run(until=2.0)
+        assert b"".join(got) == b"REQ"
+
+
+class TestDataTransfer:
+    def test_download_completes(self):
+        result = run_transfer("tcp", [PathConfig(10, 40, 50)], file_size=500_000)
+        assert result.ok
+        assert result.app.bytes_received == 500_000
+
+    def test_lossy_transfer_completes(self):
+        result = run_transfer(
+            "tcp", [PathConfig(5, 30, 50, loss_percent=2.0)], file_size=300_000
+        )
+        assert result.ok
+        assert result.app.bytes_received == 300_000
+
+    def test_fast_retransmit_under_loss(self):
+        result = run_transfer(
+            "tcp", [PathConfig(10, 40, 100, loss_percent=2.0)], file_size=500_000,
+            seed=3,
+        )
+        flow = result.server.connection.flow
+        assert flow.fast_retransmits > 0
+
+    def test_throughput_near_link_rate(self):
+        size = 1_000_000
+        result = run_transfer("tcp", [PathConfig(10, 40, 50)], file_size=size)
+        floor = size * 8 / 10e6
+        assert result.transfer_time < floor * 1.7
+
+    def test_bidirectional_data(self):
+        sim, topo, client, server = make_pair()
+        got = {"c": bytearray(), "s": bytearray()}
+        client.on_app_data = lambda d, fin: got["c"].extend(d)
+        server.on_app_data = lambda d, fin: got["s"].extend(d)
+
+        def go():
+            client.send_app_data(b"c" * 4000)
+
+        client.on_established = go
+        client.connect()
+        sim.run(until=1.0)
+        server.send_app_data(b"s" * 6000)
+        sim.run(until=2.0)
+        assert bytes(got["s"]) == b"c" * 4000
+        assert bytes(got["c"]) == b"s" * 6000
+
+    def test_fin_signalled_to_app(self):
+        sim, topo, client, server = make_pair()
+        fins = []
+        client.on_app_data = lambda d, fin: fins.append(fin)
+        state = {}
+
+        def osd(d, fin):
+            if "s" not in state:
+                state["s"] = True
+                server.send_app_data(b"resp", fin=True)
+
+        server.on_app_data = osd
+        client.on_established = lambda: client.send_app_data(b"req")
+        client.connect()
+        sim.run(until=3.0)
+        assert fins and fins[-1] is True
+
+    def test_all_sent_data_acked(self):
+        sim, topo, client, server = make_pair()
+        client.on_established = lambda: client.send_app_data(b"z" * 10_000, fin=True)
+        client.connect()
+        sim.run(until=3.0)
+        assert client.all_sent_data_acked()
+
+
+class TestSackLimit:
+    def test_sack_blocks_capped_at_three(self):
+        cfg = TcpConfig()
+        sim, topo, client, server = make_pair(cfg=cfg)
+        flow = client.connection.flow if hasattr(client, "connection") else client.flow
+        # Feed the receiver a pathological hole pattern directly.
+        for offset in (10, 30, 50, 70, 90):
+            flow.reassembler.insert(offset, b"x" * 5)
+        blocks = flow._sack_blocks()
+        assert len(blocks) <= cfg.max_sack_blocks
+
+    def test_karn_rtt_ignores_retransmitted(self):
+        result = run_transfer(
+            "tcp", [PathConfig(5, 40, 50, loss_percent=2.0)], file_size=300_000
+        )
+        flow = result.server.connection.flow
+        # Samples were taken, but fewer than the ACK count (probe-based).
+        assert flow.rtt.has_sample
+        assert flow.rtt.samples_taken < flow.segments_received
+
+
+class TestTlpAndRto:
+    def test_tail_loss_recovered_without_many_rtos(self):
+        # Drop the tail of a burst: TLP + early retransmit should repair
+        # it with at most one RTO.
+        result = run_transfer(
+            "tcp", [PathConfig(10, 40, 50, loss_percent=1.0)], file_size=200_000,
+            seed=3,
+        )
+        assert result.ok
+        assert result.server.connection.flow.rto_count <= 2
+
+    def test_rto_count_grows_under_heavy_loss(self):
+        result = run_transfer(
+            "tcp", [PathConfig(2, 60, 30, loss_percent=8.0)], file_size=100_000,
+            timeout=3000.0,
+        )
+        assert result.ok  # reliability survives brutal loss

@@ -1,0 +1,188 @@
+"""White-box tests of TcpFlow internals: SACK recency, Karn probe,
+TLP arming, loss marking and pipe accounting."""
+
+import pytest
+
+from repro.cc import make_controller
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.tcp.config import TcpConfig
+from repro.tcp.flow import FlowOwner, FlowState, TcpFlow
+from repro.tcp.segment import Segment
+
+
+class RecordingOwner(FlowOwner):
+    def __init__(self):
+        self.delivered = bytearray()
+        self.established = False
+        self.rtos = 0
+        self.window_edge = 10**9
+
+    def flow_established(self, flow):
+        self.established = True
+
+    def flow_delivered(self, flow, data, fin):
+        self.delivered.extend(data)
+
+    def flow_window_edge(self, flow):
+        return self.window_edge
+
+    def flow_on_rto(self, flow):
+        self.rtos += 1
+
+
+def make_flow(role="client", mss=1000):
+    sim = Simulator()
+    topo = TwoPathTopology(sim, [PathConfig(10, 20, 100)], seed=1)
+    host = topo.client if role == "client" else topo.server
+    owner = RecordingOwner()
+    cfg = TcpConfig(mss=mss, use_tls=False)
+    flow = TcpFlow(
+        sim, host, 0, role, cfg, make_controller("cubic", mss=mss), owner
+    )
+    return sim, topo, flow, owner
+
+
+def established_flow():
+    """A flow forced into ESTABLISHED without running the handshake."""
+    sim, topo, flow, owner = make_flow()
+    flow.state = FlowState.ESTABLISHED
+    flow.peer_window_edge = 10**9
+    flow.rtt.update(0.02)
+    return sim, topo, flow, owner
+
+
+class TestSackBlocks:
+    def test_block_of_last_arrival_reported_first(self):
+        sim, topo, flow, owner = established_flow()
+        flow.reassembler.insert(100, b"x" * 10)   # old block
+        flow._last_block_received = (100, 110)
+        flow.reassembler.insert(300, b"y" * 10)   # new block
+        flow._last_block_received = (300, 310)
+        blocks = flow._sack_blocks()
+        # Most recent block (300) first despite another higher/lower.
+        assert blocks[0] == (301, 311)  # +SEQ_BASE
+
+    def test_at_most_three_blocks(self):
+        sim, topo, flow, owner = established_flow()
+        for start in (100, 200, 300, 400, 500):
+            flow.reassembler.insert(start, b"z" * 10)
+        assert len(flow._sack_blocks()) == 3
+
+    def test_no_blocks_when_in_order(self):
+        sim, topo, flow, owner = established_flow()
+        flow.reassembler.insert(0, b"a" * 10)
+        flow.reassembler.pop_ready()
+        assert flow._sack_blocks() == ()
+
+
+class TestKarnProbe:
+    def test_probe_set_on_new_data(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 500)
+        assert flow._rtt_probe is not None
+
+    def test_probe_invalidated_by_retransmission(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 500)
+        flow._retx_queue.add(1, 501)
+        flow.try_send()  # retransmits the probed range
+        assert flow._rtt_probe is None
+
+    def test_sample_absorbed_on_covering_ack(self):
+        sim, topo, flow, owner = established_flow()
+        before = flow.rtt.samples_taken
+        flow.write(b"d" * 500)
+        # Ack before the tail loss probe fires (at ~2 smoothed RTTs),
+        # which would retransmit the range and invalidate the probe.
+        sim.run(until=0.03)
+        flow.segment_received(
+            Segment(seq=1, ack=501, window_edge=10**9)
+        )
+        assert flow.rtt.samples_taken == before + 1
+        assert flow.rtt.latest == pytest.approx(0.03)
+
+
+class TestLossMarking:
+    def test_hole_marked_with_enough_sack_above(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 10_000)
+        sim.run(until=0.001)
+        mss = flow.config.mss
+        # SACK blocks covering 3*MSS above the first segment.
+        sack = ((1 + mss, 1 + 4 * mss),)
+        flow.segment_received(
+            Segment(seq=1, ack=1, window_edge=10**9, sack_blocks=sack)
+        )
+        assert flow._retx_queue.total + flow._retransmitted_ever.total >= mss
+        assert flow.in_recovery
+
+    def test_small_sack_does_not_mark_midstream(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 50_000)  # plenty of unsent data remains
+        sim.run(until=0.001)
+        mss = flow.config.mss
+        sack = ((1 + mss, 1 + 2 * mss),)  # only 1 MSS above the hole
+        flow.segment_received(
+            Segment(seq=1, ack=1, window_edge=10**9, sack_blocks=sack)
+        )
+        assert not flow.in_recovery
+
+    def test_one_reduction_per_recovery(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 50_000)
+        sim.run(until=0.001)
+        mss = flow.config.mss
+        flow.segment_received(
+            Segment(seq=1, ack=1, window_edge=10**9,
+                    sack_blocks=((1 + mss, 1 + 4 * mss),))
+        )
+        cwnd_after_first = flow.cc.cwnd_bytes
+        flow.segment_received(
+            Segment(seq=1, ack=1, window_edge=10**9,
+                    sack_blocks=((1 + 5 * mss, 1 + 9 * mss),))
+        )
+        assert flow.cc.cwnd_bytes == cwnd_after_first
+
+
+class TestPipeAccounting:
+    def test_outstanding_excludes_sacked_and_marked(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 10_000)
+        sim.run(until=0.001)
+        raw = flow.snd_nxt - flow.snd_una
+        flow._sacked.add(2001, 3001)
+        assert flow.bytes_outstanding == raw - 1000
+        flow._retx_queue.add(1, 1001)
+        assert flow.bytes_outstanding == raw - 2000
+
+
+class TestTlpArming:
+    def test_tlp_timer_armed_with_outstanding_data(self):
+        sim, topo, flow, owner = established_flow()
+        flow.write(b"d" * 3000)
+        assert flow._tlp_timer is not None
+
+    def test_tlp_not_armed_without_rtt_sample(self):
+        sim, topo, flow, owner = make_flow()
+        flow.state = FlowState.ESTABLISHED
+        flow.peer_window_edge = 10**9
+        flow.write(b"d" * 3000)
+        assert flow._tlp_timer is None
+
+    def test_tlp_probe_fires_and_is_single_shot(self):
+        sim, topo, flow, owner = established_flow()
+        topo.forward_links[0].set_loss_rate(1.0)  # everything dies
+        flow.write(b"d" * 3000)
+        sim.run(until=flow._tlp_interval() + 0.01)
+        assert flow.tlp_probes == 1
+        sim.run(until=flow._tlp_interval() * 3)
+        assert flow.tlp_probes == 1  # no further probes before RTO
+
+    def test_rto_follows_failed_tlp(self):
+        sim, topo, flow, owner = established_flow()
+        topo.forward_links[0].set_loss_rate(1.0)
+        flow.write(b"d" * 3000)
+        sim.run(until=2.0)
+        assert owner.rtos >= 1
+        assert flow.potentially_failed

@@ -1,0 +1,56 @@
+"""Round-trip and size-honesty tests for the TCP segment codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.segment import Segment
+from repro.tcp.wire import decode_segment, encode_segment
+
+EXAMPLES = [
+    Segment(seq=0, ack=0, syn=True, window_edge=49152),
+    Segment(seq=0, ack=0, syn=True, data=b"CHLO" * 70, window_edge=49152),
+    Segment(seq=1, ack=1, data=b"x" * 1400, window_edge=2**33),
+    Segment(seq=10**6, ack=5, data=b"", fin=True, window_edge=100),
+    Segment(seq=1, ack=1, sack_blocks=((100, 200), (300, 400), (500, 600))),
+    Segment(seq=1, ack=1, data=b"d" * 100, dsn=12345, data_ack=999,
+            data_fin=True),
+    Segment(seq=1, ack=1, data=b"d", dsn=0, retransmission=True),
+    Segment(seq=1, ack=1, data_ack=0),
+]
+
+
+class TestSegmentCodec:
+    @pytest.mark.parametrize("segment", EXAMPLES, ids=range(len(EXAMPLES)))
+    def test_roundtrip(self, segment):
+        decoded = decode_segment(encode_segment(segment))
+        assert decoded == segment
+
+    @pytest.mark.parametrize("segment", EXAMPLES, ids=range(len(EXAMPLES)))
+    def test_wire_size_matches_encoding(self, segment):
+        assert segment.wire_size == len(encode_segment(segment))
+
+    @given(
+        seq=st.integers(0, 2**31),
+        ack=st.integers(0, 2**31),
+        data=st.binary(max_size=1400),
+        syn=st.booleans(),
+        fin=st.booleans(),
+        window_edge=st.integers(0, 2**40),
+        n_sack=st.integers(0, 3),
+        dsn=st.one_of(st.none(), st.integers(0, 2**40)),
+        data_ack=st.one_of(st.none(), st.integers(0, 2**40)),
+    )
+    @settings(max_examples=150)
+    def test_roundtrip_property(
+        self, seq, ack, data, syn, fin, window_edge, n_sack, dsn, data_ack
+    ):
+        sack = tuple((i * 100, i * 100 + 50) for i in range(n_sack))
+        segment = Segment(
+            seq=seq, ack=ack, data=data, syn=syn, fin=fin,
+            window_edge=window_edge, sack_blocks=sack,
+            dsn=dsn, data_ack=data_ack,
+        )
+        encoded = encode_segment(segment)
+        assert decode_segment(encoded) == segment
+        assert segment.wire_size == len(encoded)

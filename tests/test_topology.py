@@ -1,0 +1,104 @@
+"""Tests for hosts, interfaces and the two-path topology builder."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Datagram
+from repro.netsim.topology import MTU, PathConfig, TwoPathTopology
+
+
+class TestPathConfig:
+    def test_unit_conversions(self):
+        cfg = PathConfig(capacity_mbps=10, rtt_ms=40, queuing_delay_ms=100, loss_percent=1.0)
+        assert cfg.rate_bps == 10e6
+        assert cfg.one_way_delay == pytest.approx(0.020)
+        assert cfg.loss_rate == pytest.approx(0.01)
+        assert cfg.bdp_bytes == pytest.approx(10e6 / 8 * 0.040)
+
+    def test_queue_sized_by_queuing_delay(self):
+        cfg = PathConfig(capacity_mbps=8, rtt_ms=0, queuing_delay_ms=100)
+        assert cfg.queue_capacity_bytes == int(8e6 / 8 * 0.1)
+
+    def test_queue_has_floor(self):
+        cfg = PathConfig(capacity_mbps=0.1, rtt_ms=0, queuing_delay_ms=0)
+        assert cfg.queue_capacity_bytes >= 10 * MTU
+
+
+class TestTwoPathTopology:
+    def make(self):
+        sim = Simulator()
+        topo = TwoPathTopology(
+            sim,
+            [
+                PathConfig(capacity_mbps=10, rtt_ms=20),
+                PathConfig(capacity_mbps=2, rtt_ms=60),
+            ],
+        )
+        return sim, topo
+
+    def test_disjoint_delivery(self):
+        sim, topo = self.make()
+        got = []
+        topo.server.set_datagram_handler(lambda d, i: got.append((d.payload, i)))
+        topo.client.send(Datagram(payload="a", size=100), 0)
+        topo.client.send(Datagram(payload="b", size=100), 1)
+        sim.run()
+        assert sorted(got) == [("a", 0), ("b", 1)]
+
+    def test_round_trip_time(self):
+        sim, topo = self.make()
+        times = {}
+
+        def server_handler(d, i):
+            topo.server.send(Datagram(payload="pong", size=100), i)
+
+        def client_handler(d, i):
+            times[i] = sim.now
+
+        topo.server.set_datagram_handler(server_handler)
+        topo.client.set_datagram_handler(client_handler)
+        topo.client.send(Datagram(payload="ping", size=100), 0)
+        sim.run()
+        # 20ms RTT + 2 serializations of 100B at 10Mbps (0.08ms each)
+        assert times[0] == pytest.approx(0.020 + 2 * 100 * 8 / 10e6)
+
+    def test_best_and_worst_path(self):
+        _, topo = self.make()
+        assert topo.best_path_index() == 0
+        assert topo.worst_path_index() == 1
+
+    def test_interface_down_blocks_delivery(self):
+        sim, topo = self.make()
+        got = []
+        topo.server.set_datagram_handler(lambda d, i: got.append(d.payload))
+        topo.set_path_up(0, False)
+        assert not topo.client.send(Datagram(payload="x", size=100), 0)
+        sim.run()
+        assert got == []
+
+    def test_set_path_loss(self):
+        sim, topo = self.make()
+        got = []
+        topo.server.set_datagram_handler(lambda d, i: got.append(d.payload))
+        topo.set_path_loss(0, 100.0)
+        topo.client.send(Datagram(payload="x", size=100), 0)
+        topo.client.send(Datagram(payload="y", size=100), 1)
+        sim.run()
+        assert got == ["y"]
+
+    def test_addresses_are_distinct(self):
+        _, topo = self.make()
+        addrs = topo.client.addresses + topo.server.addresses
+        assert len(set(addrs)) == 4
+
+    def test_src_addr_stamped(self):
+        sim, topo = self.make()
+        got = []
+        topo.server.set_datagram_handler(lambda d, i: got.append(d.src_addr))
+        topo.client.send(Datagram(payload="x", size=100), 1)
+        sim.run()
+        assert got == [topo.client.interfaces[1].address]
+
+    def test_requires_a_path(self):
+        with pytest.raises(ValueError):
+            TwoPathTopology(Simulator(), [])

@@ -1,0 +1,100 @@
+"""Trace-driven behavioural tests: assert on *how* protocols behaved,
+not just the outcome, using the packet trace."""
+
+import pytest
+
+from repro.core.connection import MultipathQuicConnection
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.netsim.trace import PacketTrace
+from repro.quic.config import QuicConfig
+
+
+def traced_transfer(paths, size=500_000, config=None, seed=1, until=30.0):
+    sim = Simulator()
+    topo = TwoPathTopology(sim, paths, seed=seed)
+    trace = PacketTrace()
+    client = MultipathQuicConnection(
+        sim, topo.client, "client", config or QuicConfig(), trace
+    )
+    server = MultipathQuicConnection(
+        sim, topo.server, "server", config or QuicConfig(), trace
+    )
+    state, done = {}, {}
+
+    def osd(sid, data, fin):
+        if sid not in state:
+            state[sid] = True
+            server.send_stream_data(sid, b"t" * size, fin=True)
+
+    server.on_stream_data = osd
+    client.on_stream_data = (
+        lambda sid, d, fin: done.update(t=sim.now) if fin else None
+    )
+    client.on_established = lambda: client.send_stream_data(
+        client.open_stream(), b"GET", fin=True
+    )
+    client.connect()
+    sim.run_until(lambda: "t" in done, timeout=until)
+    return trace, client, server, done
+
+
+class TestTraceAnalysis:
+    def test_packet_numbers_monotonic_per_path(self):
+        trace, client, server, done = traced_transfer(
+            [PathConfig(10, 30, 60), PathConfig(10, 30, 60)]
+        )
+        for host in ("client", "server"):
+            for path_id in (0, 1):
+                pns = [
+                    r.packet_number
+                    for r in trace.filter(event="send", host=host, path_id=path_id)
+                ]
+                assert pns == sorted(pns)
+                assert len(pns) == len(set(pns))  # never reused (nonce rule)
+
+    def test_both_paths_carry_traffic(self):
+        trace, *_ = traced_transfer(
+            [PathConfig(10, 30, 60), PathConfig(10, 30, 60)]
+        )
+        sends_p0 = trace.filter(event="send", host="server", path_id=0)
+        sends_p1 = trace.filter(event="send", host="server", path_id=1)
+        assert len(sends_p0) > 50 and len(sends_p1) > 50
+
+    def test_no_sends_after_completion_settles(self):
+        trace, client, server, done = traced_transfer(
+            [PathConfig(10, 30, 60), PathConfig(10, 30, 60)]
+        )
+        finish = done["t"]
+        # After the final ACKs drain (a couple of RTTs), silence.
+        late = [r for r in trace if r.event == "send" and r.time > finish + 0.5]
+        assert late == []
+
+    def test_tlp_events_appear_on_dead_path(self):
+        sim = Simulator()
+        topo = TwoPathTopology(
+            sim, [PathConfig(10, 30, 60), PathConfig(10, 30, 60)], seed=1
+        )
+        trace = PacketTrace()
+        client = MultipathQuicConnection(sim, topo.client, "client", QuicConfig(), trace)
+        server = MultipathQuicConnection(sim, topo.server, "server", QuicConfig(), trace)
+        state = {}
+
+        def osd(sid, data, fin):
+            if sid not in state:
+                state[sid] = True
+                server.send_stream_data(sid, b"t" * 2_000_000, fin=True)
+
+        server.on_stream_data = osd
+        client.on_stream_data = lambda sid, d, fin: None
+        client.on_established = lambda: client.send_stream_data(
+            client.open_stream(), b"GET", fin=True
+        )
+        client.connect()
+        sim.run(until=0.4)
+        topo.set_path_loss(0, 100.0)
+        sim.run(until=3.0)
+        # The sender probed the dead path before giving up on it (TLP),
+        # then declared an RTO.
+        assert trace.filter(event="tlp", host="server")
+        assert trace.filter(event="rto", host="server")

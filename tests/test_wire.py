@@ -1,0 +1,172 @@
+"""Wire-format tests: varints, frame and packet codecs.
+
+The key invariant: ``wire_size()`` must equal the length of the actual
+encoding, so the simulator's bandwidth accounting is honest.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quic import wire
+from repro.quic.frames import (
+    AckFrame,
+    AddAddressFrame,
+    ConnectionCloseFrame,
+    HandshakeFrame,
+    MAX_ACK_RANGES,
+    PathInfo,
+    PathsFrame,
+    PingFrame,
+    StreamFrame,
+    WindowUpdateFrame,
+)
+from repro.quic.packet import Packet
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,size",
+        [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4), (2**30 - 1, 4),
+         (2**30, 8), (2**62 - 1, 8)],
+    )
+    def test_sizes(self, value, size):
+        assert wire.varint_size(value) == size
+        assert len(wire.encode_varint(value)) == size
+
+    @given(st.integers(min_value=0, max_value=2**62 - 1))
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        buf = wire.encode_varint(value)
+        decoded, pos = wire.decode_varint(buf, 0)
+        assert decoded == value
+        assert pos == len(buf)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wire.varint_size(-1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            wire.varint_size(2**62)
+
+
+FRAME_EXAMPLES = [
+    StreamFrame(stream_id=1, offset=0, data=b"hello", fin=False),
+    StreamFrame(stream_id=5, offset=123456, data=b"", fin=True),
+    StreamFrame(stream_id=2**20, offset=2**35, data=b"x" * 1000, fin=True),
+    AckFrame(path_id=0, largest_acked=10, ack_delay=0.0008,
+             ranges=((8, 11), (0, 5))),
+    AckFrame(path_id=3, largest_acked=2**30, ack_delay=0.02,
+             ranges=((2**30, 2**30 + 1),)),
+    WindowUpdateFrame(stream_id=0, byte_offset=16 * 1024 * 1024),
+    WindowUpdateFrame(stream_id=7, byte_offset=2**40),
+    PingFrame(),
+    HandshakeFrame("CHLO", 730),
+    HandshakeFrame("SHLO", 100),
+    ConnectionCloseFrame(error_code=7, reason="bye"),
+    AddAddressFrame("10.1.0.2"),
+    PathsFrame(active=(PathInfo(0, 25000), PathInfo(1, 48000)), failed=(2,)),
+    PathsFrame(active=(), failed=()),
+]
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("frame", FRAME_EXAMPLES, ids=lambda f: type(f).__name__)
+    def test_roundtrip(self, frame):
+        buf = wire.encode_frame(frame)
+        decoded, pos = wire.decode_frame(buf, 0)
+        assert pos == len(buf)
+        if isinstance(frame, AckFrame):
+            # Ack delay is quantised on the wire (3-bit shift of us).
+            assert decoded.path_id == frame.path_id
+            assert decoded.largest_acked == frame.largest_acked
+            assert decoded.ranges == frame.ranges
+            assert decoded.ack_delay == pytest.approx(frame.ack_delay, abs=1e-5)
+        else:
+            assert decoded == frame
+
+    @pytest.mark.parametrize("frame", FRAME_EXAMPLES, ids=lambda f: type(f).__name__)
+    def test_wire_size_matches_encoding(self, frame):
+        assert frame.wire_size() == len(wire.encode_frame(frame))
+
+    def test_ack_range_cap_enforced(self):
+        ranges = tuple((i * 3, i * 3 + 1) for i in range(MAX_ACK_RANGES + 1))
+        with pytest.raises(ValueError):
+            AckFrame(path_id=0, largest_acked=10**6, ack_delay=0.0, ranges=ranges)
+
+    def test_ack_at_cap_allowed(self):
+        ranges = tuple(
+            (i * 3, i * 3 + 1) for i in range(MAX_ACK_RANGES - 1, -1, -1)
+        )
+        frame = AckFrame(0, ranges[0][1] - 1, 0.0, ranges)
+        assert frame.acked_packet_count() == MAX_ACK_RANGES
+
+    @given(
+        st.integers(0, 2**30),
+        st.integers(0, 2**40),
+        st.binary(max_size=1200),
+        st.booleans(),
+    )
+    @settings(max_examples=100)
+    def test_stream_frame_roundtrip_property(self, sid, offset, data, fin):
+        frame = StreamFrame(sid, offset, data, fin)
+        decoded, _ = wire.decode_frame(wire.encode_frame(frame), 0)
+        assert decoded == frame
+        assert frame.wire_size() == len(wire.encode_frame(frame))
+
+
+class TestPacketCodec:
+    def test_roundtrip_singlepath(self):
+        pkt = Packet(
+            path_id=0, packet_number=42,
+            frames=(StreamFrame(1, 0, b"data", True),),
+            connection_id=0xDEADBEEF, multipath=False,
+        )
+        decoded = Packet.decode(pkt.encode())
+        assert decoded == pkt
+
+    def test_roundtrip_multipath_path_id(self):
+        pkt = Packet(
+            path_id=3, packet_number=7,
+            frames=(PingFrame(), WindowUpdateFrame(0, 1000)),
+            connection_id=1, multipath=True,
+        )
+        decoded = Packet.decode(pkt.encode())
+        assert decoded.path_id == 3
+        assert decoded == pkt
+
+    def test_singlepath_header_has_no_path_byte(self):
+        single = Packet(0, 1, (PingFrame(),), multipath=False)
+        multi = Packet(0, 1, (PingFrame(),), multipath=True)
+        assert multi.wire_size == single.wire_size + 1
+
+    def test_wire_size_matches_encoding(self):
+        pkt = Packet(
+            path_id=1, packet_number=99,
+            frames=(
+                AckFrame(1, 50, 0.001, ((40, 51), (0, 30))),
+                StreamFrame(3, 1000, b"y" * 500, False),
+            ),
+            multipath=True,
+        )
+        assert pkt.wire_size == len(pkt.encode())
+
+    def test_ack_eliciting(self):
+        ack_only = Packet(0, 1, (AckFrame(0, 1, 0.0, ((0, 2),)),))
+        data = Packet(0, 2, (StreamFrame(1, 0, b"x", False),))
+        assert not ack_only.is_ack_eliciting
+        assert data.is_ack_eliciting
+
+    def test_multiframe_roundtrip_with_handshake(self):
+        pkt = Packet(
+            path_id=0, packet_number=0,
+            frames=(HandshakeFrame("CHLO", 730), PingFrame()),
+            multipath=False,
+        )
+        decoded = Packet.decode(pkt.encode())
+        assert decoded == pkt
+
+    def test_unknown_frame_type_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode_frame(b"\x7e", 0)
