@@ -20,6 +20,9 @@ evaluation exercises:
   over the paper's Table 1 parameter ranges.
 * :mod:`repro.experiments` -- scenario runner, metrics (experimental
   aggregation benefit) and per-figure harnesses.
+* :mod:`repro.obs` -- qlog-style structured telemetry: typed per-path
+  event tracing, time-series sampling (cwnd/srtt/goodput) and
+  JSON/JSONL/CSV trace exporters.
 """
 
 from repro.netsim.engine import Simulator

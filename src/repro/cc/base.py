@@ -36,6 +36,14 @@ class CongestionController(ABC):
         self.ssthresh_bytes: float = float("inf")
         self.state = CcState.SLOW_START
         self._recovery_start_time = -1.0
+        #: Optional telemetry hook ``fn(event_name, controller, now)``
+        #: wired by the transport when a tracer is attached; one
+        #: ``is None`` check when absent.
+        self.telemetry = None
+
+    def _emit(self, event: str, now: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry(event, self, now)
 
     # -- queries ---------------------------------------------------------
 
@@ -64,6 +72,7 @@ class CongestionController(ABC):
         self._recovery_start_time = now
         self.state = CcState.RECOVERY
         self._reduce_on_loss(now)
+        self._emit("state_changed", now)
 
     def on_rto(self, now: float) -> None:
         """Retransmission timeout: collapse to the minimum window."""
@@ -74,6 +83,7 @@ class CongestionController(ABC):
         self.state = CcState.SLOW_START
         self._recovery_start_time = now
         self._on_rto_extra(now)
+        self._emit("state_changed", now)
 
     def exit_recovery(self) -> None:
         """Called when recovery completes (all loss-time data acked)."""
@@ -83,6 +93,7 @@ class CongestionController(ABC):
                 if self.cwnd_bytes < self.ssthresh_bytes
                 else CcState.CONGESTION_AVOIDANCE
             )
+            self._emit("state_changed", self._recovery_start_time)
 
     # -- subclass hooks ----------------------------------------------------
 

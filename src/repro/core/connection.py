@@ -104,7 +104,7 @@ class MultipathQuicConnection(QuicConnection):
     # ------------------------------------------------------------------
 
     def _select_data_path(self) -> Optional[PathState]:
-        return self.scheduler.select_path(self._usable_paths())
+        return self.scheduler.choose(self._usable_paths())
 
     def _after_data_packet_sent(self, path: PathState, packet: Packet, new_bytes: int) -> None:
         """Duplicate stream data onto RTT-unknown paths (paper §3).
@@ -131,6 +131,7 @@ class MultipathQuicConnection(QuicConnection):
                 continue
             dup = self._send_packet(other, stream_frames)
             other.duplicated_packets += 1
+            self.stats.packets_duplicated += 1
             if self.trace is not None:
                 self.trace.log(
                     self.sim.now, self.host.name, "dup",
@@ -178,3 +179,12 @@ class MultipathQuicConnection(QuicConnection):
 
     def bytes_sent_per_path(self) -> dict:
         return {pid: p.bytes_sent for pid, p in self.paths.items()}
+
+    def packets_lost_per_path(self) -> dict:
+        return {pid: p.recovery.packets_lost_total for pid, p in self.paths.items()}
+
+    def retransmitted_bytes_per_path(self) -> dict:
+        return {pid: p.stream_bytes_retransmitted for pid, p in self.paths.items()}
+
+    def duplicated_packets_per_path(self) -> dict:
+        return {pid: p.duplicated_packets for pid, p in self.paths.items()}

@@ -21,6 +21,10 @@ class Scheduler(ABC):
 
     name = "abstract"
 
+    #: Optional telemetry hook ``fn(path)`` wired by the connection when
+    #: a tracer is attached; fed by :meth:`choose` on every decision.
+    telemetry = None
+
     @abstractmethod
     def select_path(self, paths: List[PathState]) -> Optional[PathState]:
         """Return a usable path with window space, or None when blocked.
@@ -28,6 +32,13 @@ class Scheduler(ABC):
         ``paths`` holds the connection's usable paths (active, and not
         potentially failed unless every path is).
         """
+
+    def choose(self, paths: List[PathState]) -> Optional[PathState]:
+        """Select a path and report the decision to the telemetry hook."""
+        path = self.select_path(paths)
+        if path is not None and self.telemetry is not None:
+            self.telemetry(path)
+        return path
 
     @staticmethod
     def sendable(paths: List[PathState]) -> List[PathState]:

@@ -19,6 +19,8 @@ from repro.experiments.metrics import median
 from repro.experiments.scenarios import HANDOVER_SCENARIO, HandoverScenario
 from repro.netsim.engine import Simulator
 from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.netsim.trace import PacketTrace
+from repro.obs import Tracer
 from repro.quic.config import QuicConfig
 from repro.tcp.config import TcpConfig
 
@@ -29,7 +31,15 @@ DEFAULT_SIM_TIMEOUT = 4000.0
 
 @dataclass
 class BulkRunResult:
-    """Outcome of one bulk-transfer run (median over repetitions)."""
+    """Outcome of one bulk-transfer run (median over repetitions).
+
+    ``transfer_time`` is the median over *completed* repetitions only:
+    a timed-out repetition no longer silently skews the median towards
+    the timeout ceiling — it is recorded in ``rep_completed`` /
+    ``failed_repetitions`` instead.  When every repetition times out,
+    ``transfer_time`` falls back to the timeout and ``completed`` is
+    False.
+    """
 
     protocol: str
     initial_interface: int
@@ -39,6 +49,15 @@ class BulkRunResult:
     completed: bool
     repetitions: int = 1
     details: Dict[str, float] = field(default_factory=dict)
+    #: Per-repetition transfer time (timeout value for failed reps).
+    rep_times: List[float] = field(default_factory=list)
+    #: Per-repetition completion flag, aligned with ``rep_times``.
+    rep_completed: List[bool] = field(default_factory=list)
+    #: Number of repetitions that hit the simulation timeout.
+    failed_repetitions: int = 0
+    #: Telemetry of the median completed repetition when the run was
+    #: made with ``collect_trace=True`` (None otherwise).
+    trace: Optional[Tracer] = None
 
 
 def _single_bulk(
@@ -50,12 +69,14 @@ def _single_bulk(
     quic_config: Optional[QuicConfig],
     tcp_config: Optional[TcpConfig],
     timeout: float,
+    trace: Optional[PacketTrace] = None,
 ) -> Tuple[bool, float]:
     sim = Simulator()
     topo = TwoPathTopology(sim, list(paths), seed=seed)
     client, server = make_client_server(
         protocol, sim, topo,
         initial_interface=initial_interface,
+        trace=trace,
         quic_config=quic_config, tcp_config=tcp_config,
     )
     app = BulkTransferApp(sim, client, server, file_size, initial_interface)
@@ -73,31 +94,54 @@ def run_bulk(
     quic_config: Optional[QuicConfig] = None,
     tcp_config: Optional[TcpConfig] = None,
     timeout: float = DEFAULT_SIM_TIMEOUT,
+    collect_trace: bool = False,
 ) -> BulkRunResult:
     """Run a bulk download, reporting the median over ``repetitions``.
 
     Loss-free scenarios are deterministic, so a single repetition
-    suffices; lossy ones should use 3, matching the paper.
+    suffices; lossy ones should use 3, matching the paper.  The median
+    is taken over *completed* repetitions; timed-out ones are flagged
+    via ``rep_completed`` / ``failed_repetitions`` rather than pulling
+    the median towards the timeout.  With ``collect_trace=True`` each
+    repetition runs with a :class:`repro.obs.Tracer` attached and the
+    median repetition's trace is returned on the result.
     """
     times: List[float] = []
-    all_ok = True
+    rep_ok: List[bool] = []
+    traces: List[Optional[Tracer]] = []
     for rep in range(repetitions):
+        tracer = Tracer() if collect_trace else None
         ok, duration = _single_bulk(
             protocol, paths, file_size, initial_interface,
             seed=base_seed + rep * 1000,
             quic_config=quic_config, tcp_config=tcp_config, timeout=timeout,
+            trace=tracer,
         )
-        all_ok = all_ok and ok
+        rep_ok.append(ok)
         times.append(duration)
-    t = median(times)
+        traces.append(tracer)
+    completed_times = [t for t, ok in zip(times, rep_ok) if ok]
+    t = median(completed_times) if completed_times else median(times)
+    trace: Optional[Tracer] = None
+    if collect_trace:
+        # The trace of the (completed) repetition whose duration is the
+        # reported median, ties resolved to the first such repetition.
+        candidates = [i for i, ok in enumerate(rep_ok) if ok] or list(
+            range(len(times))
+        )
+        trace = traces[min(candidates, key=lambda i: abs(times[i] - t))]
     return BulkRunResult(
         protocol=protocol,
         initial_interface=initial_interface,
         file_size=file_size,
         transfer_time=t,
         goodput_bps=file_size * 8.0 / t if t > 0 else 0.0,
-        completed=all_ok,
+        completed=all(rep_ok),
         repetitions=repetitions,
+        rep_times=times,
+        rep_completed=rep_ok,
+        failed_repetitions=rep_ok.count(False),
+        trace=trace,
     )
 
 
@@ -107,17 +151,21 @@ def run_handover(
     quic_config: Optional[QuicConfig] = None,
     protocol: str = "mpquic",
     tcp_config: Optional[TcpConfig] = None,
+    trace: Optional[PacketTrace] = None,
 ) -> List[Tuple[float, float]]:
     """Reproduce the §4.3 handover experiment.
 
     Returns ``(request sent time, response delay)`` pairs — the series
     of the paper's Fig. 11.  At ``scenario.failure_time`` the initial
-    path becomes completely lossy in both directions.
+    path becomes completely lossy in both directions.  Attach a
+    :class:`repro.obs.Tracer` via ``trace`` to capture the handover
+    timeline (``path:potentially_failed`` and the traffic shift).
     """
     sim = Simulator()
     topo = TwoPathTopology(sim, list(scenario.paths), seed=seed)
     client, server = make_client_server(
         protocol, sim, topo, initial_interface=0,
+        trace=trace,
         quic_config=quic_config, tcp_config=tcp_config,
     )
     app = RequestResponseApp(

@@ -53,8 +53,14 @@ class PacketTrace:
         event: Optional[str] = None,
         host: Optional[str] = None,
         path_id: Optional[int] = None,
+        t_min: Optional[float] = None,
+        t_max: Optional[float] = None,
     ) -> List[TraceRecord]:
-        """Records matching all provided criteria."""
+        """Records matching all provided criteria.
+
+        ``t_min``/``t_max`` bound the record time (inclusive), so a
+        ``(t_min, t_max)`` pair selects one time window of the run.
+        """
         out = []
         for rec in self.records:
             if event is not None and rec.event != event:
@@ -62,6 +68,10 @@ class PacketTrace:
             if host is not None and rec.host != host:
                 continue
             if path_id is not None and rec.path_id != path_id:
+                continue
+            if t_min is not None and rec.time < t_min:
+                continue
+            if t_max is not None and rec.time > t_max:
                 continue
             out.append(rec)
         return out

@@ -1,0 +1,39 @@
+"""CLI for trace inspection: ``python -m repro.obs report <trace.jsonl>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import read_jsonl
+from repro.obs.summary import format_report, summarize
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect exported telemetry traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="print a per-path summary of a JSONL trace"
+    )
+    report.add_argument("trace", help="path to a trace exported via write_jsonl")
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        try:
+            tracer = read_jsonl(args.trace)
+        except OSError as exc:
+            parser.error(f"cannot read trace: {exc}")
+        except ValueError as exc:
+            parser.error(f"{args.trace} is not a JSONL trace: {exc}")
+        try:
+            print(format_report(summarize(tracer)))
+        except BrokenPipeError:
+            # Output piped into e.g. `head`; not an error.
+            sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

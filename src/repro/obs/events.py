@@ -1,0 +1,232 @@
+"""Typed, qlog-style telemetry events and the :class:`Tracer`.
+
+The event taxonomy mirrors the qlog schema the QUIC community settled
+on (draft-ietf-quic-qlog-main-schema): every event belongs to a
+*category* (``transport``, ``recovery``, ``cc``, ``scheduler``,
+``path``, ``flowcontrol``) and carries a free-form ``data`` mapping.
+A :class:`Tracer` is a strict superset of the legacy
+:class:`repro.netsim.trace.PacketTrace`: the old tuple-based ``log()``
+call keeps working (TCP/MPTCP call sites are untouched) and is
+translated into a typed event on the fly, while the QUIC/MPQUIC layers
+additionally emit rich events and per-path time series through the
+cheap hooks described in ``docs/observability.md``.
+
+Overhead design: every emission site in the transports is guarded by a
+single ``is None`` check, so a run without an attached tracer pays one
+attribute load per potential event.  A disabled tracer returns after
+one boolean check.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.netsim.trace import PacketTrace, TraceRecord
+
+# -- event taxonomy ---------------------------------------------------------
+
+CAT_TRANSPORT = "transport"
+CAT_RECOVERY = "recovery"
+CAT_CC = "cc"
+CAT_SCHEDULER = "scheduler"
+CAT_PATH = "path"
+CAT_FLOWCONTROL = "flowcontrol"
+
+CATEGORIES = (
+    CAT_TRANSPORT,
+    CAT_RECOVERY,
+    CAT_CC,
+    CAT_SCHEDULER,
+    CAT_PATH,
+    CAT_FLOWCONTROL,
+)
+
+#: Translation of the legacy ``PacketTrace`` event names used by the
+#: TCP/MPTCP/QUIC call sites into (category, name) pairs, so old call
+#: sites feed the typed stream without modification.
+LEGACY_EVENTS: Dict[str, Tuple[str, str]] = {
+    "send": (CAT_TRANSPORT, "packet_sent"),
+    "recv": (CAT_TRANSPORT, "packet_received"),
+    "lost": (CAT_TRANSPORT, "packet_lost"),
+    "rto": (CAT_RECOVERY, "rto"),
+    "tlp": (CAT_RECOVERY, "tail_loss_probe"),
+    "dup": (CAT_SCHEDULER, "duplicated"),
+    "migrate": (CAT_PATH, "migrated"),
+    "rebind": (CAT_PATH, "rebind"),
+    # TCP/MPTCP flows log per-subflow with these names; the subflow's
+    # interface index plays the role of the path id.
+    "tcp-send": (CAT_TRANSPORT, "packet_sent"),
+    "tcp-recv": (CAT_TRANSPORT, "packet_received"),
+    "tcp-rto": (CAT_RECOVERY, "rto"),
+}
+
+#: Metrics sampled into per-path time series by the QUIC layers.
+SERIES_METRICS = (
+    "cwnd",
+    "ssthresh",
+    "srtt",
+    "bytes_in_flight",
+    "goodput_bytes",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured telemetry event.
+
+    ``path_id`` is ``-1`` for connection-level events (e.g. a
+    flow-control block at the connection window).
+    """
+
+    time: float
+    host: str
+    category: str
+    name: str
+    path_id: int = -1
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def type(self) -> str:
+        """qlog-style ``category:name`` label."""
+        return f"{self.category}:{self.name}"
+
+
+class Tracer(PacketTrace):
+    """Structured telemetry collector attached to one simulation.
+
+    Strict superset of :class:`PacketTrace`:
+
+    * ``log()`` (the legacy tuple API) still appends a
+      :class:`TraceRecord` *and* mirrors it as a typed :class:`Event`;
+    * ``emit()`` records typed events with arbitrary payloads;
+    * ``sample()`` accumulates per-``(host, path, metric)`` time
+      series, optionally throttled by ``sample_interval``;
+    * ``sched_decision()`` maintains the scheduler-decision histogram
+      alongside a ``scheduler:path_selected`` event stream.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_interval: float = 0.0,
+        capture_scheduler_events: bool = True,
+    ) -> None:
+        super().__init__(enabled)
+        self.events: List[Event] = []
+        #: (host, path_id, metric) -> [(time, value), ...]
+        self.series: Dict[Tuple[str, int, str], List[Tuple[float, float]]] = {}
+        #: (host, path_id) -> number of times the scheduler picked it.
+        self.scheduler_decisions: Counter = Counter()
+        #: Minimum spacing between two samples of the same series key
+        #: (0 = record every sample).
+        self.sample_interval = sample_interval
+        self.capture_scheduler_events = capture_scheduler_events
+        self._last_sample_time: Dict[Tuple[str, int, str], float] = {}
+
+    # -- legacy compatibility ------------------------------------------------
+
+    def log(
+        self,
+        time: float,
+        host: str,
+        event: str,
+        path_id: int = 0,
+        packet_number: int = -1,
+        size: int = 0,
+        detail: str = "",
+    ) -> None:
+        """Legacy tuple API; also mirrored into the typed event stream."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(time, host, event, path_id, packet_number, size, detail)
+        )
+        category, name = LEGACY_EVENTS.get(event, (CAT_TRANSPORT, event))
+        data: Dict[str, Any] = {}
+        if packet_number >= 0:
+            data["packet_number"] = packet_number
+        if size:
+            data["size"] = size
+        if detail:
+            data["detail"] = detail
+        self.events.append(Event(time, host, category, name, path_id, data))
+
+    # -- typed API -----------------------------------------------------------
+
+    def emit(
+        self,
+        time: float,
+        host: str,
+        category: str,
+        name: str,
+        path_id: int = -1,
+        **data: Any,
+    ) -> None:
+        """Record one typed event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(Event(time, host, category, name, path_id, data))
+
+    def sample(
+        self, time: float, host: str, path_id: int, metric: str, value: float
+    ) -> None:
+        """Append one time-series point, honouring ``sample_interval``."""
+        if not self.enabled:
+            return
+        key = (host, path_id, metric)
+        if self.sample_interval > 0.0:
+            last = self._last_sample_time.get(key)
+            if last is not None and time - last < self.sample_interval:
+                return
+            self._last_sample_time[key] = time
+        self.series.setdefault(key, []).append((time, value))
+
+    def sched_decision(self, time: float, host: str, path_id: int) -> None:
+        """Count (and optionally record) one scheduler path selection."""
+        if not self.enabled:
+            return
+        self.scheduler_decisions[(host, path_id)] += 1
+        if self.capture_scheduler_events:
+            self.events.append(
+                Event(time, host, CAT_SCHEDULER, "path_selected", path_id)
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def events_of(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        host: Optional[str] = None,
+        path_id: Optional[int] = None,
+        t_min: Optional[float] = None,
+        t_max: Optional[float] = None,
+    ) -> List[Event]:
+        """Typed events matching all provided criteria."""
+        out = []
+        for ev in self.events:
+            if category is not None and ev.category != category:
+                continue
+            if name is not None and ev.name != name:
+                continue
+            if host is not None and ev.host != host:
+                continue
+            if path_id is not None and ev.path_id != path_id:
+                continue
+            if t_min is not None and ev.time < t_min:
+                continue
+            if t_max is not None and ev.time > t_max:
+                continue
+            out.append(ev)
+        return out
+
+    def series_of(
+        self, host: str, path_id: int, metric: str
+    ) -> List[Tuple[float, float]]:
+        """One time series (empty list when never sampled)."""
+        return self.series.get((host, path_id, metric), [])
+
+    def iter_events(self) -> Iterator[Event]:
+        return iter(self.events)

@@ -1,0 +1,200 @@
+"""Trace exporters: qlog-flavoured JSON, JSONL streaming, CSV series.
+
+Three output shapes for three consumers:
+
+* :func:`to_qlog` / :func:`write_qlog_json` — a qlog-inspired document
+  (one trace per vantage point/host, events as ``{time, name, data}``)
+  for offline inspection with generic JSON tooling;
+* :func:`write_jsonl` / :func:`read_jsonl` — an append-only line
+  stream that round-trips back into a :class:`~repro.obs.events.Tracer`
+  (this is what ``python -m repro.obs report`` consumes);
+* :func:`write_csv_series` — the per-path time series (cwnd, srtt,
+  bytes-in-flight, ...) in long form for spreadsheet/pandas plotting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Iterable, List, Union
+
+from repro.obs.events import Event, Tracer
+
+PathLike = Union[str, os.PathLike]
+
+QLOG_VERSION = "0.3"
+
+
+def _event_to_obj(ev: Event) -> Dict[str, Any]:
+    return {
+        "time": ev.time,
+        "name": ev.type,
+        "path_id": ev.path_id,
+        "data": dict(ev.data),
+    }
+
+
+def to_qlog(tracer: Tracer, title: str = "repro trace") -> Dict[str, Any]:
+    """Render the trace as a qlog-style document.
+
+    One entry in ``traces`` per vantage point (host), each holding its
+    event list, per-path time series and scheduler histogram.
+    """
+    hosts: List[str] = []
+    for ev in tracer.events:
+        if ev.host not in hosts:
+            hosts.append(ev.host)
+    for host, _, _ in tracer.series:
+        if host not in hosts:
+            hosts.append(host)
+    traces = []
+    for host in hosts:
+        series = {
+            f"path{path_id}:{metric}": points
+            for (h, path_id, metric), points in tracer.series.items()
+            if h == host
+        }
+        histogram = {
+            str(path_id): count
+            for (h, path_id), count in tracer.scheduler_decisions.items()
+            if h == host
+        }
+        traces.append(
+            {
+                "vantage_point": {"name": host, "type": "unknown"},
+                "events": [
+                    _event_to_obj(ev) for ev in tracer.events if ev.host == host
+                ],
+                "time_series": series,
+                "scheduler_decisions": histogram,
+            }
+        )
+    return {
+        "qlog_version": QLOG_VERSION,
+        "title": title,
+        "traces": traces,
+    }
+
+
+def write_qlog_json(tracer: Tracer, dest: Union[PathLike, IO[str]], title: str = "repro trace") -> None:
+    """Write :func:`to_qlog` output as JSON to a path or open file."""
+    doc = to_qlog(tracer, title=title)
+    if hasattr(dest, "write"):
+        json.dump(doc, dest, indent=1)
+    else:
+        with open(dest, "w") as fh:
+            json.dump(doc, fh, indent=1)
+
+
+# -- JSONL streaming --------------------------------------------------------
+
+
+def _jsonl_lines(tracer: Tracer) -> Iterable[str]:
+    for ev in tracer.events:
+        yield json.dumps(
+            {
+                "kind": "event",
+                "time": ev.time,
+                "host": ev.host,
+                "category": ev.category,
+                "name": ev.name,
+                "path_id": ev.path_id,
+                "data": dict(ev.data),
+            }
+        )
+    for (host, path_id, metric), points in tracer.series.items():
+        for time, value in points:
+            yield json.dumps(
+                {
+                    "kind": "sample",
+                    "time": time,
+                    "host": host,
+                    "path_id": path_id,
+                    "metric": metric,
+                    "value": value,
+                }
+            )
+    for (host, path_id), count in tracer.scheduler_decisions.items():
+        yield json.dumps(
+            {
+                "kind": "sched_histogram",
+                "host": host,
+                "path_id": path_id,
+                "count": count,
+            }
+        )
+
+
+def write_jsonl(tracer: Tracer, dest: Union[PathLike, IO[str]]) -> int:
+    """Stream the trace as JSON Lines; returns the line count."""
+    if hasattr(dest, "write"):
+        n = 0
+        for line in _jsonl_lines(tracer):
+            dest.write(line + "\n")
+            n += 1
+        return n
+    with open(dest, "w") as fh:
+        return write_jsonl(tracer, fh)
+
+
+def read_jsonl(src: Union[PathLike, IO[str]]) -> Tracer:
+    """Reconstruct a :class:`Tracer` from a JSONL export.
+
+    The scheduler histogram is taken from explicit ``sched_histogram``
+    lines when present and otherwise rebuilt from ``path_selected``
+    events, so both full and event-only streams summarise correctly.
+    """
+    if not hasattr(src, "read"):
+        with open(src) as fh:
+            return read_jsonl(fh)
+    tracer = Tracer()
+    saw_histogram = False
+    for line in src:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        kind = obj.get("kind", "event")
+        if kind == "event":
+            tracer.events.append(
+                Event(
+                    time=obj["time"],
+                    host=obj["host"],
+                    category=obj["category"],
+                    name=obj["name"],
+                    path_id=obj.get("path_id", -1),
+                    data=obj.get("data", {}),
+                )
+            )
+        elif kind == "sample":
+            key = (obj["host"], obj["path_id"], obj["metric"])
+            tracer.series.setdefault(key, []).append((obj["time"], obj["value"]))
+        elif kind == "sched_histogram":
+            saw_histogram = True
+            tracer.scheduler_decisions[(obj["host"], obj["path_id"])] += obj["count"]
+    if not saw_histogram:
+        for ev in tracer.events:
+            if ev.category == "scheduler" and ev.name == "path_selected":
+                tracer.scheduler_decisions[(ev.host, ev.path_id)] += 1
+    return tracer
+
+
+# -- CSV time series --------------------------------------------------------
+
+
+def write_csv_series(tracer: Tracer, dest: Union[PathLike, IO[str]]) -> int:
+    """Write every time series in long form; returns data-row count.
+
+    Columns: ``time,host,path_id,metric,value`` — one row per sample,
+    ready for pandas ``pivot`` or a spreadsheet chart.
+    """
+    if not hasattr(dest, "write"):
+        with open(dest, "w") as fh:
+            return write_csv_series(tracer, fh)
+    dest.write("time,host,path_id,metric,value\n")
+    rows = 0
+    for (host, path_id, metric), points in sorted(tracer.series.items()):
+        for time, value in points:
+            dest.write(f"{time!r},{host},{path_id},{metric},{value!r}\n")
+            rows += 1
+    return rows

@@ -1,0 +1,165 @@
+"""Trace aggregation: per-path counters, histograms, handover timeline.
+
+Turns a :class:`~repro.obs.events.Tracer` (live or reloaded from JSONL)
+into the summary the paper's analysis sections keep reaching for:
+which path carried how much, what was lost or retransmitted where,
+how the scheduler split its decisions, and the ordered path-lifecycle
+timeline around a handover (Fig. 11's `potentially failed` moment).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.events import (
+    CAT_PATH,
+    CAT_RECOVERY,
+    CAT_SCHEDULER,
+    CAT_TRANSPORT,
+    Event,
+    Tracer,
+)
+
+#: path lifecycle events, in the order they appear in the timeline.
+_LIFECYCLE = (
+    "new",
+    "validated",
+    "potentially_failed",
+    "recovered",
+    "abandoned",
+    "migrated",
+    "rebind",
+)
+
+
+@dataclass
+class PathSummary:
+    """Counters for one (host, path) pair."""
+
+    host: str
+    path_id: int
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_received: int = 0
+    bytes_received: int = 0
+    packets_lost: int = 0
+    retransmitted_bytes: int = 0
+    duplicated_packets: int = 0
+    rtos: int = 0
+    scheduler_selections: int = 0
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace."""
+
+    paths: Dict[Tuple[str, int], PathSummary] = field(default_factory=dict)
+    #: host -> Counter(path_id -> scheduler decisions)
+    scheduler_histogram: Dict[str, Counter] = field(default_factory=dict)
+    #: ordered (time, host, path_id, lifecycle-event) tuples
+    handover_timeline: List[Tuple[float, str, int, str]] = field(
+        default_factory=list
+    )
+    total_events: int = 0
+
+    def path(self, host: str, path_id: int) -> PathSummary:
+        key = (host, path_id)
+        if key not in self.paths:
+            self.paths[key] = PathSummary(host, path_id)
+        return self.paths[key]
+
+
+def summarize(tracer: Tracer) -> TraceSummary:
+    """Fold the event stream into a :class:`TraceSummary`."""
+    out = TraceSummary()
+    for ev in tracer.events:
+        out.total_events += 1
+        path = out.path(ev.host, ev.path_id)
+        if ev.category == CAT_TRANSPORT:
+            size = int(ev.data.get("size", 0))
+            if ev.name == "packet_sent":
+                path.packets_sent += 1
+                path.bytes_sent += size
+            elif ev.name == "packet_received":
+                path.packets_received += 1
+                path.bytes_received += size
+            elif ev.name == "packet_lost":
+                path.packets_lost += 1
+        elif ev.category == CAT_RECOVERY:
+            if ev.name == "rto":
+                path.rtos += 1
+            elif ev.name == "retransmit":
+                path.retransmitted_bytes += int(ev.data.get("bytes", 0))
+        elif ev.category == CAT_SCHEDULER:
+            if ev.name == "duplicated":
+                path.duplicated_packets += 1
+        elif ev.category == CAT_PATH and ev.name in _LIFECYCLE:
+            out.handover_timeline.append((ev.time, ev.host, ev.path_id, ev.name))
+    for (host, path_id), count in tracer.scheduler_decisions.items():
+        out.path(host, path_id).scheduler_selections = count
+        out.scheduler_histogram.setdefault(host, Counter())[path_id] = count
+    out.handover_timeline.sort(key=lambda item: item[0])
+    return out
+
+
+def first_event_time(
+    tracer: Tracer, category: str, name: str, host: str = None
+) -> float:
+    """Time of the first matching event (+inf when absent)."""
+    for ev in tracer.events:
+        if ev.category == category and ev.name == name:
+            if host is None or ev.host == host:
+                return ev.time
+    return float("inf")
+
+
+# -- rendering ---------------------------------------------------------------
+
+_COLUMNS = (
+    ("path", "{host}/{path_id}"),
+    ("pkts_sent", "{packets_sent}"),
+    ("bytes_sent", "{bytes_sent}"),
+    ("pkts_recv", "{packets_received}"),
+    ("lost", "{packets_lost}"),
+    ("rexmit_B", "{retransmitted_bytes}"),
+    ("dup", "{duplicated_packets}"),
+    ("rtos", "{rtos}"),
+    ("sched", "{scheduler_selections}"),
+)
+
+
+def format_report(summary: TraceSummary) -> str:
+    """Render the per-path summary table plus histogram and timeline."""
+    lines: List[str] = [f"trace summary ({summary.total_events} events)", ""]
+    header = [name for name, _ in _COLUMNS]
+    rows = [header]
+    for (host, path_id) in sorted(summary.paths):
+        ps = summary.paths[(host, path_id)]
+        rows.append(
+            [fmt.format(**vars(ps)) for _, fmt in _COLUMNS]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    if summary.scheduler_histogram:
+        lines.append("")
+        lines.append("scheduler decisions:")
+        for host in sorted(summary.scheduler_histogram):
+            histogram = summary.scheduler_histogram[host]
+            total = sum(histogram.values()) or 1
+            for path_id in sorted(histogram):
+                count = histogram[path_id]
+                lines.append(
+                    f"  {host} path {path_id}: {count}"
+                    f" ({100.0 * count / total:.1f}%)"
+                )
+    if summary.handover_timeline:
+        lines.append("")
+        lines.append("path lifecycle timeline:")
+        for time, host, path_id, name in summary.handover_timeline:
+            lines.append(f"  {time:10.4f}s  {host:<8s} path {path_id}: {name}")
+    return "\n".join(lines)

@@ -90,6 +90,7 @@ class PathState:
         self.packets_received = 0
         self.bytes_received = 0
         self.duplicated_packets = 0
+        self.stream_bytes_retransmitted = 0
 
     @property
     def rtt_known(self) -> bool:
@@ -120,6 +121,12 @@ class ConnectionStats:
     handshake_completed_at: Optional[float] = None
     rto_count: int = 0
     packets_lost: int = 0
+    #: Loss episodes (one per recovery period, not per packet).
+    loss_events: int = 0
+    #: STREAM frames re-sent after a loss declaration.
+    frames_retransmitted: int = 0
+    #: Packets proactively duplicated onto other paths by the scheduler.
+    packets_duplicated: int = 0
 
 
 class QuicConnection:
@@ -144,6 +151,11 @@ class QuicConnection:
         self.role = role
         self.config = config or QuicConfig()
         self.trace = trace
+        #: Structured telemetry: set when the attached trace is a
+        #: :class:`repro.obs.Tracer`.  Every emission site below guards
+        #: on ``self._obs is not None`` so plain runs stay free.
+        self._obs = trace if hasattr(trace, "emit") else None
+        self._fc_blocked: set = set()
         self.connection_id = connection_id
         self.established = False
         self.closed = False
@@ -197,7 +209,73 @@ class QuicConnection:
         path = PathState(path_id, interface_index, self._make_cc(path_id), self.config)
         self.paths[path_id] = path
         self._pending_control.setdefault(path_id, [])
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, "path", "new",
+                path_id, interface=interface_index,
+            )
+            self._wire_path_telemetry(path)
         return path
+
+    def _wire_path_telemetry(self, path: PathState) -> None:
+        """Attach the per-path tracer hooks (CC, RTT, loss recovery).
+
+        Each hook is a closure over the tracer; the instrumented
+        objects pay a single ``is None`` check when tracing is off.
+        """
+        obs = self._obs
+        host = self.host.name
+        path_id = path.path_id
+
+        def cc_event(name: str, cc: CongestionController, _now: float) -> None:
+            ssthresh = cc.ssthresh_bytes
+            obs.emit(
+                self.sim.now, host, "cc", name, path_id,
+                state=cc.state.value, cwnd=cc.cwnd_bytes,
+                ssthresh=ssthresh if ssthresh != float("inf") else -1.0,
+            )
+
+        path.cc.telemetry = cc_event
+
+        def rtt_sample(est) -> None:
+            if est.samples_taken == 1:
+                obs.emit(
+                    self.sim.now, host, "path", "validated",
+                    path_id, rtt=est.latest,
+                )
+            obs.emit(
+                self.sim.now, host, "recovery", "metrics_updated", path_id,
+                latest_rtt=est.latest, smoothed_rtt=est.smoothed,
+                min_rtt=est.min_rtt, rtt_variance=est.variance,
+            )
+
+        path.rtt.on_sample = rtt_sample
+
+        def packets_lost(lost) -> None:
+            for sp in lost:
+                obs.emit(
+                    self.sim.now, host, "transport", "packet_lost", path_id,
+                    packet_number=sp.packet_number, size=sp.size,
+                )
+
+        path.recovery.on_packets_lost = packets_lost
+
+    def _sample_path_metrics(self, path: PathState) -> None:
+        """One time-series sample of the path's congestion/RTT state."""
+        obs = self._obs
+        now = self.sim.now
+        host = self.host.name
+        path_id = path.path_id
+        ssthresh = path.cc.ssthresh_bytes
+        obs.sample(now, host, path_id, "cwnd", path.cc.cwnd_bytes)
+        obs.sample(
+            now, host, path_id, "ssthresh",
+            ssthresh if ssthresh != float("inf") else -1.0,
+        )
+        obs.sample(now, host, path_id, "srtt", path.rtt.smoothed)
+        obs.sample(
+            now, host, path_id, "bytes_in_flight", path.recovery.bytes_in_flight
+        )
 
     def _ensure_path(self, path_id: int, interface_index: int) -> PathState:
         """Fetch a path, creating state for peer-initiated paths."""
@@ -362,6 +440,8 @@ class QuicConnection:
         if path.potentially_failed:
             # Network activity: the path works again (paper §4.3).
             path.potentially_failed = False
+            if self._obs is not None:
+                self._obs.emit(now, self.host.name, "path", "recovered", path.path_id)
         if self.trace is not None:
             self.trace.log(
                 now, self.host.name, "recv", path.path_id,
@@ -459,6 +539,12 @@ class QuicConnection:
         fin_now = stream.is_complete
         if ready or fin_now:
             self.stats.stream_bytes_received += len(ready)
+            if self._obs is not None and ready:
+                # Connection-level cumulative goodput series.
+                self._obs.sample(
+                    self.sim.now, self.host.name, -1,
+                    "goodput_bytes", self.stats.stream_bytes_received,
+                )
             if self.config.app_consume_rate_bps > 0:
                 self._queue_consumption(frame.stream_id, len(ready))
             else:
@@ -529,6 +615,7 @@ class QuicConnection:
                 self._queue_control(path.path_id, frame)
 
     def _on_window_update(self, frame: WindowUpdateFrame) -> None:
+        self._fc_blocked.discard(frame.stream_id)
         if frame.stream_id == self.CONNECTION_FC_STREAM:
             self._conn_send_window.update_limit(frame.byte_offset)
         else:
@@ -543,6 +630,11 @@ class QuicConnection:
         for path_id in frame.failed:
             failed_path = self.paths.get(path_id)
             if failed_path is not None:
+                if self._obs is not None and not failed_path.potentially_failed:
+                    self._obs.emit(
+                        self.sim.now, self.host.name, "path",
+                        "potentially_failed", path_id, source="peer",
+                    )
                 failed_path.potentially_failed = True
 
     def _on_ack_frame(self, ack: AckFrame) -> None:
@@ -561,6 +653,8 @@ class QuicConnection:
                 )
             for sp in result.newly_acked:
                 self._on_packet_acked(path, sp)
+            if self._obs is not None:
+                self._sample_path_metrics(path)
         if result.lost:
             self._handle_lost_packets(path, result.lost)
         elif path.recovery.largest_acked >= path.recovery_exit_pn:
@@ -584,6 +678,7 @@ class QuicConnection:
         # acknowledged (same semantics as TCP fast recovery).
         if path.recovery.largest_acked >= path.recovery_exit_pn:
             path.recovery_exit_pn = path.recovery.largest_sent + 1
+            self.stats.loss_events += 1
             path.cc.on_loss_event(self.sim.now, self.sim.now)
         for sp in lost:
             self._requeue_frames(sp.frames, path)
@@ -715,6 +810,12 @@ class QuicConnection:
             frames, new_bytes = self._build_data_frames(path)
             if not frames:
                 return
+            if self._obs is not None:
+                # Histogram of where data packets actually landed
+                # (selections that produced no packet are not counted).
+                self._obs.sched_decision(
+                    self.sim.now, self.host.name, path.path_id
+                )
             packet = self._send_packet(path, tuple(frames))
             self._after_data_packet_sent(path, packet, new_bytes)
 
@@ -757,12 +858,15 @@ class QuicConnection:
                     break
                 window = self._stream_send_windows[stream_id]
                 conn_budget = self._conn_send_window.available
-                if not stream.has_data_to_send(min(window.available, conn_budget)):
+                flow_budget = min(window.available, conn_budget)
+                if not stream.has_data_to_send(flow_budget):
+                    if flow_budget == 0 and stream.has_data_to_send(1 << 62):
+                        self._note_flow_blocked(stream_id, window, conn_budget)
                     continue
                 header_overhead = 16
                 result = stream.next_frame(
                     budget - header_overhead,
-                    min(window.available, conn_budget),
+                    flow_budget,
                 )
                 if result is None:
                     continue
@@ -773,6 +877,15 @@ class QuicConnection:
                     self.stats.stream_bytes_sent += new_bytes
                 else:
                     self.stats.stream_bytes_retransmitted += len(frame.data)
+                    self.stats.frames_retransmitted += 1
+                    path.stream_bytes_retransmitted += len(frame.data)
+                    if self._obs is not None:
+                        self._obs.emit(
+                            self.sim.now, self.host.name, "recovery",
+                            "retransmit", path.path_id,
+                            stream_id=stream_id, offset=frame.offset,
+                            bytes=len(frame.data),
+                        )
                 new_bytes_total += new_bytes
                 frames.append(frame)
                 budget -= frame.wire_size()
@@ -783,6 +896,31 @@ class QuicConnection:
         if ack is not None and ack.wire_size() <= budget + ack_reserve:
             frames.insert(0, ack)
         return frames, new_bytes_total
+
+    def _note_flow_blocked(
+        self, stream_id: int, window: SendWindow, conn_budget: int
+    ) -> None:
+        """Record a flow-control stall (coalesced per blocked window).
+
+        Emitted once per blocked window until the matching
+        WINDOW_UPDATE lifts the limit again; mirrors qlog's
+        ``flow_control_blocked`` / IETF BLOCKED signal.
+        """
+        if window.available == 0:
+            blocked_id, blocked_window = stream_id, window
+        else:
+            blocked_id, blocked_window = (
+                self.CONNECTION_FC_STREAM, self._conn_send_window
+            )
+        if blocked_id in self._fc_blocked:
+            return
+        self._fc_blocked.add(blocked_id)
+        blocked_window.note_blocked()
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, "flowcontrol", "blocked", -1,
+                stream_id=blocked_id, limit=blocked_window.limit,
+            )
 
     def _send_packet(self, path: PathState, frames: Tuple[Frame, ...]) -> Packet:
         """Emit one packet on a path and register it with recovery."""
@@ -913,6 +1051,11 @@ class QuicConnection:
         if self.trace is not None:
             self.trace.log(now, self.host.name, "rto", path.path_id)
         if newly_failed:
+            if self._obs is not None:
+                self._obs.emit(
+                    now, self.host.name, "path", "potentially_failed",
+                    path.path_id, source="rto",
+                )
             self._on_path_potentially_failed(path)
         self._rearm_rto(path)
         self._send_pending()
@@ -965,6 +1108,8 @@ class QuicConnection:
                 "srtt": path.rtt.smoothed,
                 "lost": path.recovery.packets_lost_total,
                 "rtos": path.recovery.rto_count,
+                "retransmitted_bytes": path.stream_bytes_retransmitted,
+                "duplicated": path.duplicated_packets,
                 "potentially_failed": float(path.potentially_failed),
             }
         return out

@@ -62,6 +62,10 @@ class LossRecovery:
         self.packets_lost_total = 0
         self.packets_acked_total = 0
         self.rto_count = 0
+        #: Optional telemetry hook ``fn(lost_packets)`` invoked with the
+        #: freshly declared-lost packets (wired when a tracer is
+        #: attached; one ``is None`` check otherwise).
+        self.on_packets_lost = None
 
     # -- sending -------------------------------------------------------------
 
@@ -137,6 +141,8 @@ class LossRecovery:
             del self.sent[sp.packet_number]
             if sp.ack_eliciting:
                 self.bytes_in_flight -= sp.size
+        if lost and self.on_packets_lost is not None:
+            self.on_packets_lost(lost)
         return lost
 
     def next_loss_time(self, now: float) -> Optional[float]:
@@ -195,6 +201,8 @@ class LossRecovery:
                 self.bytes_in_flight -= sp.size
                 lost.append(sp)
         self.packets_lost_total += len(lost)
+        if lost and self.on_packets_lost is not None:
+            self.on_packets_lost(lost)
         return lost
 
     # -- misc -----------------------------------------------------------------

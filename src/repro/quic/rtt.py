@@ -27,6 +27,9 @@ class RttEstimator:
         self.variance: float = 0.0
         self._has_sample = False
         self.samples_taken = 0
+        #: Optional telemetry hook ``fn(estimator)``, invoked after each
+        #: absorbed sample when a tracer is attached (no-op otherwise).
+        self.on_sample = None
 
     @property
     def has_sample(self) -> bool:
@@ -59,6 +62,8 @@ class RttEstimator:
             self.variance = (1 - self.BETA) * self.variance + self.BETA * delta
             self.smoothed = (1 - self.ALPHA) * self.smoothed + self.ALPHA * adjusted
         self.samples_taken += 1
+        if self.on_sample is not None:
+            self.on_sample(self)
 
     def rto(self, min_rto: float = 0.2, max_rto: float = 60.0, max_ack_delay: float = 0.025) -> float:
         """Retransmission timeout derived from the current estimate."""

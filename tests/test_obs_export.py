@@ -1,0 +1,145 @@
+"""Exporter tests: qlog JSON shape, JSONL round-trip into the summary,
+CSV series output, and the `python -m repro.obs report` CLI."""
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.netsim.topology import PathConfig
+from repro.obs import (
+    Tracer,
+    format_report,
+    read_jsonl,
+    summarize,
+    to_qlog,
+    write_csv_series,
+    write_jsonl,
+    write_qlog_json,
+)
+from tests.test_obs_events import TWO_PATHS, traced_transfer
+
+
+@pytest.fixture(scope="module")
+def trace():
+    tr, *_ = traced_transfer(TWO_PATHS, size=200_000)
+    return tr
+
+
+class TestQlogExport:
+    def test_document_shape(self, trace):
+        doc = to_qlog(trace, title="unit test")
+        assert doc["qlog_version"]
+        assert doc["title"] == "unit test"
+        hosts = {t["vantage_point"]["name"] for t in doc["traces"]}
+        assert hosts == {"client", "server"}
+        server = next(
+            t for t in doc["traces"] if t["vantage_point"]["name"] == "server"
+        )
+        names = {ev["name"] for ev in server["events"]}
+        assert "transport:packet_sent" in names
+        assert "path:validated" in names
+        assert "path0:cwnd" in server["time_series"]
+        assert "path1:srtt" in server["time_series"]
+        assert server["scheduler_decisions"]
+
+    def test_json_serializable(self, trace, tmp_path):
+        out = tmp_path / "trace.qlog.json"
+        write_qlog_json(trace, str(out))
+        doc = json.loads(out.read_text())
+        assert doc["traces"]
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_events_series_histogram(self, trace):
+        buf = io.StringIO()
+        lines = write_jsonl(trace, buf)
+        assert lines == (
+            len(trace.events)
+            + sum(len(points) for points in trace.series.values())
+            + len(trace.scheduler_decisions)
+        )
+        buf.seek(0)
+        restored = read_jsonl(buf)
+        assert len(restored.events) == len(trace.events)
+        assert restored.events[0] == trace.events[0]
+        assert restored.series.keys() == trace.series.keys()
+        for key in trace.series:
+            assert restored.series[key] == [
+                (t, v) for t, v in trace.series[key]
+            ]
+        assert restored.scheduler_decisions == trace.scheduler_decisions
+
+    def test_round_trip_summary_matches_live_summary(self, trace):
+        buf = io.StringIO()
+        write_jsonl(trace, buf)
+        buf.seek(0)
+        live = summarize(trace)
+        reloaded = summarize(read_jsonl(buf))
+        assert reloaded.paths.keys() == live.paths.keys()
+        for key in live.paths:
+            assert vars(reloaded.paths[key]) == vars(live.paths[key])
+        assert reloaded.scheduler_histogram == live.scheduler_histogram
+        assert reloaded.handover_timeline == live.handover_timeline
+
+    def test_histogram_rebuilt_from_events_when_lines_missing(self):
+        tr = Tracer()
+        tr.sched_decision(0.1, "h", 0)
+        tr.sched_decision(0.2, "h", 1)
+        tr.sched_decision(0.3, "h", 1)
+        buf = io.StringIO()
+        # Export events only (simulate a stream cut before the footer).
+        for ev in tr.events:
+            buf.write(
+                json.dumps(
+                    {
+                        "kind": "event",
+                        "time": ev.time,
+                        "host": ev.host,
+                        "category": ev.category,
+                        "name": ev.name,
+                        "path_id": ev.path_id,
+                        "data": dict(ev.data),
+                    }
+                )
+                + "\n"
+            )
+        buf.seek(0)
+        restored = read_jsonl(buf)
+        assert restored.scheduler_decisions == tr.scheduler_decisions
+
+
+class TestCsvExport:
+    def test_csv_rows_and_header(self, trace):
+        buf = io.StringIO()
+        rows = write_csv_series(trace, buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "time,host,path_id,metric,value"
+        assert len(lines) == rows + 1
+        cells = lines[1].split(",")
+        assert len(cells) == 5
+        float(cells[0]), int(cells[2]), float(cells[4])  # parse sanity
+
+
+class TestSummaryReport:
+    def test_report_contains_per_path_rows(self, trace):
+        text = format_report(summarize(trace))
+        assert "server/0" in text and "server/1" in text
+        assert "scheduler decisions:" in text
+        assert "path lifecycle timeline:" in text
+
+    def test_cli_report(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(trace, str(path))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "report", str(path)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "server/0" in proc.stdout
+        assert "scheduler decisions:" in proc.stdout
