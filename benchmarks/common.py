@@ -11,7 +11,11 @@ or regenerate individual figures at any scale with
 
 Because the figure harness caches sweeps process-wide, benchmarks that
 share an environment class (e.g. Fig. 3 and Fig. 4) reuse each other's
-simulation runs within one pytest session.
+simulation runs within one pytest session.  Sweeps additionally go
+through the parallel engine and its on-disk result cache
+(``REPRO_JOBS`` / ``REPRO_CACHE``, see docs/performance.md), so a
+repeat benchmark session at the same scale replays from disk; export
+``REPRO_CACHE=off`` when measuring raw simulation wall time.
 """
 
 from __future__ import annotations

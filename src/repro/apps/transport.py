@@ -13,7 +13,7 @@ need it.
 
 from __future__ import annotations
 
-import copy
+from dataclasses import replace
 from typing import Callable, Optional, Tuple
 
 from repro.core.connection import MultipathQuicConnection
@@ -28,6 +28,17 @@ from repro.tcp.connection import TcpConnection
 
 #: Protocols the experiment harness understands.
 PROTOCOLS = ("tcp", "mptcp", "quic", "mpquic")
+
+
+def _fresh_quic_config(template: Optional[QuicConfig]) -> QuicConfig:
+    """A private config instance for one endpoint.
+
+    Endpoints mutate their config (window autotuning), so client and
+    server must not share one object.  ``QuicConfig`` holds only scalar
+    fields, so a flat dataclass copy suffices — ``copy.deepcopy`` here
+    was one of the hottest per-connection allocations in sweep profiles.
+    """
+    return replace(template) if template is not None else QuicConfig()
 
 
 class TransportEndpoint:
@@ -109,19 +120,17 @@ def make_client_server(
         raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
     if protocol == "quic":
         client = QuicConnection(
-            sim, topology.client, "client", copy.deepcopy(quic_config) or QuicConfig(), trace
+            sim, topology.client, "client", _fresh_quic_config(quic_config), trace
         )
         server = QuicConnection(
-            sim, topology.server, "server", copy.deepcopy(quic_config) or QuicConfig(), trace
+            sim, topology.server, "server", _fresh_quic_config(quic_config), trace
         )
     elif protocol == "mpquic":
         client = MultipathQuicConnection(
-            sim, topology.client, "client",
-            copy.deepcopy(quic_config) if quic_config else QuicConfig(), trace,
+            sim, topology.client, "client", _fresh_quic_config(quic_config), trace,
         )
         server = MultipathQuicConnection(
-            sim, topology.server, "server",
-            copy.deepcopy(quic_config) if quic_config else QuicConfig(), trace,
+            sim, topology.server, "server", _fresh_quic_config(quic_config), trace,
         )
     elif protocol == "tcp":
         client = TcpConnection(

@@ -29,12 +29,12 @@ from repro.experiments.metrics import (
     fraction_greater_than,
     median,
 )
+from repro.experiments.parallel import execute_class_sweep
 from repro.experiments.report import ascii_box, ascii_cdf, table, timeline
 from repro.experiments.runner import (
     BulkRunResult,
     run_bulk,
     run_handover,
-    run_scenario_protocol_matrix,
 )
 from repro.experiments.scenarios import HANDOVER_SCENARIO
 from repro.netsim.topology import PathConfig
@@ -69,21 +69,31 @@ _SWEEP_CACHE: Dict[Tuple, List[Tuple[Scenario, Dict]] ] = {}
 
 
 def run_class_sweep(
-    env_class: str, config: SweepConfig, file_size: Optional[int] = None
+    env_class: str,
+    config: SweepConfig,
+    file_size: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache="auto",
 ) -> List[Tuple[Scenario, Dict[Tuple[str, int], BulkRunResult]]]:
-    """Run the full protocol matrix over a class's WSP scenarios."""
+    """Run the full protocol matrix over a class's WSP scenarios.
+
+    Execution goes through :mod:`repro.experiments.parallel`: cells are
+    served from the on-disk result cache when possible and the rest fan
+    out over ``REPRO_JOBS`` worker processes (results are bit-identical
+    to the serial path).  ``jobs``/``cache`` override the environment;
+    the session-local memo above still short-circuits repeat calls
+    within one process so figures sharing a class reuse sweeps without
+    re-reading the disk cache.
+    """
     size = file_size if file_size is not None else config.file_size
     key = (env_class, config.scenarios, size, config.seed)
     if key in _SWEEP_CACHE:
         return _SWEEP_CACHE[key]
     scenarios = generate_scenarios(env_class, config.scenarios, seed=config.seed)
     lossy = "no-loss" not in env_class
-    out = []
-    for scenario in scenarios:
-        matrix = run_scenario_protocol_matrix(
-            scenario.paths, size, lossy=lossy, base_seed=scenario.index + 1
-        )
-        out.append((scenario, matrix))
+    out = execute_class_sweep(
+        scenarios, size, lossy, jobs=jobs, cache=cache
+    )
     _SWEEP_CACHE[key] = out
     return out
 
@@ -377,6 +387,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="paper scale: 253 scenarios, 20 MB / 256 KB transfers",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep execution "
+             "(default: $REPRO_JOBS or all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (results/cache)",
+    )
+    parser.add_argument(
         "--csv", metavar="PATH", default=None,
         help="additionally dump every run of the executed sweeps to CSV",
     )
@@ -393,6 +412,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         overrides["seed"] = args.seed
     if overrides:
         config = replace(config, **overrides)
+    # The fig* entry points take only a SweepConfig, so the execution
+    # knobs travel via the environment the parallel engine reads.
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "off"
     targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in targets:
         FIGURES[name](config)

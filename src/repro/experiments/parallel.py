@@ -1,0 +1,393 @@
+"""Parallel sweep execution engine with a persistent result cache.
+
+The paper's evaluation is embarrassingly parallel: each class sweep is
+a grid of independent, deterministic simulations — one cell per
+``(scenario, protocol, initial_interface)``, carrying its own seed.
+This module decomposes a sweep into :class:`SweepCell` work units, fans
+them out over a ``ProcessPoolExecutor`` and memoises finished cells in
+a content-addressed on-disk cache, so regenerating figures or
+benchmarks at a scale that was already run is a pure cache hit.
+
+Guarantees:
+
+* **Bit-identical results.**  A cell is executed by the very same
+  :func:`repro.experiments.runner.run_bulk` call the serial path makes,
+  with the same seeds and the same median selection; only the order of
+  execution changes, and results are re-assembled in cell order.
+* **Content-addressed caching.**  The cache key hashes everything that
+  determines a run's outcome: the scenario's path parameters, the file
+  size, protocol and initial interface, repetitions and base seed, the
+  full QUIC/TCP endpoint configs, and a results-format version bumped
+  whenever the stored schema (or simulation semantics) changes.
+
+Environment knobs (also surfaced as ``--jobs`` / ``--no-cache`` on the
+``repro.experiments.figures`` CLI):
+
+* ``REPRO_JOBS``  — worker processes (default ``os.cpu_count()``;
+  ``1`` forces in-process serial execution).
+* ``REPRO_CACHE`` — ``off``/``0``/``false`` disables the on-disk cache.
+* ``REPRO_CACHE_DIR`` — cache root (default ``results/cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.expdesign.parameters import Scenario
+from repro.experiments.runner import (
+    DEFAULT_SIM_TIMEOUT,
+    BulkRunResult,
+    run_bulk,
+)
+from repro.netsim.topology import PathConfig
+from repro.quic.config import QuicConfig
+from repro.tcp.config import TcpConfig
+
+#: Bump when the cached result schema or the simulation semantics
+#: change, invalidating every previously stored result.
+RESULTS_FORMAT_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join("results", "cache")
+
+#: Protocol matrix of the paper's sweep (§4.1).
+SWEEP_PROTOCOLS = ("tcp", "quic", "mptcp", "mpquic")
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation unit of a class sweep.
+
+    Everything needed to reproduce the run (and to address its cached
+    result) lives here; cells are picklable and cheap to ship to worker
+    processes.
+    """
+
+    paths: Tuple[PathConfig, ...]
+    protocol: str
+    initial_interface: int
+    file_size: int
+    repetitions: int
+    base_seed: int
+    timeout: float = DEFAULT_SIM_TIMEOUT
+    quic_config: Optional[QuicConfig] = None
+    tcp_config: Optional[TcpConfig] = None
+
+    def key_material(self) -> Dict:
+        """The canonical dict whose hash addresses this cell's result."""
+        return {
+            "format": RESULTS_FORMAT_VERSION,
+            "paths": [asdict(p) for p in self.paths],
+            "protocol": self.protocol,
+            "initial_interface": self.initial_interface,
+            "file_size": self.file_size,
+            "repetitions": self.repetitions,
+            "base_seed": self.base_seed,
+            "timeout": self.timeout,
+            "quic_config": asdict(self.quic_config) if self.quic_config else None,
+            "tcp_config": asdict(self.tcp_config) if self.tcp_config else None,
+        }
+
+    def cache_key(self) -> str:
+        canonical = json.dumps(self.key_material(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def plan_class_sweep(
+    scenarios: Sequence[Scenario],
+    file_size: int,
+    lossy: bool,
+    protocols: Sequence[str] = SWEEP_PROTOCOLS,
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+) -> List[SweepCell]:
+    """Decompose a class sweep into cells, in deterministic order.
+
+    The order (scenario-major, then protocol, then initial interface)
+    matches the serial loop in the figure harness, so zipping the
+    results back against this plan reproduces the serial structure.
+    """
+    reps = 3 if lossy else 1
+    cells: List[SweepCell] = []
+    for scenario in scenarios:
+        for protocol in protocols:
+            for initial in (0, 1):
+                cells.append(
+                    SweepCell(
+                        paths=tuple(scenario.paths),
+                        protocol=protocol,
+                        initial_interface=initial,
+                        file_size=file_size,
+                        repetitions=reps,
+                        base_seed=scenario.index + 1,
+                        quic_config=quic_config,
+                        tcp_config=tcp_config,
+                    )
+                )
+    return cells
+
+
+def run_cell(cell: SweepCell) -> BulkRunResult:
+    """Execute one cell — the worker entry point (must be picklable)."""
+    return run_bulk(
+        cell.protocol,
+        cell.paths,
+        cell.file_size,
+        initial_interface=cell.initial_interface,
+        repetitions=cell.repetitions,
+        base_seed=cell.base_seed,
+        quic_config=cell.quic_config,
+        tcp_config=cell.tcp_config,
+        timeout=cell.timeout,
+    )
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialisation
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: BulkRunResult) -> Dict:
+    """JSON-serialisable form of a result (traces are not cached)."""
+    return {
+        "protocol": result.protocol,
+        "initial_interface": result.initial_interface,
+        "file_size": result.file_size,
+        "transfer_time": result.transfer_time,
+        "goodput_bps": result.goodput_bps,
+        "completed": result.completed,
+        "repetitions": result.repetitions,
+        "details": dict(result.details),
+        "rep_times": list(result.rep_times),
+        "rep_completed": list(result.rep_completed),
+        "failed_repetitions": result.failed_repetitions,
+    }
+
+
+def result_from_dict(data: Dict) -> BulkRunResult:
+    return BulkRunResult(
+        protocol=data["protocol"],
+        initial_interface=data["initial_interface"],
+        file_size=data["file_size"],
+        transfer_time=data["transfer_time"],
+        goodput_bps=data["goodput_bps"],
+        completed=data["completed"],
+        repetitions=data["repetitions"],
+        details=dict(data.get("details", {})),
+        rep_times=list(data.get("rep_times", [])),
+        rep_completed=list(data.get("rep_completed", [])),
+        failed_repetitions=data.get("failed_repetitions", 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+
+class ResultCache:
+    """Content-addressed store of finished cells under ``root``.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
+    SHA-256 of the cell's canonical key material; each file stores the
+    key material alongside the result so entries are self-describing.
+    Writes go through a temp file + rename, so concurrent writers (or
+    an interrupted run) never leave a truncated entry behind.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: SweepCell) -> Optional[BulkRunResult]:
+        path = self._path(cell.cache_key())
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(data["result"])
+
+    def put(self, cell: SweepCell, result: BulkRunResult) -> None:
+        key = cell.cache_key()
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key_material": cell.key_material(),
+                   "result": result_to_dict(result)}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def cache_enabled() -> bool:
+    """Whether ``REPRO_CACHE`` permits the on-disk cache."""
+    return os.environ.get("REPRO_CACHE", "on").lower() not in (
+        "off", "0", "false", "no"
+    )
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The cache configured by the environment, or None if disabled."""
+    if not cache_enabled():
+        return None
+    return ResultCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is not None:
+        return max(1, jobs)
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Accounting of one :func:`execute_cells` invocation."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    jobs: int = 1
+    #: Sum of simulator events over executed (non-cached) cells.
+    events_processed: int = 0
+
+    def merge(self, other: "SweepStats") -> None:
+        self.cells += other.cells
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.executed += other.executed
+        self.events_processed += other.events_processed
+        self.jobs = max(self.jobs, other.jobs)
+
+
+#: Stats of the most recent :func:`execute_cells` call (observability
+#: convenience for benchmarks and the CLI; also available by passing
+#: ``stats=`` explicitly).
+last_stats = SweepStats()
+
+
+def execute_cells(
+    cells: Sequence[SweepCell],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = "auto",  # type: ignore[assignment]
+    stats: Optional[SweepStats] = None,
+) -> List[BulkRunResult]:
+    """Run every cell, returning results aligned with ``cells``.
+
+    Cached cells are served from disk; the rest are executed — in a
+    worker pool when ``jobs > 1``, in-process otherwise — and stored
+    back.  Results are bit-identical to running each cell serially:
+    each worker performs the exact same ``run_bulk`` call, and ordering
+    is restored from the plan, not from completion order.
+
+    ``cache="auto"`` resolves via :func:`default_cache` (honouring
+    ``REPRO_CACHE``); pass ``None`` to bypass caching explicitly.
+    """
+    global last_stats
+    if cache == "auto":
+        cache = default_cache()
+    jobs = resolve_jobs(jobs)
+    stats = stats if stats is not None else SweepStats()
+    stats.cells += len(cells)
+    stats.jobs = max(stats.jobs, jobs)
+
+    results: List[Optional[BulkRunResult]] = [None] * len(cells)
+    missing: List[int] = []
+    for i, cell in enumerate(cells):
+        cached = cache.get(cell) if cache is not None else None
+        if cached is not None:
+            results[i] = cached
+        else:
+            missing.append(i)
+    if cache is not None:
+        stats.cache_hits += len(cells) - len(missing)
+        stats.cache_misses += len(missing)
+
+    if missing:
+        todo = [cells[i] for i in missing]
+        if jobs > 1 and len(todo) > 1:
+            fresh = _run_pool(todo, jobs)
+        else:
+            fresh = [run_cell(cell) for cell in todo]
+        for i, result in zip(missing, fresh):
+            results[i] = result
+            if cache is not None:
+                cache.put(cells[i], result)
+        stats.executed += len(todo)
+        stats.events_processed += sum(
+            int(r.details.get("sim_events", 0)) for r in fresh
+        )
+
+    last_stats = stats
+    return results  # type: ignore[return-value]
+
+
+def _run_pool(cells: Sequence[SweepCell], jobs: int) -> List[BulkRunResult]:
+    """Fan cells out over a process pool; fall back to serial if the
+    platform refuses to fork (restricted sandboxes)."""
+    chunksize = max(1, len(cells) // (jobs * 4))
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(run_cell, cells, chunksize=chunksize))
+    except (OSError, PermissionError):
+        return [run_cell(cell) for cell in cells]
+
+
+def execute_class_sweep(
+    scenarios: Sequence[Scenario],
+    file_size: int,
+    lossy: bool,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = "auto",  # type: ignore[assignment]
+    stats: Optional[SweepStats] = None,
+    protocols: Sequence[str] = SWEEP_PROTOCOLS,
+) -> List[Tuple[Scenario, Dict[Tuple[str, int], BulkRunResult]]]:
+    """Plan, execute and regroup a class sweep.
+
+    Returns the exact structure of the serial figure harness: one
+    ``(scenario, {(protocol, initial): BulkRunResult})`` pair per
+    scenario, in scenario order.
+    """
+    cells = plan_class_sweep(scenarios, file_size, lossy, protocols=protocols)
+    results = execute_cells(cells, jobs=jobs, cache=cache, stats=stats)
+    per_scenario = 2 * len(protocols)
+    out: List[Tuple[Scenario, Dict[Tuple[str, int], BulkRunResult]]] = []
+    for s_idx, scenario in enumerate(scenarios):
+        matrix: Dict[Tuple[str, int], BulkRunResult] = {}
+        base = s_idx * per_scenario
+        for c_idx in range(per_scenario):
+            cell = cells[base + c_idx]
+            matrix[(cell.protocol, cell.initial_interface)] = results[base + c_idx]
+        out.append((scenario, matrix))
+    return out

@@ -70,7 +70,7 @@ def _single_bulk(
     tcp_config: Optional[TcpConfig],
     timeout: float,
     trace: Optional[PacketTrace] = None,
-) -> Tuple[bool, float]:
+) -> Tuple[bool, float, int]:
     sim = Simulator()
     topo = TwoPathTopology(sim, list(paths), seed=seed)
     client, server = make_client_server(
@@ -81,7 +81,7 @@ def _single_bulk(
     )
     app = BulkTransferApp(sim, client, server, file_size, initial_interface)
     ok = app.run(timeout=timeout)
-    return ok, app.transfer_time if ok else timeout
+    return ok, app.transfer_time if ok else timeout, sim.events_processed
 
 
 def run_bulk(
@@ -109,9 +109,10 @@ def run_bulk(
     times: List[float] = []
     rep_ok: List[bool] = []
     traces: List[Optional[Tracer]] = []
+    sim_events = 0
     for rep in range(repetitions):
         tracer = Tracer() if collect_trace else None
-        ok, duration = _single_bulk(
+        ok, duration, events = _single_bulk(
             protocol, paths, file_size, initial_interface,
             seed=base_seed + rep * 1000,
             quic_config=quic_config, tcp_config=tcp_config, timeout=timeout,
@@ -120,6 +121,7 @@ def run_bulk(
         rep_ok.append(ok)
         times.append(duration)
         traces.append(tracer)
+        sim_events += events
     completed_times = [t for t, ok in zip(times, rep_ok) if ok]
     t = median(completed_times) if completed_times else median(times)
     trace: Optional[Tracer] = None
@@ -138,6 +140,7 @@ def run_bulk(
         goodput_bps=file_size * 8.0 / t if t > 0 else 0.0,
         completed=all(rep_ok),
         repetitions=repetitions,
+        details={"sim_events": float(sim_events)},
         rep_times=times,
         rep_completed=rep_ok,
         failed_repetitions=rep_ok.count(False),

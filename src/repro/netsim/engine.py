@@ -15,17 +15,32 @@ from typing import Any, Callable, List, Optional, Tuple
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim", "_popped")
 
-    def __init__(self, time: float, fn: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...],
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._popped = False
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        """Prevent the callback from running.  Idempotent.
+
+        Cancelling a timer that already fired (a stale handle) is a
+        no-op and does not perturb the simulator's live-event count.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None and not self._popped:
+                self._sim._note_cancelled()
 
 
 class Simulator:
@@ -40,10 +55,19 @@ class Simulator:
     ['b', 'a']
     """
 
+    #: Lazy-compaction thresholds: rebuild the heap once at least
+    #: ``COMPACT_MIN`` entries are cancelled AND they make up more than
+    #: ``COMPACT_FRACTION`` of the queue.  Loss-recovery timers are
+    #: cancelled/rearmed on every ACK, so without compaction dead
+    #: entries dominate the heap and every push/pop pays for them.
+    COMPACT_MIN = 64
+    COMPACT_FRACTION = 0.5
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Timer]] = []
         self._counter = itertools.count()
+        self._cancelled = 0
         self.events_processed = 0
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
@@ -54,9 +78,34 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        timer = Timer(time, fn, args)
+        timer = Timer(time, fn, args, sim=self)
         heapq.heappush(self._heap, (time, next(self._counter), timer))
         return timer
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN
+            and self._cancelled > len(self._heap) * self.COMPACT_FRACTION
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        The ``(time, seq, timer)`` entries keep their original sequence
+        numbers, so event ordering — including insertion-order tie
+        breaks — is unchanged and runs stay deterministic.
+        """
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2]._popped = True
+            else:
+                live.append(entry)
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def run(
         self,
@@ -77,7 +126,9 @@ class Simulator:
                 self.now = until
                 return
             heapq.heappop(self._heap)
+            timer._popped = True
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             timer.fn(*timer.args)
@@ -100,7 +151,9 @@ class Simulator:
             if not self._heap:
                 return False
             time, _seq, timer = heapq.heappop(self._heap)
+            timer._popped = True
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             if timeout is not None and time > timeout:
                 self.now = timeout
@@ -114,6 +167,16 @@ class Simulator:
         return True
 
     @property
+    def live_events(self) -> int:
+        """Number of queued events that will actually fire."""
+        return len(self._heap) - self._cancelled
+
+    @property
     def pending_events(self) -> int:
-        """Number of queued (possibly cancelled) events."""
+        """Alias of :attr:`live_events` (cancelled timers excluded)."""
+        return self.live_events
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size, cancelled entries included (introspection)."""
         return len(self._heap)

@@ -6,6 +6,7 @@ and the TCP receiver (segments carry ``(seq, data)``).
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Tuple
 
 from repro.util.ranges import RangeSet
@@ -17,11 +18,20 @@ class Reassembler:
     Chunks may arrive out of order, overlap or duplicate each other.
     ``pop_ready()`` returns the longest prefix of newly contiguous data
     starting at the current read offset.
+
+    Buffered chunks are indexed both by a dict (offset -> bytes) and a
+    min-heap of offsets, so each delivery attempt peeks the lowest
+    buffered offset in O(1) instead of sorting every buffered offset —
+    the sort dominated receive-side profiles under heavy reordering.
     """
 
     def __init__(self) -> None:
         self._received = RangeSet()
         self._chunks: Dict[int, bytes] = {}
+        #: Min-heap over ``self._chunks`` keys.  Offsets are unique
+        #: (stored chunks are disjoint and a received span is never
+        #: re-inserted), so heap and dict stay in lock-step.
+        self._offsets: List[int] = []
         self._read_offset = 0
         self._final_size: Optional[int] = None
 
@@ -84,28 +94,27 @@ class Reassembler:
             cursor = gap_end
         for piece_offset, piece in pieces:
             self._chunks[piece_offset] = piece
+            heapq.heappush(self._offsets, piece_offset)
             self._received.add(piece_offset, piece_offset + len(piece))
 
     def pop_ready(self) -> bytes:
         """Return (and consume) contiguous data at the read offset."""
         out: List[bytes] = []
-        while self._read_offset in self._chunks:
-            chunk = self._chunks.pop(self._read_offset)
+        while self._offsets:
+            offset = self._offsets[0]
+            if offset > self._read_offset:
+                break  # Lowest buffered chunk is still out of order.
+            heapq.heappop(self._offsets)
+            chunk = self._chunks.pop(offset)
+            end = offset + len(chunk)
+            if end <= self._read_offset:
+                continue  # Fully consumed by an earlier delivery.
+            if offset < self._read_offset:
+                # Chunk starts behind the read offset (a prior pop
+                # consumed part of a coalesced range); deliver the tail.
+                chunk = chunk[self._read_offset - offset:]
             out.append(chunk)
-            self._read_offset += len(chunk)
-        # Chunks are stored disjoint but may start mid-way through a span
-        # if a prior pop consumed part of a coalesced range; handle any
-        # chunk whose stored offset is behind the read offset.
-        if not out and self._chunks:
-            # Defensive path: find a chunk covering the read offset.
-            for off in sorted(self._chunks):
-                if off > self._read_offset:
-                    break
-                chunk = self._chunks.pop(off)
-                if off + len(chunk) > self._read_offset:
-                    out.append(chunk[self._read_offset - off:])
-                    self._read_offset = off + len(chunk)
-                    return self.pop_ready() if out else b""
+            self._read_offset = end
         return b"".join(out)
 
     def pending_ranges(self, limit: int = 0) -> List[Tuple[int, int]]:

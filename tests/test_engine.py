@@ -100,3 +100,76 @@ class TestScheduling:
             sim.schedule(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 4
+
+
+class TestTimerCompaction:
+    def test_live_events_excludes_cancelled(self):
+        sim = Simulator()
+        timers = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for t in timers[:4]:
+            t.cancel()
+        assert sim.live_events == 6
+        assert sim.pending_events == 6
+
+    def test_cancel_is_idempotent_for_the_count(self):
+        sim = Simulator()
+        t = sim.schedule(1.0, lambda: None)
+        t.cancel()
+        t.cancel()
+        assert sim.live_events == 0
+
+    def test_cancel_after_fire_does_not_skew_count(self):
+        sim = Simulator()
+        t = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        t.cancel()  # stale handle: already fired
+        assert sim.live_events == 1
+
+    def test_heavy_cancel_reschedule_churn_compacts(self):
+        # Loss-recovery style: arm a timer, cancel and rearm on every
+        # "ACK".  Without compaction the heap grows with dead entries.
+        sim = Simulator()
+        churn = 5000
+        timer = sim.schedule(1000.0, lambda: None)
+        for i in range(churn):
+            timer.cancel()
+            timer = sim.schedule_at(1000.0 + i, lambda: None)
+        assert sim.live_events == 1
+        # Lazy compaction must have kept the raw heap near the live size,
+        # not at churn size.
+        assert sim.queued_entries < churn / 2
+        assert sim.queued_entries >= sim.live_events
+
+    def test_churn_preserves_order_and_results(self):
+        # Same schedule executed with and without churn noise must fire
+        # the surviving callbacks at identical times, in order.
+        def run_with_noise(noise):
+            sim = Simulator()
+            fired = []
+            for i in range(50):
+                sim.schedule(float(i) + 0.5, fired.append, i)
+            if noise:
+                for round_ in range(200):
+                    doomed = [
+                        sim.schedule(2000.0 + round_, fired.append, "never")
+                        for _ in range(10)
+                    ]
+                    for t in doomed:
+                        t.cancel()
+            sim.run(until=100.0)
+            return fired
+
+        assert run_with_noise(False) == run_with_noise(True)
+
+    def test_compaction_does_not_break_pending_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "keep")
+        doomed = [sim.schedule(5.0, fired.append, "no") for _ in range(500)]
+        for t in doomed:
+            t.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.now == 10.0

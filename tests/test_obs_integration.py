@@ -168,7 +168,8 @@ class TestMedianSkewFix:
         it = iter(outcomes)
 
         def fake_single_bulk(*args, **kwargs):
-            return next(it)
+            ok, duration = next(it)
+            return ok, duration, 0  # (ok, duration, sim_events)
 
         monkeypatch.setattr(runner_mod, "_single_bulk", fake_single_bulk)
 

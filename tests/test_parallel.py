@@ -1,0 +1,229 @@
+"""Tests for the parallel sweep engine and its persistent result cache.
+
+The contract under test: fanning a class sweep out over worker
+processes (or serving it from the on-disk cache) must be invisible in
+the results — the matrices are bit-identical to the serial loop over
+``run_scenario_protocol_matrix``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.expdesign.parameters import generate_scenarios
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepCell,
+    SweepStats,
+    cache_enabled,
+    default_cache,
+    execute_cells,
+    execute_class_sweep,
+    plan_class_sweep,
+    resolve_jobs,
+    result_from_dict,
+    result_to_dict,
+    run_cell,
+)
+from repro.experiments.runner import run_scenario_protocol_matrix
+from repro.netsim.topology import PathConfig
+from repro.quic.config import QuicConfig
+
+#: Two fast scenarios' worth of sweep (file small enough for quick runs).
+SWEEP_SCENARIOS = 2
+SWEEP_FILE_SIZE = 200_000
+
+PATHS = (
+    PathConfig(capacity_mbps=8.0, rtt_ms=20.0, queuing_delay_ms=10.0),
+    PathConfig(capacity_mbps=4.0, rtt_ms=40.0, queuing_delay_ms=20.0),
+)
+
+
+def _cell(**overrides) -> SweepCell:
+    base = dict(
+        paths=PATHS,
+        protocol="quic",
+        initial_interface=0,
+        file_size=SWEEP_FILE_SIZE,
+        repetitions=1,
+        base_seed=1,
+    )
+    base.update(overrides)
+    return SweepCell(**base)
+
+
+def _matrix_numbers(sweep):
+    """Flatten a sweep to the comparable (time, goodput) matrix."""
+    out = []
+    for _scenario, matrix in sweep:
+        for key in sorted(matrix):
+            r = matrix[key]
+            out.append((key, r.transfer_time, r.goodput_bps))
+    return out
+
+
+class TestPlan:
+    def test_plan_order_matches_serial_loop(self):
+        scenarios = generate_scenarios("low-bdp-no-loss", 2, seed=42)
+        cells = plan_class_sweep(scenarios, SWEEP_FILE_SIZE, lossy=False)
+        assert len(cells) == 2 * 4 * 2  # scenarios x protocols x interfaces
+        # Scenario-major, protocol order as in the paper's matrix.
+        assert [c.protocol for c in cells[:8]] == [
+            "tcp", "tcp", "quic", "quic", "mptcp", "mptcp", "mpquic", "mpquic"
+        ]
+        assert [c.initial_interface for c in cells[:4]] == [0, 1, 0, 1]
+        assert cells[0].base_seed == scenarios[0].index + 1
+        assert cells[8].base_seed == scenarios[1].index + 1
+
+    def test_lossy_classes_get_three_repetitions(self):
+        scenarios = generate_scenarios("low-bdp-losses", 1, seed=42)
+        cells = plan_class_sweep(scenarios, SWEEP_FILE_SIZE, lossy=True)
+        assert all(c.repetitions == 3 for c in cells)
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial_matrices(self):
+        """The acceptance gate: identical transfer_time/goodput matrices."""
+        scenarios = generate_scenarios(
+            "low-bdp-no-loss", SWEEP_SCENARIOS, seed=42
+        )
+        serial = [
+            (
+                s,
+                run_scenario_protocol_matrix(
+                    s.paths, SWEEP_FILE_SIZE, lossy=False, base_seed=s.index + 1
+                ),
+            )
+            for s in scenarios
+        ]
+        parallel = execute_class_sweep(
+            scenarios, SWEEP_FILE_SIZE, lossy=False, jobs=2, cache=None
+        )
+        assert _matrix_numbers(serial) == _matrix_numbers(parallel)
+
+    def test_cached_rerun_matches_and_executes_nothing(self, tmp_path):
+        scenarios = generate_scenarios("low-bdp-no-loss", 1, seed=42)
+        cache = ResultCache(tmp_path / "cache")
+        cold_stats = SweepStats()
+        cold = execute_class_sweep(
+            scenarios, SWEEP_FILE_SIZE, lossy=False,
+            jobs=1, cache=cache, stats=cold_stats,
+        )
+        warm_stats = SweepStats()
+        warm = execute_class_sweep(
+            scenarios, SWEEP_FILE_SIZE, lossy=False,
+            jobs=1, cache=cache, stats=warm_stats,
+        )
+        assert cold_stats.executed == 8 and cold_stats.cache_hits == 0
+        assert warm_stats.executed == 0 and warm_stats.cache_hits == 8
+        assert _matrix_numbers(cold) == _matrix_numbers(warm)
+
+
+class TestCacheKey:
+    def test_hit_on_identical_config(self):
+        assert _cell().cache_key() == _cell().cache_key()
+        qc = QuicConfig()
+        assert (
+            _cell(quic_config=qc).cache_key()
+            == _cell(quic_config=QuicConfig()).cache_key()
+        )
+
+    def test_miss_on_changed_seed(self):
+        assert _cell(base_seed=1).cache_key() != _cell(base_seed=2).cache_key()
+
+    def test_miss_on_changed_file_size(self):
+        assert (
+            _cell(file_size=100).cache_key() != _cell(file_size=200).cache_key()
+        )
+
+    def test_miss_on_changed_protocol_config(self):
+        plain = _cell(quic_config=QuicConfig())
+        tuned = _cell(quic_config=QuicConfig(scheduler="round_robin"))
+        assert plain.cache_key() != tuned.cache_key()
+
+    def test_miss_on_changed_paths(self):
+        other = (PATHS[0], replace(PATHS[1], loss_percent=1.0))
+        assert _cell().cache_key() != _cell(paths=other).cache_key()
+
+    def test_miss_on_protocol_and_interface(self):
+        assert _cell(protocol="tcp").cache_key() != _cell().cache_key()
+        assert (
+            _cell(initial_interface=1).cache_key() != _cell().cache_key()
+        )
+
+
+class TestCacheStore:
+    def test_round_trip_preserves_result(self, tmp_path):
+        cell = _cell()
+        result = run_cell(cell)
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cell, result)
+        loaded = cache.get(cell)
+        assert result_to_dict(loaded) == result_to_dict(result)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cell = _cell()
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cell, run_cell(cell))
+        path = cache._path(cell.cache_key())
+        path.write_text("{not json")
+        assert cache.get(cell) is None
+
+    def test_serialisation_round_trip(self):
+        result = run_cell(_cell())
+        again = result_from_dict(result_to_dict(result))
+        assert again.transfer_time == result.transfer_time
+        assert again.goodput_bps == result.goodput_bps
+        assert again.rep_times == result.rep_times
+        assert again.details == result.details
+
+
+class TestEnvironmentKnobs:
+    def test_repro_cache_off_bypasses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert not cache_enabled()
+        assert default_cache() is None
+
+    def test_repro_cache_on_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled()
+        assert default_cache() is not None
+
+    def test_cache_off_executes_every_time(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never"))
+        cells = [_cell()]
+        stats = SweepStats()
+        execute_cells(cells, jobs=1, cache="auto", stats=stats)
+        stats2 = SweepStats()
+        execute_cells(cells, jobs=1, cache="auto", stats=stats2)
+        assert stats.executed == 1 and stats2.executed == 1
+        assert not (tmp_path / "never").exists()
+
+    def test_resolve_jobs_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert resolve_jobs(5) == 5  # explicit wins over env
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs() >= 1
+
+    def test_jobs_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestProcessPool:
+    def test_pool_execution_matches_inprocess(self):
+        """Same cells through a real worker pool: identical results."""
+        cells = [
+            _cell(protocol=p, initial_interface=i)
+            for p in ("tcp", "quic") for i in (0, 1)
+        ]
+        inproc = execute_cells(cells, jobs=1, cache=None)
+        pooled = execute_cells(cells, jobs=2, cache=None)
+        assert [r.transfer_time for r in inproc] == [
+            r.transfer_time for r in pooled
+        ]
+        assert [r.goodput_bps for r in inproc] == [
+            r.goodput_bps for r in pooled
+        ]

@@ -118,3 +118,52 @@ class TestReassemblerProperties:
             r.insert(offset, chunk)
             out += r.pop_ready()
         assert bytes(out) == payload
+
+
+class TestOutOfOrderStress:
+    def test_reverse_order_burst(self):
+        # Worst case for the old per-delivery sort: every insert leaves
+        # the buffer non-contiguous, so every pop_ready scanned it all.
+        payload = bytes(range(256)) * 40
+        chunk = 64
+        r = Reassembler()
+        r.set_final_size(len(payload))
+        received = bytearray()
+        for start in reversed(range(0, len(payload), chunk)):
+            r.insert(start, payload[start:start + chunk])
+            received += r.pop_ready()
+        assert bytes(received) == payload
+        assert r.is_complete()
+
+    def test_interleaved_two_path_delivery(self):
+        # Two "paths" delivering alternating halves of the stream, the
+        # slow path lagging — mimics MPQUIC reassembly pressure.
+        payload = bytes((i * 7) % 256 for i in range(20_000))
+        chunk = 500
+        offsets = list(range(0, len(payload), chunk))
+        fast, slow = offsets[::2], offsets[1::2]
+        order = fast + slow
+        r = Reassembler()
+        r.set_final_size(len(payload))
+        received = bytearray()
+        for start in order:
+            r.insert(start, payload[start:start + chunk])
+            received += r.pop_ready()
+        assert bytes(received) == payload
+        assert r.is_complete()
+
+    def test_random_shuffle_large(self):
+        import random
+
+        rng = random.Random(1234)
+        payload = bytes(rng.randrange(256) for _ in range(30_000))
+        chunk = 300
+        starts = list(range(0, len(payload), chunk))
+        rng.shuffle(starts)
+        r = Reassembler()
+        received = bytearray()
+        for start in starts:
+            r.insert(start, payload[start:start + chunk])
+            received += r.pop_ready()
+        assert bytes(received) == payload
+        assert not r._chunks and not r._offsets  # buffer fully drained
