@@ -29,14 +29,17 @@ from repro.experiments.metrics import (
     fraction_greater_than,
     median,
 )
-from repro.experiments.parallel import execute_class_sweep
+from repro.experiments.parallel import SweepCell, execute_cells, execute_class_sweep
 from repro.experiments.report import ascii_box, ascii_cdf, table, timeline
 from repro.experiments.runner import (
     BulkRunResult,
     run_bulk,
     run_handover,
 )
-from repro.experiments.scenarios import HANDOVER_SCENARIO
+from repro.experiments.scenarios import (
+    HANDOVER_SCENARIO,
+    wifi_to_lte_family,
+)
 from repro.netsim.topology import PathConfig
 from repro.quic.config import QuicConfig
 
@@ -251,6 +254,54 @@ def fig11(config: SweepConfig = SweepConfig()) -> List[Tuple[float, float]]:
     return delays
 
 
+def handover_sweep(
+    config: SweepConfig = SweepConfig(),
+) -> Dict[Tuple[str, float], BulkRunResult]:
+    """WiFi-to-LTE mobility: bulk transfer across a mid-flight failure.
+
+    Sweeps the failure instant of :func:`wifi_to_lte_handover` for
+    MPQUIC against single-path QUIC pinned to the failing (WiFi) path.
+    Cells run through the parallel engine with the fault timeline as
+    part of their cache identity, so re-running the sweep with the same
+    timelines is a pure cache hit while a changed failure instant (or
+    mode) re-executes only the affected cells.
+    """
+    scenarios = wifi_to_lte_family()
+    cells = [
+        SweepCell(
+            paths=sc.paths,
+            protocol=protocol,
+            initial_interface=0,
+            file_size=sc.file_size,
+            repetitions=1,
+            base_seed=1,
+            timeout=sc.timeout,
+            timeline=sc.timeline,
+        )
+        for sc in scenarios
+        for protocol in ("mpquic", "quic")
+    ]
+    results = execute_cells(cells)
+    out: Dict[Tuple[str, float], BulkRunResult] = {}
+    rows = []
+    for cell, res, sc in zip(
+        cells, results, [s for s in scenarios for _ in ("mpquic", "quic")]
+    ):
+        failure_time = sc.timeline.events[0].time
+        out[(cell.protocol, failure_time)] = res
+        rows.append(
+            (
+                sc.name,
+                cell.protocol,
+                f"{res.transfer_time:.2f}",
+                "yes" if res.completed else "timeout",
+            )
+        )
+    print("== WiFi-to-LTE handover sweep (blackhole at t) ==")
+    print(table(["scenario", "protocol", "time (s)", "completed"], rows))
+    return out
+
+
 def headline_percentages(config: SweepConfig = SweepConfig()) -> Dict[str, float]:
     """The §4.1 headline numbers.
 
@@ -364,6 +415,7 @@ FIGURES = {
     "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
     "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10,
     "fig11": fig11, "headline": headline_percentages,
+    "handover-sweep": handover_sweep,
     "ablation-scheduler": ablation_scheduler,
     "ablation-cc": ablation_congestion_control,
     "ablation-wupdate": ablation_window_updates,

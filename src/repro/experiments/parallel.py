@@ -46,13 +46,15 @@ from repro.experiments.runner import (
     BulkRunResult,
     run_bulk,
 )
+from repro.netsim.faults import FaultTimeline
 from repro.netsim.topology import PathConfig
 from repro.quic.config import QuicConfig
 from repro.tcp.config import TcpConfig
 
 #: Bump when the cached result schema or the simulation semantics
 #: change, invalidating every previously stored result.
-RESULTS_FORMAT_VERSION = 1
+#: v2: fault timelines became part of a cell's identity.
+RESULTS_FORMAT_VERSION = 2
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", "cache")
@@ -83,6 +85,10 @@ class SweepCell:
     timeout: float = DEFAULT_SIM_TIMEOUT
     quic_config: Optional[QuicConfig] = None
     tcp_config: Optional[TcpConfig] = None
+    #: Network dynamics injected into every repetition; part of the
+    #: cell's identity, so the same static scenario under different
+    #: fault timelines never collides in the cache.
+    timeline: Optional[FaultTimeline] = None
 
     def key_material(self) -> Dict:
         """The canonical dict whose hash addresses this cell's result."""
@@ -97,6 +103,9 @@ class SweepCell:
             "timeout": self.timeout,
             "quic_config": asdict(self.quic_config) if self.quic_config else None,
             "tcp_config": asdict(self.tcp_config) if self.tcp_config else None,
+            "timeline": (
+                self.timeline.key_material() if self.timeline else None
+            ),
         }
 
     def cache_key(self) -> str:
@@ -150,6 +159,7 @@ def run_cell(cell: SweepCell) -> BulkRunResult:
         quic_config=cell.quic_config,
         tcp_config=cell.tcp_config,
         timeout=cell.timeout,
+        timeline=cell.timeline,
     )
 
 

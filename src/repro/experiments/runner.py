@@ -18,6 +18,7 @@ from repro.apps.transport import make_client_server
 from repro.experiments.metrics import median
 from repro.experiments.scenarios import HANDOVER_SCENARIO, HandoverScenario
 from repro.netsim.engine import Simulator
+from repro.netsim.faults import FaultTimeline
 from repro.netsim.topology import PathConfig, TwoPathTopology
 from repro.netsim.trace import PacketTrace
 from repro.obs import Tracer
@@ -70,9 +71,12 @@ def _single_bulk(
     tcp_config: Optional[TcpConfig],
     timeout: float,
     trace: Optional[PacketTrace] = None,
+    timeline: Optional[FaultTimeline] = None,
 ) -> Tuple[bool, float, int]:
     sim = Simulator()
     topo = TwoPathTopology(sim, list(paths), seed=seed)
+    if timeline is not None:
+        timeline.install(sim, topo, trace=trace)
     client, server = make_client_server(
         protocol, sim, topo,
         initial_interface=initial_interface,
@@ -95,6 +99,7 @@ def run_bulk(
     tcp_config: Optional[TcpConfig] = None,
     timeout: float = DEFAULT_SIM_TIMEOUT,
     collect_trace: bool = False,
+    timeline: Optional[FaultTimeline] = None,
 ) -> BulkRunResult:
     """Run a bulk download, reporting the median over ``repetitions``.
 
@@ -104,7 +109,10 @@ def run_bulk(
     via ``rep_completed`` / ``failed_repetitions`` rather than pulling
     the median towards the timeout.  With ``collect_trace=True`` each
     repetition runs with a :class:`repro.obs.Tracer` attached and the
-    median repetition's trace is returned on the result.
+    median repetition's trace is returned on the result.  A
+    ``timeline`` (:class:`repro.netsim.faults.FaultTimeline`) injects
+    network dynamics — link failures, rate/delay/loss changes — into
+    every repetition.
     """
     times: List[float] = []
     rep_ok: List[bool] = []
@@ -116,7 +124,7 @@ def run_bulk(
             protocol, paths, file_size, initial_interface,
             seed=base_seed + rep * 1000,
             quic_config=quic_config, tcp_config=tcp_config, timeout=timeout,
-            trace=tracer,
+            trace=tracer, timeline=timeline,
         )
         rep_ok.append(ok)
         times.append(duration)
@@ -160,12 +168,15 @@ def run_handover(
 
     Returns ``(request sent time, response delay)`` pairs — the series
     of the paper's Fig. 11.  At ``scenario.failure_time`` the initial
-    path becomes completely lossy in both directions.  Attach a
+    path becomes completely lossy in both directions (injected via the
+    scenario's :class:`~repro.netsim.faults.FaultTimeline`).  Attach a
     :class:`repro.obs.Tracer` via ``trace`` to capture the handover
-    timeline (``path:potentially_failed`` and the traffic shift).
+    timeline (the ``network:loss_change`` fault,
+    ``path:potentially_failed`` and the traffic shift).
     """
     sim = Simulator()
     topo = TwoPathTopology(sim, list(scenario.paths), seed=seed)
+    scenario.timeline().install(sim, topo, trace=trace)
     client, server = make_client_server(
         protocol, sim, topo, initial_interface=0,
         trace=trace,
@@ -177,12 +188,38 @@ def run_handover(
         interval=scenario.interval,
         total_requests=scenario.total_requests,
     )
-    sim.schedule_at(
-        scenario.failure_time,
-        topo.set_path_loss, 0, scenario.failure_loss_percent,
-    )
     app.run(timeout=scenario.failure_time + scenario.total_requests * scenario.interval + 30.0)
     return app.delays()
+
+
+def run_mobility(
+    scenario,
+    protocol: str = "mpquic",
+    initial_interface: int = 0,
+    base_seed: int = 1,
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+    collect_trace: bool = False,
+) -> BulkRunResult:
+    """Run one :class:`~repro.experiments.scenarios.MobilityScenario`.
+
+    A bulk transfer with the scenario's fault timeline installed — the
+    unit of the WiFi-to-LTE handover sweep.  ``completed=False`` with
+    ``transfer_time == scenario.timeout`` means the transport never
+    survived the failure (the single-path fate).
+    """
+    return run_bulk(
+        protocol,
+        scenario.paths,
+        scenario.file_size,
+        initial_interface=initial_interface,
+        base_seed=base_seed,
+        quic_config=quic_config,
+        tcp_config=tcp_config,
+        timeout=scenario.timeout,
+        collect_trace=collect_trace,
+        timeline=scenario.timeline,
+    )
 
 
 def run_scenario_protocol_matrix(

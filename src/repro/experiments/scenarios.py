@@ -1,15 +1,31 @@
 """Fixed experiment scenarios beyond the WSP sweeps.
 
-Currently just the network-handover setup of §4.3: an initial path with
-15 ms RTT, a second path with 25 ms RTT, 750-byte requests every
-400 ms, and the initial path turning completely lossy after 3 seconds.
+Two families live here:
+
+* :class:`HandoverScenario` — the request/response setup of §4.3 (an
+  initial 15 ms path turning completely lossy after 3 s), expressed as
+  a :class:`repro.netsim.faults.FaultTimeline` so the failure flows
+  through the fault-injection subsystem and shows up in traces.
+* :class:`MobilityScenario` / :func:`wifi_to_lte_handover` — a bulk
+  transfer whose initial (WiFi) path goes dark mid-flight, forcing the
+  transport onto the surviving (LTE) path.  Parameterized by the
+  failure instant and mode, this is the scenario family behind the
+  fault-injection reproduction of the paper's fast-handover claim.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
+from repro.netsim.faults import (
+    Blackhole,
+    FaultEvent,
+    FaultTimeline,
+    LinkDown,
+    LossChange,
+    loss_change,
+)
 from repro.netsim.topology import PathConfig
 
 
@@ -25,6 +41,12 @@ class HandoverScenario:
     #: Loss applied to the initial path at ``failure_time`` (percent).
     failure_loss_percent: float = 100.0
 
+    def timeline(self) -> FaultTimeline:
+        """The scenario's network dynamics as a fault timeline."""
+        return FaultTimeline(
+            (loss_change(self.failure_time, 0, self.failure_loss_percent),)
+        )
+
 
 #: The paper's §4.3 configuration.  Capacities are not specified there;
 #: 10 Mbps links keep serialization delay negligible for 750 B messages.
@@ -34,3 +56,77 @@ HANDOVER_SCENARIO = HandoverScenario(
         PathConfig(capacity_mbps=10.0, rtt_ms=25.0, queuing_delay_ms=20.0),
     )
 )
+
+
+# ----------------------------------------------------------------------
+# WiFi -> LTE mobility (bulk transfer across a mid-flight path failure)
+# ----------------------------------------------------------------------
+
+#: The WiFi path the transfer starts on: short RTT, moderate capacity —
+#: and the one that fails.
+WIFI_PATH = PathConfig(capacity_mbps=10.0, rtt_ms=15.0, queuing_delay_ms=30.0)
+
+#: The cellular path that must absorb the transfer after the failure.
+LTE_PATH = PathConfig(capacity_mbps=25.0, rtt_ms=40.0, queuing_delay_ms=60.0)
+
+#: Supported failure modes for the WiFi path.
+FAILURE_MODES = ("blackhole", "down", "lossy")
+
+
+@dataclass(frozen=True)
+class MobilityScenario:
+    """A bulk transfer over a network that mutates mid-flight.
+
+    ``timeline`` is part of the scenario's identity: the experiment
+    layers fold it into result-cache keys, so the same paths with
+    different dynamics never collide in the cache.
+    """
+
+    name: str
+    paths: Tuple[PathConfig, ...]
+    timeline: FaultTimeline
+    file_size: int = 11_000_000
+    #: Generous ceiling: a single-path transport stuck in RTO backoff
+    #: on the dead path reports this as its completion time.
+    timeout: float = 45.0
+
+
+def wifi_to_lte_handover(
+    failure_time: float = 2.0,
+    failure_mode: str = "blackhole",
+    file_size: int = 11_000_000,
+) -> MobilityScenario:
+    """The WiFi path goes dark at ``failure_time``; LTE must carry on.
+
+    Modes: ``blackhole`` (datagrams serialized then silently dropped —
+    the hardest case: no local error, only timers), ``down`` (NIC
+    rejects sends and flushes its queue), ``lossy`` (100 % random loss,
+    the paper's §4.3 formulation).
+    """
+    if failure_mode == "blackhole":
+        mutation = Blackhole()
+    elif failure_mode == "down":
+        mutation = LinkDown()
+    elif failure_mode == "lossy":
+        mutation = LossChange(100.0)
+    else:
+        raise ValueError(
+            f"unknown failure mode {failure_mode!r}; pick from {FAILURE_MODES}"
+        )
+    return MobilityScenario(
+        name=f"wifi-to-lte@{failure_time:g}s/{failure_mode}",
+        paths=(WIFI_PATH, LTE_PATH),
+        timeline=FaultTimeline((FaultEvent(failure_time, 0, mutation),)),
+        file_size=file_size,
+    )
+
+
+def wifi_to_lte_family(
+    failure_times: Sequence[float] = (1.0, 1.5, 2.0, 2.5),
+    failure_mode: str = "blackhole",
+    file_size: int = 11_000_000,
+) -> List[MobilityScenario]:
+    """The handover scenario swept over the failure instant."""
+    return [
+        wifi_to_lte_handover(t, failure_mode, file_size) for t in failure_times
+    ]

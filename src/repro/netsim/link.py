@@ -13,10 +13,13 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
-from repro.netsim.engine import Simulator
+from repro.netsim.engine import Simulator, Timer
 from repro.netsim.node import Datagram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.faults import Mutation
 
 
 class GilbertElliottLoss:
@@ -72,6 +75,11 @@ class LinkStats:
     queue_drops: int = 0
     random_losses: int = 0
     max_queue_bytes: int = 0
+    #: Datagrams serialized but silently discarded while blackholed.
+    blackholed: int = 0
+    #: Datagrams dropped by fault injection (link down: rejected sends,
+    #: flushed queue, aborted in-flight serialization).
+    fault_drops: int = 0
 
 
 class Link:
@@ -125,9 +133,34 @@ class Link:
         self.sink = sink
         self.name = name
         self.stats = LinkStats()
+        #: Administrative state; False drops everything at the NIC.
+        self.up = True
+        #: Silent-drop mode: serialized datagrams never get delivered.
+        self.blackhole = False
         self._queue: Deque[Datagram] = deque()
         self._queued_bytes = 0
         self._busy = False
+        # In-flight serialization bookkeeping, so fault injection can
+        # re-plan (rate change) or abort (link down) the datagram
+        # currently being clocked onto the wire.
+        self._tx_timer: Optional[Timer] = None
+        self._tx_datagram: Optional[Datagram] = None
+        self._tx_remaining_bytes = 0.0
+        self._tx_start = 0.0
+        self._tx_end = 0.0
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.netsim.faults)
+    # ------------------------------------------------------------------
+
+    def apply(self, mutation: "Mutation") -> None:
+        """Apply a timed fault mutation to this link.
+
+        The single entry point used by :class:`repro.netsim.faults.
+        FaultTimeline`; dispatches onto the ``set_*`` primitives below,
+        which keep in-flight serialization consistent.
+        """
+        mutation.apply_to_link(self)
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Change the random-loss probability mid-simulation.
@@ -139,11 +172,84 @@ class Link:
             raise ValueError("loss_rate must be within [0, 1]")
         self.loss_rate = loss_rate
 
+    def set_burst_loss(self, model: Optional[GilbertElliottLoss]) -> None:
+        """Install (or clear) a Gilbert-Elliott burst-loss episode."""
+        self.burst_loss = model
+
+    def set_blackhole(self, enabled: bool) -> None:
+        """Toggle silent-drop mode (serialize, then discard)."""
+        self.blackhole = enabled
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the link.
+
+        Going down aborts the datagram currently being serialized and
+        flushes the drop-tail queue (all counted as ``fault_drops``);
+        datagrams already propagating on the wire still arrive.
+        """
+        if up == self.up:
+            return
+        self.up = up
+        if not up:
+            if self._tx_timer is not None:
+                self._tx_timer.cancel()
+                self._tx_timer = None
+                self._tx_datagram = None
+                self.stats.fault_drops += 1
+            self._busy = False
+            self.stats.fault_drops += len(self._queue)
+            self._queue.clear()
+            self._queued_bytes = 0
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the serialization rate, re-planning in-flight bytes.
+
+        The datagram currently on the serializer finishes its remaining
+        bytes at the new rate: the completion event is cancelled and
+        re-scheduled.  Multiple rate changes during one datagram compose
+        correctly because the remaining-byte count is carried forward.
+        """
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self._tx_timer is not None and not self._tx_timer.cancelled:
+            now = self.sim.now
+            total = self._tx_end - self._tx_start
+            fraction = (self._tx_end - now) / total if total > 0 else 0.0
+            fraction = min(1.0, max(0.0, fraction))
+            self._tx_remaining_bytes *= fraction
+            self._tx_timer.cancel()
+            self.rate_bps = rate_bps
+            delay = self._tx_remaining_bytes * 8.0 / rate_bps
+            self._tx_start = now
+            self._tx_end = now + delay
+            self._tx_timer = self.sim.schedule(
+                delay, self._serialization_done, self._tx_datagram
+            )
+        else:
+            self.rate_bps = rate_bps
+
+    def set_prop_delay(self, prop_delay: float) -> None:
+        """Change the one-way propagation delay for future datagrams.
+
+        Datagrams already propagating keep the delay they left with.
+        """
+        if prop_delay < 0.0:
+            raise ValueError("prop_delay must be non-negative")
+        self.prop_delay = prop_delay
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
     def send(self, datagram: Datagram) -> bool:
         """Offer a datagram to the link.
 
-        Returns False when the drop-tail queue rejected it.
+        Returns False when the link is down or the drop-tail queue
+        rejected it.
         """
+        if not self.up:
+            self.stats.fault_drops += 1
+            return False
         if self._busy:
             if self._queued_bytes + datagram.size > self.queue_capacity:
                 self.stats.queue_drops += 1
@@ -173,9 +279,17 @@ class Link:
     def _transmit(self, datagram: Datagram) -> None:
         self._busy = True
         tx_delay = self.transmission_delay(datagram.size)
-        self.sim.schedule(tx_delay, self._serialization_done, datagram)
+        self._tx_datagram = datagram
+        self._tx_remaining_bytes = float(datagram.size)
+        self._tx_start = self.sim.now
+        self._tx_end = self.sim.now + tx_delay
+        self._tx_timer = self.sim.schedule(
+            tx_delay, self._serialization_done, datagram
+        )
 
     def _serialization_done(self, datagram: Datagram) -> None:
+        self._tx_timer = None
+        self._tx_datagram = None
         self.stats.datagrams_sent += 1
         self.stats.bytes_sent += datagram.size
         if self.burst_loss is not None:
@@ -184,6 +298,8 @@ class Link:
             lost = self.loss_rate > 0.0 and self.rng.random() < self.loss_rate
         if lost:
             self.stats.random_losses += 1
+        elif self.blackhole:
+            self.stats.blackholed += 1
         else:
             delay = self.prop_delay
             if self.jitter > 0.0:

@@ -140,6 +140,16 @@ class TwoPathTopology:
             self.forward_links.append(fwd)
             self.return_links.append(ret)
 
+    def apply_fault(self, path_index: int, mutation) -> None:
+        """Apply one fault mutation to both directions of a path.
+
+        The entry point :class:`repro.netsim.faults.FaultTimeline` uses
+        when its events fire; paths are symmetric, so the forward and
+        return links receive the same mutation.
+        """
+        for link in (self.forward_links[path_index], self.return_links[path_index]):
+            link.apply(mutation)
+
     def set_path_loss(self, path_index: int, loss_percent: float) -> None:
         """Change a path's random loss in both directions (handover test).
 

@@ -33,6 +33,12 @@ CAT_CC = "cc"
 CAT_SCHEDULER = "scheduler"
 CAT_PATH = "path"
 CAT_FLOWCONTROL = "flowcontrol"
+#: Simulated-network events (fault injection): link up/down, rate and
+#: delay changes, loss steps, blackholing.  Emitted with ``host ==
+#: "network"`` and ``path_id`` set to the mutated path, so a trace
+#: shows the network timeline interleaved with the transport's
+#: reaction (see ``repro.netsim.faults``).
+CAT_NETWORK = "network"
 
 CATEGORIES = (
     CAT_TRANSPORT,
@@ -41,6 +47,7 @@ CATEGORIES = (
     CAT_SCHEDULER,
     CAT_PATH,
     CAT_FLOWCONTROL,
+    CAT_NETWORK,
 )
 
 #: Translation of the legacy ``PacketTrace`` event names used by the

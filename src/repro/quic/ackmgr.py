@@ -35,6 +35,13 @@ class AckManager:
         """Record an arriving packet."""
         duplicate = packet_number in self.received
         self.received.add_value(packet_number)
+        # Hard bound on receiver state: ACK frames carry at most
+        # MAX_ACK_RANGES ranges, so ranges below that window can never
+        # be reported again — drop the lowest ones.  The sender's
+        # retransmission machinery covers anything forgotten here.
+        while len(self.received) > MAX_ACK_RANGES:
+            lowest_start, lowest_stop = next(iter(self.received))
+            self.received.remove(lowest_start, lowest_stop)
         if packet_number > self.largest_received:
             if packet_number != self.largest_received + 1:
                 self._reordering_seen = True  # gap: ack promptly

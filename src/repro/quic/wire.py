@@ -39,6 +39,24 @@ CID_SIZE = 8
 PN_SIZE = 4
 
 
+class WireFormatError(ValueError):
+    """Raised when a buffer cannot be parsed as a packet or frame.
+
+    Truncated, corrupted or otherwise malformed input must surface as
+    this error — never as a raw ``struct.error`` / ``IndexError`` and
+    never as a silently mis-parsed frame.
+    """
+
+
+def _need(buf: bytes, pos: int, count: int, what: str) -> None:
+    """Require ``count`` bytes at ``pos`` or raise :class:`WireFormatError`."""
+    if pos < 0 or pos + count > len(buf):
+        raise WireFormatError(
+            f"truncated {what}: need {count} byte(s) at offset {pos}, "
+            f"buffer holds {len(buf)}"
+        )
+
+
 def varint_size(value: int) -> int:
     """Size of a QUIC-style variable-length integer."""
     if value < 0:
@@ -67,15 +85,23 @@ def encode_varint(value: int) -> bytes:
 
 
 def decode_varint(buf: bytes, pos: int) -> Tuple[int, int]:
-    """Decode a varint at ``pos``; returns ``(value, new_pos)``."""
+    """Decode a varint at ``pos``; returns ``(value, new_pos)``.
+
+    Raises :class:`WireFormatError` when the buffer ends before the
+    length the prefix announces.
+    """
+    _need(buf, pos, 1, "varint")
     first = buf[pos]
     prefix = first >> 6
     if prefix == 0:
         return first, pos + 1
     if prefix == 1:
+        _need(buf, pos, 2, "varint")
         return struct.unpack_from(">H", buf, pos)[0] & 0x3FFF, pos + 2
     if prefix == 2:
+        _need(buf, pos, 4, "varint")
         return struct.unpack_from(">I", buf, pos)[0] & 0x3FFFFFFF, pos + 4
+    _need(buf, pos, 8, "varint")
     return struct.unpack_from(">Q", buf, pos)[0] & 0x3FFFFFFFFFFFFFFF, pos + 8
 
 
@@ -99,19 +125,26 @@ def encode_packet(packet: "Packet") -> bytes:
 
 
 def decode_packet(buf: bytes) -> "Packet":
-    """Parse bytes produced by :func:`encode_packet`."""
+    """Parse bytes produced by :func:`encode_packet`.
+
+    Raises :class:`WireFormatError` on truncated or malformed input.
+    """
     from repro.quic.packet import Packet
 
     pos = 0
+    _need(buf, pos, 1, "public header flags")
     flags = buf[pos]
     pos += 1
     multipath = bool(flags & FLAG_MULTIPATH)
+    _need(buf, pos, 8, "connection ID")
     connection_id = struct.unpack_from(">Q", buf, pos)[0]
     pos += 8
     path_id = 0
     if multipath:
+        _need(buf, pos, 1, "path ID")
         path_id = buf[pos]
         pos += 1
+    _need(buf, pos, 4, "packet number")
     packet_number = struct.unpack_from(">I", buf, pos)[0]
     pos += 4
     frames: List["Frame"] = []
@@ -141,7 +174,10 @@ def encode_frame(frame: "Frame") -> bytes:
     if isinstance(frame, f.AckFrame):
         out = bytearray([TYPE_ACK, frame.path_id])
         out += encode_varint(frame.largest_acked)
-        out += struct.pack(">H", min(0xFFFF, int(frame.ack_delay * 1e6) >> 3))
+        # round(), not int(): an ack delay that is exactly a multiple of
+        # 8 us must survive the encode/decode round trip even when the
+        # float product lands a hair below the integer.
+        out += struct.pack(">H", min(0xFFFF, round(frame.ack_delay * 1e6) >> 3))
         out += struct.pack(">H", len(frame.ranges))
         for start, stop in frame.ranges:
             out += encode_varint(stop - start)
@@ -180,9 +216,14 @@ def encode_frame(frame: "Frame") -> bytes:
 
 
 def decode_frame(buf: bytes, pos: int) -> Tuple["Frame", int]:
-    """Parse one frame at ``pos``; returns ``(frame, new_pos)``."""
+    """Parse one frame at ``pos``; returns ``(frame, new_pos)``.
+
+    Raises :class:`WireFormatError` on truncation, bad text encodings
+    and unknown frame types.
+    """
     from repro.quic import frames as f
 
+    _need(buf, pos, 1, "frame type")
     type_byte = buf[pos]
     base_type = type_byte & 0x7F
     pos += 1
@@ -190,15 +231,19 @@ def decode_frame(buf: bytes, pos: int) -> Tuple["Frame", int]:
         fin = bool(type_byte & 0x80)
         stream_id, pos = decode_varint(buf, pos)
         offset, pos = decode_varint(buf, pos)
+        _need(buf, pos, 2, "stream frame length")
         length = struct.unpack_from(">H", buf, pos)[0]
         pos += 2
+        _need(buf, pos, length, "stream frame data")
         data = buf[pos:pos + length]
         pos += length
         return f.StreamFrame(stream_id, offset, data, fin), pos
     if base_type == TYPE_ACK:
+        _need(buf, pos, 1, "ack path ID")
         path_id = buf[pos]
         pos += 1
         largest, pos = decode_varint(buf, pos)
+        _need(buf, pos, 4, "ack delay and range count")
         raw_delay = struct.unpack_from(">H", buf, pos)[0]
         pos += 2
         count = struct.unpack_from(">H", buf, pos)[0]
@@ -211,12 +256,14 @@ def decode_frame(buf: bytes, pos: int) -> Tuple["Frame", int]:
         return f.AckFrame(path_id, largest, (raw_delay << 3) / 1e6, tuple(ranges)), pos
     if base_type == TYPE_WINDOW_UPDATE:
         stream_id, pos = decode_varint(buf, pos)
+        _need(buf, pos, 8, "window update offset")
         offset = struct.unpack_from(">Q", buf, pos)[0]
         pos += 8
         return f.WindowUpdateFrame(stream_id, offset), pos
     if base_type == TYPE_PING:
         return f.PingFrame(), pos
     if base_type == TYPE_HANDSHAKE:
+        _need(buf, pos, 2, "handshake header")
         kind_code, _reserved = struct.unpack_from(">BB", buf, pos)
         pos += 2
         # Skip the opaque crypto payload: everything until the buffer end
@@ -228,29 +275,43 @@ def decode_frame(buf: bytes, pos: int) -> Tuple["Frame", int]:
         pos += length
         return f.HandshakeFrame("CHLO" if kind_code == 0 else "SHLO", length), pos
     if base_type == TYPE_CONNECTION_CLOSE:
+        _need(buf, pos, 6, "connection close header")
         error_code, reason_len = struct.unpack_from(">IH", buf, pos)
         pos += 6
-        reason = buf[pos:pos + reason_len].decode()
+        _need(buf, pos, reason_len, "connection close reason")
+        try:
+            reason = buf[pos:pos + reason_len].decode()
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"bad close reason encoding: {exc}") from exc
         pos += reason_len
         return f.ConnectionCloseFrame(error_code, reason), pos
     if base_type == TYPE_ADD_ADDRESS:
+        _need(buf, pos, 1, "address length")
         length = buf[pos]
         pos += 1
-        address = buf[pos:pos + length].decode()
+        _need(buf, pos, length, "address")
+        try:
+            address = buf[pos:pos + length].decode()
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"bad address encoding: {exc}") from exc
         pos += length
         return f.AddAddressFrame(address), pos
     if base_type == TYPE_PATHS:
+        _need(buf, pos, 1, "paths frame active count")
         n_active = buf[pos]
         pos += 1
         active = []
         for _ in range(n_active):
+            _need(buf, pos, 5, "paths frame active entry")
             path_id = buf[pos]
             rtt_us = struct.unpack_from(">I", buf, pos + 1)[0]
             pos += 5
             active.append(f.PathInfo(path_id, rtt_us))
+        _need(buf, pos, 1, "paths frame failed count")
         n_failed = buf[pos]
         pos += 1
+        _need(buf, pos, n_failed, "paths frame failed list")
         failed = tuple(buf[pos:pos + n_failed])
         pos += n_failed
         return f.PathsFrame(tuple(active), failed), pos
-    raise ValueError(f"unknown frame type 0x{type_byte:02x}")
+    raise WireFormatError(f"unknown frame type 0x{type_byte:02x}")

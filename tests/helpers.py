@@ -1,4 +1,5 @@
-"""Shared helpers for integration tests: one-call transfer runners."""
+"""Shared helpers for integration tests: one-call transfer runners,
+seeded scenario/fault builders and canonical path sets."""
 
 from __future__ import annotations
 
@@ -9,7 +10,15 @@ import pytest
 from repro.apps.bulk import BulkTransferApp
 from repro.apps.transport import TransportEndpoint, make_client_server
 from repro.netsim.engine import Simulator
+from repro.netsim.faults import (
+    Blackhole,
+    FaultEvent,
+    FaultTimeline,
+    LinkDown,
+    LossChange,
+)
 from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.obs import Tracer
 from repro.quic.config import QuicConfig
 from repro.tcp.config import TcpConfig
 
@@ -17,13 +26,14 @@ from repro.tcp.config import TcpConfig
 class TransferResult:
     """Everything a test may want to inspect after a bulk transfer."""
 
-    def __init__(self, app, client, server, sim, topo, ok):
+    def __init__(self, app, client, server, sim, topo, ok, trace=None):
         self.app = app
         self.client = client
         self.server = server
         self.sim = sim
         self.topology = topo
         self.ok = ok
+        self.trace = trace
 
     @property
     def transfer_time(self):
@@ -39,18 +49,52 @@ def run_transfer(
     quic_config: Optional[QuicConfig] = None,
     tcp_config: Optional[TcpConfig] = None,
     timeout: float = 2000.0,
+    timeline: Optional[FaultTimeline] = None,
+    trace: Optional[Tracer] = None,
 ) -> TransferResult:
-    """Run a bulk download and return the full context for assertions."""
+    """Run a bulk download and return the full context for assertions.
+
+    ``timeline`` injects network dynamics (see ``repro.netsim.faults``);
+    ``trace`` attaches a :class:`repro.obs.Tracer` so assertions can
+    inspect the typed event stream (fault firings included).
+    """
     sim = Simulator()
     topo = TwoPathTopology(sim, list(paths), seed=seed)
+    if timeline is not None:
+        timeline.install(sim, topo, trace=trace)
     client, server = make_client_server(
         protocol, sim, topo,
         initial_interface=initial_interface,
+        trace=trace,
         quic_config=quic_config, tcp_config=tcp_config,
     )
     app = BulkTransferApp(sim, client, server, file_size, initial_interface)
     ok = app.run(timeout=timeout)
-    return TransferResult(app, client, server, sim, topo, ok)
+    return TransferResult(app, client, server, sim, topo, ok, trace=trace)
+
+
+# ----------------------------------------------------------------------
+# Seeded fault/scenario builders
+# ----------------------------------------------------------------------
+
+def failure_timeline(
+    time: float, path: int = 0, mode: str = "blackhole"
+) -> FaultTimeline:
+    """One-event timeline killing ``path`` at ``time``.
+
+    Modes mirror ``repro.experiments.scenarios.FAILURE_MODES``:
+    ``blackhole`` (serialize then silently drop), ``down`` (NIC rejects
+    sends, queue flushed), ``lossy`` (100 % Bernoulli loss).
+    """
+    if mode == "blackhole":
+        mutation = Blackhole()
+    elif mode == "down":
+        mutation = LinkDown()
+    elif mode == "lossy":
+        mutation = LossChange(100.0)
+    else:
+        raise ValueError(f"unknown failure mode {mode!r}")
+    return FaultTimeline((FaultEvent(time, path, mutation),))
 
 
 #: A clean symmetric two-path network used by many tests.

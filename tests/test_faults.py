@@ -1,0 +1,297 @@
+"""Fault-injection subsystem: link mutations, timelines, observability.
+
+Covers the mechanics the handover reproduction depends on: in-flight
+serialization re-planning under rate changes, the blackhole/link-down
+distinction, timeline normalisation and cache-key material, and the
+typed ``network:*`` events a tracer records when faults fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.faults import (
+    Blackhole,
+    BurstLossStart,
+    DelayChange,
+    FaultEvent,
+    FaultTimeline,
+    LinkDown,
+    LinkUp,
+    LossChange,
+    RateChange,
+    blackhole,
+    link_down,
+    link_up,
+    loss_change,
+    rate_change,
+    timeline,
+)
+from repro.netsim.link import Link
+from repro.netsim.node import Datagram
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.obs import Tracer
+
+
+def make_link(sim, rate_bps=8000.0, prop_delay=0.1, queue=100_000):
+    """A bare link delivering into a list, for microscopic assertions."""
+    delivered = []
+    link = Link(
+        sim,
+        rate_bps=rate_bps,
+        prop_delay=prop_delay,
+        queue_capacity=queue,
+        sink=delivered.append,
+        name="test-link",
+    )
+    return link, delivered
+
+
+def dgram(size=1000):
+    return Datagram(payload=None, size=size)
+
+
+# ----------------------------------------------------------------------
+# Rate-change re-planning
+# ----------------------------------------------------------------------
+
+class TestRateChange:
+    def test_idle_link_rate_change_applies_to_next_datagram(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, rate_bps=8000.0, prop_delay=0.0)
+        link.apply(RateChange(rate_mbps=8000.0 / 1e6 * 2))  # double it
+        link.send(dgram(1000))  # 8000 bits at 16 kbit/s = 0.5 s
+        sim.run()
+        assert delivered
+        assert sim.now == pytest.approx(0.5)
+
+    def test_inflight_datagram_finishes_remaining_bytes_at_new_rate(self):
+        sim = Simulator()
+        # 1000 B = 8000 bits at 8 kbit/s -> 1 s serialization.
+        link, delivered = make_link(sim, rate_bps=8000.0, prop_delay=0.0)
+        link.send(dgram(1000))
+        # At t=0.5 half the bytes are out; double the rate: the other
+        # 500 B take 0.25 s -> completion at 0.75 s.
+        sim.schedule_at(0.5, link.apply, RateChange(rate_mbps=0.016))
+        sim.run()
+        assert delivered
+        assert sim.now == pytest.approx(0.75)
+
+    def test_consecutive_rate_changes_compose(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, rate_bps=8000.0, prop_delay=0.0)
+        link.send(dgram(1000))
+        # t=0.5: 500 B left, rate -> 16 kbit/s (would finish at 0.75).
+        sim.schedule_at(0.5, link.apply, RateChange(rate_mbps=0.016))
+        # t=0.625: 250 B left, rate -> 4 kbit/s: 2000 bits / 4000 bps
+        # = 0.5 s more -> completion at 1.125 s.
+        sim.schedule_at(0.625, link.apply, RateChange(rate_mbps=0.004))
+        sim.run()
+        assert delivered
+        assert sim.now == pytest.approx(1.125)
+
+    def test_rate_change_rejects_nonpositive(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        with pytest.raises(ValueError):
+            link.set_rate(0.0)
+
+
+# ----------------------------------------------------------------------
+# Link down vs blackhole
+# ----------------------------------------------------------------------
+
+class TestDownVersusBlackhole:
+    def test_down_link_rejects_sends(self):
+        sim = Simulator()
+        link, delivered = make_link(sim)
+        link.apply(LinkDown())
+        assert link.send(dgram()) is False
+        sim.run()
+        assert delivered == []
+        assert link.stats.fault_drops == 1
+
+    def test_down_aborts_inflight_and_flushes_queue(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, rate_bps=8000.0)
+        link.send(dgram(1000))      # serializing until t=1
+        link.send(dgram(1000))      # queued
+        link.send(dgram(1000))      # queued
+        sim.schedule_at(0.5, link.apply, LinkDown())
+        sim.run()
+        assert delivered == []
+        assert link.stats.fault_drops == 3
+        assert link.queued_bytes == 0
+        assert not link.serialization_busy
+
+    def test_down_does_not_recall_datagrams_already_on_the_wire(self):
+        sim = Simulator()
+        # Serialization 1 s, propagation 5 s: at t=2 the first datagram
+        # is mid-flight and must still arrive at t=6.
+        link, delivered = make_link(sim, rate_bps=8000.0, prop_delay=5.0)
+        link.send(dgram(1000))
+        sim.schedule_at(2.0, link.apply, LinkDown())
+        sim.run()
+        assert len(delivered) == 1
+        assert sim.now == pytest.approx(6.0)
+
+    def test_link_up_restores_service(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, prop_delay=0.0)
+        link.apply(LinkDown())
+        link.apply(LinkUp())
+        assert link.send(dgram()) is True
+        sim.run()
+        assert len(delivered) == 1
+
+    def test_blackhole_accepts_and_serializes_but_never_delivers(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, rate_bps=8000.0)
+        link.apply(Blackhole())
+        assert link.send(dgram(1000)) is True       # NIC accepts
+        sim.run()
+        assert delivered == []
+        assert link.stats.blackholed == 1
+        assert link.stats.datagrams_sent == 1       # bandwidth consumed
+        assert sim.now == pytest.approx(1.0)        # full serialization
+
+    def test_blackhole_disable_restores_delivery(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, prop_delay=0.0)
+        link.apply(Blackhole())
+        link.apply(Blackhole(enabled=False))
+        link.send(dgram())
+        sim.run()
+        assert len(delivered) == 1
+
+
+# ----------------------------------------------------------------------
+# Loss / delay mutations
+# ----------------------------------------------------------------------
+
+class TestLossAndDelay:
+    def test_loss_change_drops_everything_at_100_percent(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, prop_delay=0.0)
+        link.apply(LossChange(100.0))
+        for _ in range(5):
+            link.send(dgram())
+        sim.run()
+        assert delivered == []
+        assert link.stats.random_losses == 5
+
+    def test_loss_change_overrides_burst_model(self):
+        sim = Simulator()
+        link, _ = make_link(sim)
+        link.apply(BurstLossStart(10.0))
+        assert link.burst_loss is not None
+        link.apply(LossChange(0.0))
+        assert link.burst_loss is None
+        assert link.loss_rate == 0.0
+
+    def test_burst_loss_episode_is_deterministic_per_link_name(self):
+        outcomes = []
+        for _ in range(2):
+            sim = Simulator()
+            link, _ = make_link(sim, prop_delay=0.0)
+            link.apply(BurstLossStart(30.0, mean_burst=3.0, seed=7))
+            outcomes.append(tuple(link.burst_loss.lose() for _ in range(200)))
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0])  # the episode actually loses packets
+
+    def test_delay_change_affects_future_datagrams_only(self):
+        sim = Simulator()
+        link, delivered = make_link(sim, rate_bps=8e6, prop_delay=1.0)
+        arrival_times = []
+        link.sink = lambda d: arrival_times.append(sim.now)
+        link.send(dgram(1000))                       # leaves with 1 s delay
+        sim.schedule_at(0.5, link.apply, DelayChange(rtt_ms=4000.0))
+        sim.schedule_at(0.6, link.send, dgram(1000))  # leaves with 2 s delay
+        sim.run()
+        assert arrival_times[0] == pytest.approx(0.001 + 1.0)
+        assert arrival_times[1] == pytest.approx(0.6 + 0.001 + 2.0)
+
+
+# ----------------------------------------------------------------------
+# Timeline semantics
+# ----------------------------------------------------------------------
+
+class TestTimeline:
+    def test_events_normalised_by_time_then_path_then_kind(self):
+        a = timeline(link_up(4.0, 0), link_down(2.0, 1), link_down(2.0, 0))
+        assert [(e.time, e.path) for e in a.events] == [
+            (2.0, 0), (2.0, 1), (4.0, 0),
+        ]
+
+    def test_equal_event_sets_compare_equal_regardless_of_order(self):
+        a = timeline(link_down(2.0, 0), link_up(4.0, 0))
+        b = timeline(link_up(4.0, 0), link_down(2.0, 0))
+        assert a == b
+        assert a.key_material() == b.key_material()
+
+    def test_key_material_distinguishes_parameters(self):
+        a = timeline(rate_change(1.0, 0, 5.0))
+        b = timeline(rate_change(1.0, 0, 6.0))
+        c = timeline(loss_change(1.0, 0, 5.0))
+        keys = [str(t.key_material()) for t in (a, b, c)]
+        assert len(set(keys)) == 3
+
+    def test_empty_timeline_is_falsy(self):
+        assert not FaultTimeline()
+        assert timeline(blackhole(1.0, 0))
+
+    def test_negative_time_and_path_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, 0, LinkDown())
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, -1, LinkDown())
+
+    def test_install_rejects_out_of_range_path(self):
+        sim = Simulator()
+        topo = TwoPathTopology(
+            sim, [PathConfig(capacity_mbps=10.0, rtt_ms=20.0)], seed=1
+        )
+        with pytest.raises(ValueError, match="path 1"):
+            timeline(link_down(1.0, 1)).install(sim, topo)
+
+    def test_apply_fault_hits_both_directions(self):
+        sim = Simulator()
+        topo = TwoPathTopology(
+            sim,
+            [PathConfig(capacity_mbps=10.0, rtt_ms=20.0)] * 2,
+            seed=1,
+        )
+        timeline(link_down(1.0, 0)).install(sim, topo)
+        sim.run()
+        assert not topo.forward_links[0].up
+        assert not topo.return_links[0].up
+        assert topo.forward_links[1].up
+        assert topo.return_links[1].up
+
+    def test_fired_events_emit_typed_network_events(self):
+        sim = Simulator()
+        topo = TwoPathTopology(
+            sim, [PathConfig(capacity_mbps=10.0, rtt_ms=20.0)] * 2, seed=1
+        )
+        trace = Tracer()
+        timeline(
+            blackhole(1.0, 0), rate_change(2.0, 1, 5.0)
+        ).install(sim, topo, trace=trace)
+        sim.run()
+        events = trace.events_of(category="network")
+        assert [(e.time, e.name, e.path_id) for e in events] == [
+            (1.0, "blackhole", 0),
+            (2.0, "rate_change", 1),
+        ]
+        assert events[1].data["rate_mbps"] == 5.0
+
+    def test_mutation_describe_is_json_compatible(self):
+        import json
+
+        for mutation in (
+            LinkDown(), LinkUp(), RateChange(5.0), DelayChange(30.0),
+            LossChange(2.0), BurstLossStart(5.0, 3.0, 1), Blackhole(),
+        ):
+            payload = {"kind": mutation.kind, **mutation.describe()}
+            assert json.loads(json.dumps(payload)) == payload

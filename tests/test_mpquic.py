@@ -282,3 +282,131 @@ class TestPathsFrame:
         server.send_stream_data(1, b"z" * 200_000, fin=True)
         sim.run(until=8.0)
         assert server.paths[0].potentially_failed or client.paths[0].potentially_failed
+
+
+# ----------------------------------------------------------------------
+# Scheduler invariants under path failure (fault-injection satellites)
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.obs import Tracer  # noqa: E402
+from tests.helpers import failure_timeline  # noqa: E402
+
+fake_paths = st.lists(
+    st.builds(
+        FakePath,
+        path_id=st.integers(0, 7),
+        srtt=st.one_of(st.none(), st.floats(0.001, 1.0, allow_nan=False)),
+        can_send=st.booleans(),
+        failed=st.booleans(),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def usable(paths):
+    """The connection's `_usable_paths` policy: prefer non-failed."""
+    good = [p for p in paths if p.active and not p.potentially_failed]
+    return good or [p for p in paths if p.active]
+
+
+class TestFailedPathAvoidanceProperty:
+    @given(fake_paths)
+    @settings(max_examples=300, derandomize=True)
+    def test_never_selects_failed_path_while_alternative_lives(self, paths):
+        choice = LowestRttScheduler().select_path(usable(paths))
+        live = [
+            p for p in paths
+            if not p.potentially_failed and p.can_send_data()
+        ]
+        if live:
+            assert choice is not None
+            assert not choice.potentially_failed
+        if choice is not None:
+            assert choice.can_send_data()
+
+    @given(fake_paths)
+    @settings(max_examples=300, derandomize=True)
+    def test_known_rtt_paths_beat_unknown_ones(self, paths):
+        candidates = usable(paths)
+        choice = LowestRttScheduler().select_path(candidates)
+        known_live = [
+            p for p in candidates if p.rtt_known and p.can_send_data()
+        ]
+        if known_live and choice is not None:
+            assert choice.rtt_known
+            assert choice.rtt.smoothed == min(
+                p.rtt.smoothed for p in known_live
+            )
+
+
+class TestSchedulerUnderInjectedFailure:
+    def test_no_selection_of_failed_path_after_detection(self):
+        """After the server marks path 0 potentially failed, the
+        scheduler must route everything onto the surviving path."""
+        trace = Tracer()
+        result = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=2_000_000,
+            timeline=failure_timeline(0.5, path=0, mode="down"),
+            trace=trace, timeout=60.0,
+        )
+        assert result.ok
+        failures = trace.events_of(
+            category="path", name="potentially_failed",
+            host="server", path_id=0,
+        )
+        assert failures, "failure was never detected"
+        detected = min(e.time for e in failures)
+        later_picks = trace.events_of(
+            category="scheduler", name="path_selected",
+            host="server", t_min=detected,
+        )
+        assert later_picks, "no scheduling decisions after detection"
+        assert all(e.path_id != 0 for e in later_picks if e.time > detected)
+
+    def test_duplication_only_targets_rtt_unknown_paths(self):
+        """Every duplicated packet on a path precedes that path's
+        validation (first RTT sample) — duplication exists to probe
+        paths whose characteristics are unknown, nothing else."""
+        trace = Tracer()
+        result = run_transfer(
+            "mpquic", HETEROGENEOUS_PATHS, file_size=1_000_000,
+            trace=trace, timeout=60.0,
+        )
+        assert result.ok
+        dups = trace.events_of(category="scheduler", name="duplicated")
+        assert dups, "no duplication observed during path bring-up"
+        for host in ("client", "server"):
+            validated = {
+                e.path_id: e.time
+                for e in trace.events_of(
+                    category="path", name="validated", host=host
+                )
+            }
+            for dup in dups:
+                if dup.host != host:
+                    continue
+                first_sample = validated.get(dup.path_id)
+                if first_sample is not None:
+                    assert dup.time <= first_sample
+
+    def test_failed_path_recovers_when_link_returns(self):
+        """down -> up: the path is declared failed, then rejoins."""
+        from repro.netsim.faults import link_down, link_up, timeline
+
+        trace = Tracer()
+        result = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=4_000_000,
+            timeline=timeline(link_down(0.5, 0), link_up(2.5, 0)),
+            trace=trace, timeout=120.0,
+        )
+        assert result.ok
+        failed = trace.events_of(category="path", name="potentially_failed",
+                                 path_id=0)
+        recovered = trace.events_of(category="path", name="recovered",
+                                    path_id=0)
+        assert failed and recovered
+        assert min(e.time for e in recovered) > min(e.time for e in failed)

@@ -188,3 +188,110 @@ class TestRangeSetProperties:
         for start, stop in ranges:
             rs.add(start, stop)
         assert list(rs) == snapshot
+
+
+# ----------------------------------------------------------------------
+# AckManager invariants under randomized receive/ack/drop churn
+# ----------------------------------------------------------------------
+
+from repro.quic.ackmgr import AckManager  # noqa: E402
+from repro.quic.frames import MAX_ACK_RANGES  # noqa: E402
+
+
+class TestAckManagerChurnInvariants:
+    """Drive an AckManager through random packet-arrival histories.
+
+    Invariants (the receiver-side contract the sender's loss detection
+    relies on):
+
+    * an ACK never acknowledges a packet number that was not received;
+    * neither the stored range set nor any built ACK frame ever exceeds
+      ``MAX_ACK_RANGES`` ranges;
+    * ``largest_acked`` is the true largest received packet number.
+    """
+
+    @given(st.data())
+    @settings(max_examples=60, derandomize=True)
+    def test_churn(self, data):
+        mgr = AckManager(path_id=0)
+        received = set()
+        forgotten_below = 0
+        now = 0.0
+        next_pn = 0
+        n_ops = data.draw(st.integers(10, 120), label="ops")
+        for _ in range(n_ops):
+            op = data.draw(
+                st.sampled_from(["recv", "drop", "rerecv", "ack", "forget"]),
+                label="op",
+            )
+            now += data.draw(
+                st.floats(0.0, 0.05, allow_nan=False), label="dt"
+            )
+            if op == "recv":
+                mgr.on_packet_received(next_pn, now, ack_eliciting=True)
+                received.add(next_pn)
+                next_pn += 1
+            elif op == "drop":
+                # The network ate this packet number: the receiver
+                # never sees it (a gap the sender must retransmit).
+                next_pn += data.draw(st.integers(1, 40), label="gap")
+            elif op == "rerecv":
+                if received:
+                    dup = data.draw(
+                        st.sampled_from(sorted(received)), label="dup"
+                    )
+                    mgr.on_packet_received(dup, now, ack_eliciting=True)
+            elif op == "ack":
+                frame = mgr.build_ack(now)
+                if frame is not None:
+                    self._check_ack(frame, mgr, received, forgotten_below)
+            elif op == "forget":
+                if received:
+                    cut = data.draw(
+                        st.sampled_from(sorted(received)), label="cut"
+                    )
+                    mgr.forget_below(cut)
+                    forgotten_below = max(forgotten_below, cut)
+            # Stored state stays bounded no matter the history.
+            assert len(mgr.received) <= MAX_ACK_RANGES
+        final = mgr.build_ack(now)
+        if final is not None:
+            self._check_ack(final, mgr, received, forgotten_below)
+
+    @staticmethod
+    def _check_ack(frame, mgr, received, forgotten_below):
+        assert len(frame.ranges) <= MAX_ACK_RANGES
+        acked = set()
+        for start, stop in frame.ranges:
+            acked.update(range(start, stop))
+        # Soundness: everything acknowledged was actually received.
+        assert acked <= received
+        assert frame.largest_acked == max(received)
+        assert frame.largest_acked in acked
+        # Completeness: everything received, not yet forgotten and not
+        # trimmed out of the bounded range window is re-acknowledged.
+        reportable = {p for p in received if p >= forgotten_below}
+        if len(mgr.received) < MAX_ACK_RANGES and len(frame.ranges) < MAX_ACK_RANGES:
+            assert reportable <= acked
+
+
+class TestAckManagerRangeBound:
+    def test_pathological_alternating_receives_stay_bounded(self):
+        mgr = AckManager(path_id=1)
+        # Every other packet lost: worst case for range growth.
+        for pn in range(0, 4 * MAX_ACK_RANGES, 2):
+            mgr.on_packet_received(pn, now=pn * 0.001, ack_eliciting=True)
+            assert len(mgr.received) <= MAX_ACK_RANGES
+        frame = mgr.build_ack(now=1.0)
+        assert len(frame.ranges) == MAX_ACK_RANGES
+        # The *highest* ranges are kept: trimming discards old state.
+        assert frame.largest_acked == 4 * MAX_ACK_RANGES - 2
+        assert min(s for s, _ in frame.ranges) >= 2 * MAX_ACK_RANGES
+
+    def test_trim_never_drops_the_largest_range(self):
+        mgr = AckManager(path_id=0)
+        pns = list(range(0, 10 * MAX_ACK_RANGES, 3))
+        for pn in pns:
+            mgr.on_packet_received(pn, now=0.0, ack_eliciting=False)
+        assert mgr.received.max == pns[-1]
+        assert mgr.largest_received == pns[-1]

@@ -170,3 +170,170 @@ class TestPacketCodec:
     def test_unknown_frame_type_rejected(self):
         with pytest.raises(ValueError):
             wire.decode_frame(b"\x7e", 0)
+
+
+# ----------------------------------------------------------------------
+# Property-based corpus: random frames/packets, truncation, corruption
+# ----------------------------------------------------------------------
+
+def _ints_to_ack_ranges(values):
+    """Disjoint descending [start, stop) ranges from a set of ints."""
+    ranges = []
+    for v in sorted(set(values)):
+        if ranges and ranges[-1][1] == v:
+            ranges[-1] = (ranges[-1][0], v + 1)
+        else:
+            ranges.append((v, v + 1))
+    ranges.reverse()
+    return tuple(ranges[:MAX_ACK_RANGES])
+
+
+#: Ack delays exactly representable on the wire (16-bit, 3-bit shift of
+#: microseconds), so decoded frames compare equal to the originals.
+wire_exact_ack_delays = st.integers(0, 0xFFFF).map(lambda r: (r << 3) / 1e6)
+
+stream_frames = st.builds(
+    StreamFrame,
+    stream_id=st.integers(0, 2**30),
+    offset=st.integers(0, 2**40),
+    data=st.binary(max_size=1400),
+    fin=st.booleans(),
+)
+ack_frames = st.builds(
+    lambda values, path_id, delay: AckFrame(
+        path_id=path_id,
+        largest_acked=max(values),
+        ack_delay=delay,
+        ranges=_ints_to_ack_ranges(values),
+    ),
+    values=st.lists(st.integers(0, 10_000), min_size=1, max_size=64),
+    path_id=st.integers(0, 255),
+    delay=wire_exact_ack_delays,
+)
+window_update_frames = st.builds(
+    WindowUpdateFrame,
+    stream_id=st.integers(0, 2**30),
+    byte_offset=st.integers(0, 2**63),
+)
+close_frames = st.builds(
+    ConnectionCloseFrame,
+    error_code=st.integers(0, 2**32 - 1),
+    reason=st.text(max_size=100),
+)
+add_address_frames = st.builds(
+    AddAddressFrame,
+    address=st.text(max_size=40).filter(lambda s: len(s.encode()) <= 255),
+)
+paths_frames = st.builds(
+    PathsFrame,
+    active=st.lists(
+        st.builds(
+            PathInfo,
+            path_id=st.integers(0, 255),
+            rtt_us=st.integers(0, 2**32 - 1),
+        ),
+        max_size=8,
+    ).map(tuple),
+    failed=st.lists(st.integers(0, 255), max_size=8).map(tuple),
+)
+ping_frames = st.just(PingFrame())
+handshake_frames = st.builds(
+    HandshakeFrame,
+    kind=st.sampled_from(["CHLO", "SHLO"]),
+    length=st.integers(0, 1200),
+)
+
+#: Frames whose encodings are self-delimiting (every strict prefix of
+#: an encoding is invalid).  HandshakeFrame is excluded: its payload
+#: length is implicit (zero padding), so truncation yields a shorter
+#: but well-formed frame by design.
+self_delimiting_frames = st.one_of(
+    stream_frames, ack_frames, window_update_frames, close_frames,
+    add_address_frames, paths_frames, ping_frames,
+)
+all_frames = st.one_of(self_delimiting_frames, handshake_frames)
+
+packets = st.builds(
+    lambda cid, pn, path_id, multipath, frames: Packet(
+        path_id=path_id if multipath else 0,
+        packet_number=pn,
+        frames=tuple(frames),
+        connection_id=cid,
+        multipath=multipath,
+    ),
+    cid=st.integers(0, 2**64 - 1),
+    pn=st.integers(0, 2**32 - 1),
+    path_id=st.integers(0, 255),
+    multipath=st.booleans(),
+    frames=st.lists(self_delimiting_frames, max_size=4),
+)
+
+
+class TestFrameProperties:
+    @given(all_frames)
+    @settings(max_examples=300, derandomize=True)
+    def test_roundtrip_and_size(self, frame):
+        buf = wire.encode_frame(frame)
+        decoded, pos = wire.decode_frame(buf, 0)
+        assert pos == len(buf)
+        assert decoded == frame
+        assert frame.wire_size() == len(buf)
+
+    @given(self_delimiting_frames, st.data())
+    @settings(max_examples=300, derandomize=True)
+    def test_any_truncation_raises_cleanly(self, frame, data):
+        buf = wire.encode_frame(frame)
+        cut = data.draw(st.integers(0, len(buf) - 1))
+        with pytest.raises(wire.WireFormatError):
+            wire.decode_frame(buf[:cut], 0)
+
+    @given(all_frames, st.data())
+    @settings(max_examples=300, derandomize=True)
+    def test_single_byte_corruption_never_escapes_valueerror(self, frame, data):
+        buf = bytearray(wire.encode_frame(frame))
+        idx = data.draw(st.integers(0, len(buf) - 1))
+        buf[idx] ^= data.draw(st.integers(1, 255))
+        try:
+            decoded, pos = wire.decode_frame(bytes(buf), 0)
+        except ValueError:
+            return  # clean rejection (WireFormatError or subclass use)
+        # A successful parse must stay within the buffer.
+        assert 0 < pos <= len(buf)
+        assert decoded is not None
+
+
+class TestPacketProperties:
+    @given(packets)
+    @settings(max_examples=200, derandomize=True)
+    def test_roundtrip_and_size(self, pkt):
+        buf = wire.encode_packet(pkt)
+        assert pkt.wire_size == len(buf)
+        assert wire.decode_packet(buf) == pkt
+
+    @given(packets, st.data())
+    @settings(max_examples=200, derandomize=True)
+    def test_truncation_raises_or_yields_frame_prefix(self, pkt, data):
+        buf = wire.encode_packet(pkt)
+        cut = data.draw(st.integers(0, len(buf) - 1))
+        try:
+            decoded = wire.decode_packet(buf[:cut])
+        except wire.WireFormatError:
+            return
+        # Truncation at a frame boundary is indistinguishable from a
+        # shorter packet — but then the frames must be a strict prefix
+        # of the original's, never a mis-parse.
+        n = len(decoded.frames)
+        assert n < len(pkt.frames) or cut >= len(buf) - 0
+        assert decoded.frames == pkt.frames[:n]
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.decode_packet(b"")
+
+    def test_header_only_truncations_rejected(self):
+        pkt = Packet(0, 1, (PingFrame(),), connection_id=5, multipath=True)
+        buf = wire.encode_packet(pkt)
+        header = wire.public_header_size(multipath=True)
+        for cut in range(header):
+            with pytest.raises(wire.WireFormatError):
+                wire.decode_packet(buf[:cut])
