@@ -19,7 +19,6 @@ def _both(buckets):
 def test_fig6_lossy_aggregation(benchmark):
     data = run_once(benchmark, lambda: fig6(BENCH_CONFIG))
     mpquic = _both(data["mpquic_vs_quic"])
-    noloss_spread = 0.0  # reference: see fig4 in the same session
     # Wide variance is the paper's observation; multipath never fails
     # outright (EBen = -1 means no data transferred at all).
     assert min(mpquic) > -1.0

@@ -1,0 +1,42 @@
+"""Static analysis enforcing the simulator's determinism contract.
+
+``python -m repro.analysis src/repro`` runs an AST pass over the tree
+with a registry of determinism and protocol-invariant rules (wall
+clocks, unseeded RNGs, hash-order iteration, telemetry taxonomy, ...)
+and exits non-zero on findings.  Line-scoped waivers use
+``# repro: allow[rule-id]``; see ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    register,
+    suppressed_rules,
+)
+from repro.analysis.report import (
+    REPORT_VERSION,
+    findings_from_json,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "REPORT_VERSION",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "findings_from_json",
+    "register",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "suppressed_rules",
+]

@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 on a clean tree, 1 when findings remain, 2 on usage
+errors — so the command slots directly into CI as a required gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import analyze_paths
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism and protocol-invariant static analyzer.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    select = [r.strip() for r in args.select.split(",") if r.strip()]
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "error: no such path(s): " + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        findings, files_analyzed = analyze_paths(paths, select=select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings, files_analyzed))
+    else:
+        print(render_text(findings, files_analyzed))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Infrastructure of the static analyzer: findings, rules, suppression.
+
+The analyzer parses each file once into an :mod:`ast` tree and hands the
+tree to every registered rule.  Rules are small classes with a ``check``
+method returning :class:`Finding` objects; they never import the code
+under analysis, so the pass is safe to run on broken or
+dependency-missing trees.
+
+Suppression follows the conventional in-line marker style::
+
+    t = time.time()  # repro: allow[wall-clock] benchmark harness only
+
+A marker silences exactly the listed rule ids (comma separated) on its
+physical line; ``# repro: allow[*]`` silences every rule on the line.
+Suppressions are deliberately line-scoped — blanket file- or
+block-level waivers would defeat the point of the determinism audit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Type
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses set ``rule_id``/``rationale`` and implement
+    :meth:`check`, yielding findings for one parsed module.
+    """
+
+    #: Stable identifier used in reports and suppression markers.
+    rule_id: str = ""
+    #: One-line justification shown by ``--list-rules`` and the docs.
+    rationale: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    display_path: str
+    tree: ast.Module
+    source_lines: Sequence[str]
+    #: Path relative to the analysis root, with ``/`` separators —
+    #: rules use it for location-scoped exemptions (e.g. benchmarks/).
+    rel_path: str
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules, keyed by id (import side effect of rules.py)."""
+    from repro.analysis import rules as _rules  # noqa: F401  (registers)
+
+    return dict(_REGISTRY)
+
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+
+def suppressed_rules(line_text: str) -> Set[str]:
+    """Rule ids silenced by markers on one physical source line."""
+    out: Set[str] = set()
+    for match in _ALLOW_RE.finditer(line_text):
+        for rule_id in match.group(1).split(","):
+            out.add(rule_id.strip())
+    return out
+
+
+def analyze_source(
+    source: str,
+    display_path: str,
+    rel_path: str = "",
+    select: Sequence[str] = (),
+) -> List[Finding]:
+    """Run the (optionally filtered) rule set over one source string."""
+    tree = ast.parse(source, filename=display_path)
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        display_path=display_path,
+        tree=tree,
+        source_lines=lines,
+        rel_path=rel_path or display_path,
+    )
+    registry = all_rules()
+    wanted = list(select) if select else sorted(registry)
+    unknown = [rule_id for rule_id in wanted if rule_id not in registry]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    findings: List[Finding] = []
+    for rule_id in wanted:
+        rule = registry[rule_id]()
+        for finding in rule.check(ctx):
+            line_idx = finding.line - 1
+            if 0 <= line_idx < len(lines):
+                allowed = suppressed_rules(lines[line_idx])
+                if finding.rule in allowed or "*" in allowed:
+                    continue
+            findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Tuple[Path, Path]]:
+    """Expand files/directories into ``(file, root)`` pairs, sorted.
+
+    The root is the argument the file was found under, so relative
+    paths (used for location-scoped rules) stay stable regardless of
+    the caller's working directory.
+    """
+    out: List[Tuple[Path, Path]] = []
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                out.append((sub, path))
+        else:
+            out.append((path, path.parent))
+    return out
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    select: Sequence[str] = (),
+) -> Tuple[List[Finding], int]:
+    """Analyze files/trees; returns (findings, files analyzed)."""
+    findings: List[Finding] = []
+    count = 0
+    for file_path, root in iter_python_files(paths):
+        rel = file_path.relative_to(root) if root in file_path.parents or file_path == root else file_path
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            analyze_source(
+                source,
+                display_path=str(file_path),
+                rel_path=str(rel).replace("\\", "/"),
+                select=select,
+            )
+        )
+        count += 1
+    findings.sort()
+    return findings, count

@@ -1,0 +1,73 @@
+"""Reporters for analyzer findings: human text and machine JSON.
+
+The JSON document is versioned and round-trippable so CI tooling can
+diff findings between runs without re-parsing analyzer output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.core import Finding, all_rules
+
+#: Bump on any backwards-incompatible change to the JSON layout.
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_analyzed: int) -> str:
+    """Conventional compiler-style ``path:line:col: [rule] message``."""
+    lines = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} in {files_analyzed} file(s) analyzed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_analyzed: int) -> str:
+    document: Dict[str, Any] = {
+        "version": REPORT_VERSION,
+        "files_analyzed": files_analyzed,
+        "count": len(findings),
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    """Parse a JSON report back into findings (schema round-trip)."""
+    document = json.loads(text)
+    version = document.get("version")
+    if version != REPORT_VERSION:
+        raise ValueError(f"unsupported report version: {version!r}")
+    out = [
+        Finding(
+            path=entry["path"],
+            line=int(entry["line"]),
+            col=int(entry["col"]),
+            rule=entry["rule"],
+            message=entry["message"],
+        )
+        for entry in document["findings"]
+    ]
+    if len(out) != document.get("count"):
+        raise ValueError("report count does not match findings array")
+    return out
+
+
+def render_rule_list() -> str:
+    """The registered rule catalog for ``--list-rules``."""
+    lines = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        lines.append(f"{rule_id}: {rule_cls.rationale}")
+    return "\n".join(lines)

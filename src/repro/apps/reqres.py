@@ -12,7 +12,7 @@ stream coalescing on TCP-family transports.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.apps.transport import TransportEndpoint
 from repro.netsim.engine import Simulator

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.util import sanitize as _san
 
 
 class CcState(enum.Enum):
@@ -39,7 +42,9 @@ class CongestionController(ABC):
         #: Optional telemetry hook ``fn(event_name, controller, now)``
         #: wired by the transport when a tracer is attached; one
         #: ``is None`` check when absent.
-        self.telemetry = None
+        self.telemetry: Optional[
+            Callable[[str, "CongestionController", float], None]
+        ] = None
 
     def _emit(self, event: str, now: float) -> None:
         if self.telemetry is not None:
@@ -72,6 +77,8 @@ class CongestionController(ABC):
         self._recovery_start_time = now
         self.state = CcState.RECOVERY
         self._reduce_on_loss(now)
+        if _san.SANITIZE:
+            self._check_window_floor("after loss reduction")
         self._emit("state_changed", now)
 
     def on_rto(self, now: float) -> None:
@@ -83,6 +90,8 @@ class CongestionController(ABC):
         self.state = CcState.SLOW_START
         self._recovery_start_time = now
         self._on_rto_extra(now)
+        if _san.SANITIZE:
+            self._check_window_floor("after RTO collapse")
         self._emit("state_changed", now)
 
     def exit_recovery(self) -> None:
@@ -94,6 +103,24 @@ class CongestionController(ABC):
                 else CcState.CONGESTION_AVOIDANCE
             )
             self._emit("state_changed", self._recovery_start_time)
+
+    def _check_window_floor(self, where: str) -> None:
+        """Sanitizer invariant: the window never drops below its floor."""
+        floor = MIN_WINDOW_SEGMENTS * self.mss
+        _san.check(
+            self.cwnd_bytes >= floor,
+            f"cwnd below the minimum window {where}",
+            cwnd_bytes=self.cwnd_bytes,
+            floor=floor,
+            controller=type(self).__name__,
+        )
+        _san.check(
+            self.ssthresh_bytes >= floor,
+            f"ssthresh below the minimum window {where}",
+            ssthresh_bytes=self.ssthresh_bytes,
+            floor=floor,
+            controller=type(self).__name__,
+        )
 
     # -- subclass hooks ----------------------------------------------------
 

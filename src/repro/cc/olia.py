@@ -37,7 +37,7 @@ class OliaPath(CongestionController):
     # -- CongestionController API ------------------------------------------
 
     def on_ack(self, now: float, acked_bytes: int, rtt: float) -> None:
-        self.smoothed_rtt = rtt if self.smoothed_rtt == 0.0 else (
+        self.smoothed_rtt = rtt if self.smoothed_rtt <= 0.0 else (
             0.875 * self.smoothed_rtt + 0.125 * rtt
         )
         self._bytes_since_loss += acked_bytes

@@ -9,7 +9,7 @@ and PATHS frames for failure signalling (§4.3's fast handover).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.cc import OliaCoordinator, make_controller
 from repro.cc.base import CongestionController
@@ -22,7 +22,6 @@ from repro.quic.config import QuicConfig
 from repro.quic.connection import PathState, QuicConnection
 from repro.quic.frames import PathInfo, PathsFrame, StreamFrame
 from repro.quic.packet import Packet
-from repro.quic.recovery import SentPacket
 
 
 class MultipathQuicConnection(QuicConnection):
@@ -49,7 +48,7 @@ class MultipathQuicConnection(QuicConnection):
         self.path_manager = PathManager(self)
         #: The peer's latest view of its paths (from PATHS frames):
         #: path id -> RTT in seconds.
-        self.remote_path_info: dict = {}
+        self.remote_path_info: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Congestion control: coupled OLIA across paths
@@ -94,7 +93,7 @@ class MultipathQuicConnection(QuicConnection):
         self.send_paths_frame()
         self.sim.schedule(self.config.paths_frame_interval, self._on_paths_interval)
 
-    def _on_paths_frame(self, frame, path) -> None:
+    def _on_paths_frame(self, frame: PathsFrame, path: PathState) -> None:
         super()._on_paths_frame(frame, path)
         for info in frame.active:
             self.remote_path_info[info.path_id] = info.rtt_us / 1e6
@@ -177,14 +176,14 @@ class MultipathQuicConnection(QuicConnection):
     def path_count(self) -> int:
         return len(self.paths)
 
-    def bytes_sent_per_path(self) -> dict:
+    def bytes_sent_per_path(self) -> Dict[int, int]:
         return {pid: p.bytes_sent for pid, p in self.paths.items()}
 
-    def packets_lost_per_path(self) -> dict:
+    def packets_lost_per_path(self) -> Dict[int, int]:
         return {pid: p.recovery.packets_lost_total for pid, p in self.paths.items()}
 
-    def retransmitted_bytes_per_path(self) -> dict:
+    def retransmitted_bytes_per_path(self) -> Dict[int, int]:
         return {pid: p.stream_bytes_retransmitted for pid, p in self.paths.items()}
 
-    def duplicated_packets_per_path(self) -> dict:
+    def duplicated_packets_per_path(self) -> Dict[int, int]:
         return {pid: p.duplicated_packets for pid, p in self.paths.items()}

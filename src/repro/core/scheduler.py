@@ -11,9 +11,10 @@ blind round-robin.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.quic.connection import PathState
+from repro.util import sanitize as _san
 
 
 class Scheduler(ABC):
@@ -23,7 +24,7 @@ class Scheduler(ABC):
 
     #: Optional telemetry hook ``fn(path)`` wired by the connection when
     #: a tracer is attached; fed by :meth:`choose` on every decision.
-    telemetry = None
+    telemetry: Optional[Callable[[PathState], None]] = None
 
     @abstractmethod
     def select_path(self, paths: List[PathState]) -> Optional[PathState]:
@@ -36,6 +37,21 @@ class Scheduler(ABC):
     def choose(self, paths: List[PathState]) -> Optional[PathState]:
         """Select a path and report the decision to the telemetry hook."""
         path = self.select_path(paths)
+        if _san.SANITIZE and path is not None:
+            # A scheduler must only pick from the offered paths and
+            # never overcommit a full congestion window.
+            _san.check(
+                any(p is path for p in paths),
+                "scheduler selected a path outside the candidate list",
+                scheduler=self.name,
+                path_id=path.path_id,
+            )
+            _san.check(
+                path.can_send_data(),
+                "scheduler selected a path with no congestion window room",
+                scheduler=self.name,
+                path_id=path.path_id,
+            )
         if path is not None and self.telemetry is not None:
             self.telemetry(path)
         return path

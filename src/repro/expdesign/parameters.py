@@ -8,7 +8,7 @@ Table 1 (after Paasch et al. CoNEXT'13).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

@@ -14,7 +14,6 @@ bottleneck share each obtained in steady state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.connection import MultipathQuicConnection
 from repro.netsim.bottleneck import SharedBottleneckTopology

@@ -36,7 +36,7 @@ import json
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -359,7 +359,6 @@ def execute_cells(
             int(r.details.get("sim_events", 0)) for r in fresh
         )
 
-    last_stats = stats
     return results  # type: ignore[return-value]
 
 

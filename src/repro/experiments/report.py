@@ -27,8 +27,6 @@ def ascii_cdf(
     for p in points:
         idx = min(len(data) - 1, max(0, int(p * len(data)) - 1))
         lines.append(f"  p{int(p * 100):3d} = {data[idx]:8.3f}")
-    lo, hi = data[0], data[-1]
-    span = hi - lo or 1.0
     for value, prob in cdf_points(data)[:: max(1, len(data) // 10)]:
         bar = "#" * int(prob * width)
         lines.append(f"  {value:8.3f} |{bar:<{width}}| {prob:4.2f}")

@@ -8,7 +8,7 @@ end-to-end totals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.engine import Simulator

@@ -23,7 +23,7 @@ Layout (downstream direction mirrored)::
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict
 
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
@@ -110,7 +110,7 @@ class SharedBottleneckTopology:
         access_delay = access_rtt_ms / 2.0 / 1e3
         access_queue = MIN_QUEUE_PACKETS * MTU * 4
 
-        def access_link(sink, name):
+        def access_link(sink: Callable[[Datagram], None], name: str) -> Link:
             return Link(
                 sim, access_rate, access_delay, access_queue,
                 rng=random.Random(rng.getrandbits(32)), sink=sink, name=name,
@@ -160,7 +160,7 @@ class SharedBottleneckTopology:
             up_router.add_route("10.9.0.1", comp_cli_down)
 
 
-def _stamp_and_forward(bottleneck: Link):
+def _stamp_and_forward(bottleneck: Link) -> Callable[[Datagram], None]:
     """Access-link sink: stamp the destination, enter the bottleneck.
 
     The destination is the peer address for the source interface, set
@@ -182,7 +182,7 @@ def _stamp_and_forward(bottleneck: Link):
     return sink
 
 
-def _deliver_to(host: Host, interface_index: int):
+def _deliver_to(host: Host, interface_index: int) -> Callable[[Datagram], None]:
     def sink(datagram: Datagram) -> None:
         host.deliver(datagram, interface_index)
 

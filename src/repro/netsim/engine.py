@@ -11,6 +11,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.util import sanitize as _san
+
 
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
@@ -23,7 +25,7 @@ class Timer:
         fn: Callable[..., None],
         args: Tuple[Any, ...],
         sim: "Optional[Simulator]" = None,
-    ):
+    ) -> None:
         self.time = time
         self.fn = fn
         self.args = args
@@ -78,6 +80,14 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        if _san.SANITIZE:
+            # A NaN deadline passes the < check above but destroys the
+            # heap invariant; reject it before it is queued.
+            _san.check(
+                time == time,  # repro: allow[float-equality] intentional NaN probe
+                "timer scheduled at NaN simulated time",
+                now=self.now,
+            )
         timer = Timer(time, fn, args, sim=self)
         heapq.heappush(self._heap, (time, next(self._counter), timer))
         return timer
@@ -130,6 +140,15 @@ class Simulator:
             if timer.cancelled:
                 self._cancelled -= 1
                 continue
+            if _san.SANITIZE:
+                # Simulated time is monotone: an event firing before
+                # `now` means a timer was queued into the past.
+                _san.check(
+                    time >= self.now,
+                    "event fired before current simulated time",
+                    event_time=time,
+                    now=self.now,
+                )
             self.now = time
             timer.fn(*timer.args)
             processed += 1
@@ -158,6 +177,13 @@ class Simulator:
             if timeout is not None and time > timeout:
                 self.now = timeout
                 return False
+            if _san.SANITIZE:
+                _san.check(
+                    time >= self.now,
+                    "event fired before current simulated time",
+                    event_time=time,
+                    now=self.now,
+                )
             self.now = time
             timer.fn(*timer.args)
             processed += 1

@@ -37,7 +37,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.engine import Simulator
@@ -238,7 +238,7 @@ class FaultTimeline:
             for ev in self.events
         ]
 
-    def install(self, sim: "Simulator", topology, trace=None) -> None:
+    def install(self, sim: "Simulator", topology: Any, trace: Any = None) -> None:
         """Schedule every event against a running simulation.
 
         ``topology`` must offer ``apply_fault(path_index, mutation)``
@@ -255,13 +255,13 @@ class FaultTimeline:
             sim.schedule_at(ev.time, self._fire, ev, sim, topology, trace)
 
     @staticmethod
-    def _fire(ev: FaultEvent, sim: "Simulator", topology, trace) -> None:
+    def _fire(ev: FaultEvent, sim: "Simulator", topology: Any, trace: Any) -> None:
         topology.apply_fault(ev.path, ev.mutation)
         if trace is not None and hasattr(trace, "emit"):
             # Category mirrors repro.obs.events.CAT_NETWORK (string kept
             # literal so netsim stays import-independent of the obs layer).
             trace.emit(
-                sim.now, "network", "network", ev.mutation.kind,
+                sim.now, "network", "network", ev.mutation.kind,  # repro: allow[obs-category] netsim must not import obs
                 ev.path, **ev.mutation.describe(),
             )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.netsim.engine import Simulator, Timer

@@ -9,12 +9,15 @@ a random loss percentage (its Table 1).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:
+    from repro.netsim.faults import Mutation
 
 from repro.netsim.engine import Simulator
 from repro.netsim.link import GilbertElliottLoss, Link
-from repro.netsim.node import Host
+from repro.netsim.node import Datagram, Host
 
 #: Conservative MTU; both stacks cap their datagrams at this size.
 MTU = 1500
@@ -140,7 +143,7 @@ class TwoPathTopology:
             self.forward_links.append(fwd)
             self.return_links.append(ret)
 
-    def apply_fault(self, path_index: int, mutation) -> None:
+    def apply_fault(self, path_index: int, mutation: "Mutation") -> None:
         """Apply one fault mutation to both directions of a path.
 
         The entry point :class:`repro.netsim.faults.FaultTimeline` uses
@@ -181,8 +184,8 @@ class TwoPathTopology:
         )
 
 
-def _make_sink(host: Host, interface_index: int):
-    def sink(datagram):
+def _make_sink(host: Host, interface_index: int) -> "Callable[[Datagram], None]":
+    def sink(datagram: Datagram) -> None:
         host.deliver(datagram, interface_index)
 
     return sink

@@ -8,7 +8,7 @@ tracing stays cheap and tests/examples can assert on protocol behaviour
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.quic.frames import AckFrame, MAX_ACK_RANGES
+from repro.util import sanitize as _san
 from repro.util.ranges import RangeSet
 
 #: Maximum time a receiver may sit on an acknowledgment.
@@ -74,6 +75,20 @@ class AckManager:
         if self.largest_received < 0:
             return None
         ranges = tuple(self.received.descending_ranges(limit=MAX_ACK_RANGES))
+        if _san.SANITIZE:
+            # An ACK must never claim packets that were not received.
+            for start, stop in ranges:
+                _san.check(
+                    self.received.contains_range(start, stop),
+                    "ACK range covers unreceived packet numbers",
+                    range=(start, stop),
+                )
+            _san.check(
+                bool(ranges) and ranges[0][1] - 1 == self.largest_received,
+                "ACK largest_acked disagrees with received ranges",
+                largest_received=self.largest_received,
+                first_range=ranges[0] if ranges else None,
+            )
         ack_delay = max(0.0, now - self.largest_received_time)
         if commit:
             self._unacked_eliciting = 0

@@ -10,14 +10,21 @@ only packet-number spaces, scheduling and path management need work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cc import make_controller
 from repro.cc.base import CongestionController
 from repro.netsim.engine import Simulator, Timer
 from repro.netsim.node import Datagram, Host
 from repro.netsim.trace import PacketTrace
+from repro.obs.events import (
+    CAT_CC,
+    CAT_FLOWCONTROL,
+    CAT_PATH,
+    CAT_RECOVERY,
+    CAT_TRANSPORT,
+)
 from repro.quic import wire
 from repro.quic.ackmgr import AckManager, MAX_ACK_DELAY
 from repro.quic.config import QuicConfig
@@ -39,6 +46,7 @@ from repro.quic.packet import Packet, UDP_IP_OVERHEAD
 from repro.quic.recovery import LossRecovery, SentPacket
 from repro.quic.rtt import RttEstimator
 from repro.quic.stream import RecvStream, SendStream
+from repro.util import sanitize as _san
 
 
 class PathState:
@@ -155,7 +163,7 @@ class QuicConnection:
         #: :class:`repro.obs.Tracer`.  Every emission site below guards
         #: on ``self._obs is not None`` so plain runs stay free.
         self._obs = trace if hasattr(trace, "emit") else None
-        self._fc_blocked: set = set()
+        self._fc_blocked: Set[int] = set()
         self.connection_id = connection_id
         self.established = False
         self.closed = False
@@ -211,7 +219,7 @@ class QuicConnection:
         self._pending_control.setdefault(path_id, [])
         if self._obs is not None:
             self._obs.emit(
-                self.sim.now, self.host.name, "path", "new",
+                self.sim.now, self.host.name, CAT_PATH, "new",
                 path_id, interface=interface_index,
             )
             self._wire_path_telemetry(path)
@@ -230,31 +238,31 @@ class QuicConnection:
         def cc_event(name: str, cc: CongestionController, _now: float) -> None:
             ssthresh = cc.ssthresh_bytes
             obs.emit(
-                self.sim.now, host, "cc", name, path_id,
+                self.sim.now, host, CAT_CC, name, path_id,
                 state=cc.state.value, cwnd=cc.cwnd_bytes,
                 ssthresh=ssthresh if ssthresh != float("inf") else -1.0,
             )
 
         path.cc.telemetry = cc_event
 
-        def rtt_sample(est) -> None:
+        def rtt_sample(est: RttEstimator) -> None:
             if est.samples_taken == 1:
                 obs.emit(
-                    self.sim.now, host, "path", "validated",
+                    self.sim.now, host, CAT_PATH, "validated",
                     path_id, rtt=est.latest,
                 )
             obs.emit(
-                self.sim.now, host, "recovery", "metrics_updated", path_id,
+                self.sim.now, host, CAT_RECOVERY, "metrics_updated", path_id,
                 latest_rtt=est.latest, smoothed_rtt=est.smoothed,
                 min_rtt=est.min_rtt, rtt_variance=est.variance,
             )
 
         path.rtt.on_sample = rtt_sample
 
-        def packets_lost(lost) -> None:
+        def packets_lost(lost: List[SentPacket]) -> None:
             for sp in lost:
                 obs.emit(
-                    self.sim.now, host, "transport", "packet_lost", path_id,
+                    self.sim.now, host, CAT_TRANSPORT, "packet_lost", path_id,
                     packet_number=sp.packet_number, size=sp.size,
                 )
 
@@ -441,7 +449,7 @@ class QuicConnection:
             # Network activity: the path works again (paper §4.3).
             path.potentially_failed = False
             if self._obs is not None:
-                self._obs.emit(now, self.host.name, "path", "recovered", path.path_id)
+                self._obs.emit(now, self.host.name, CAT_PATH, "recovered", path.path_id)
         if self.trace is not None:
             self.trace.log(
                 now, self.host.name, "recv", path.path_id,
@@ -632,7 +640,7 @@ class QuicConnection:
             if failed_path is not None:
                 if self._obs is not None and not failed_path.potentially_failed:
                     self._obs.emit(
-                        self.sim.now, self.host.name, "path",
+                        self.sim.now, self.host.name, CAT_PATH,
                         "potentially_failed", path_id, source="peer",
                     )
                 failed_path.potentially_failed = True
@@ -641,6 +649,16 @@ class QuicConnection:
         path = self.paths.get(ack.path_id)
         if path is None:
             return
+        if _san.SANITIZE:
+            # The peer cannot acknowledge packet numbers this path has
+            # never allocated (sent packets, eliciting or not).
+            _san.check(
+                ack.largest_acked < path.next_packet_number,
+                "ACK covers packet numbers never sent on this path",
+                largest_acked=ack.largest_acked,
+                next_packet_number=path.next_packet_number,
+                path_id=path.path_id,
+            )
         now = self.sim.now
         result = path.recovery.on_ack_received(ack, now)
         if result.newly_acked:
@@ -881,7 +899,7 @@ class QuicConnection:
                     path.stream_bytes_retransmitted += len(frame.data)
                     if self._obs is not None:
                         self._obs.emit(
-                            self.sim.now, self.host.name, "recovery",
+                            self.sim.now, self.host.name, CAT_RECOVERY,
                             "retransmit", path.path_id,
                             stream_id=stream_id, offset=frame.offset,
                             bytes=len(frame.data),
@@ -918,7 +936,7 @@ class QuicConnection:
         blocked_window.note_blocked()
         if self._obs is not None:
             self._obs.emit(
-                self.sim.now, self.host.name, "flowcontrol", "blocked", -1,
+                self.sim.now, self.host.name, CAT_FLOWCONTROL, "blocked", -1,
                 stream_id=blocked_id, limit=blocked_window.limit,
             )
 
@@ -1053,7 +1071,7 @@ class QuicConnection:
         if newly_failed:
             if self._obs is not None:
                 self._obs.emit(
-                    now, self.host.name, "path", "potentially_failed",
+                    now, self.host.name, CAT_PATH, "potentially_failed",
                     path.path_id, source="rto",
                 )
             self._on_path_potentially_failed(path)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.util import sanitize as _san
+
 
 class FlowControlError(Exception):
     """Peer exceeded an advertised flow-control limit."""
@@ -45,6 +47,17 @@ class ReceiveWindow:
     def on_data_consumed(self, n: int) -> None:
         """The application read ``n`` more bytes in order."""
         self.bytes_consumed += n
+        if _san.SANITIZE and self.highest_received > 0:
+            # The app cannot consume bytes the peer never delivered.
+            # (Guarded on highest_received: TCP reuses this class for
+            # consumption accounting only, tracking arrivals in raw
+            # sequence space instead of via on_data_received.)
+            _san.check(
+                self.bytes_consumed <= self.highest_received,
+                "flow-control consumption beyond received data",
+                bytes_consumed=self.bytes_consumed,
+                highest_received=self.highest_received,
+            )
 
     def maybe_update(self, now: float, smoothed_rtt: float) -> Optional[int]:
         """Return a new limit to advertise, or None.
@@ -89,6 +102,14 @@ class SendWindow:
         if n > self.available:
             raise FlowControlError("attempted to send beyond the peer's window")
         self.bytes_sent += n
+        if _san.SANITIZE:
+            # Credit never exceeded: total sent stays within the limit.
+            _san.check(
+                0 <= self.bytes_sent <= self.limit,
+                "send window credit exceeded",
+                bytes_sent=self.bytes_sent,
+                limit=self.limit,
+            )
 
     def note_blocked(self) -> None:
         """Record that sending stalled on this window (stats only)."""

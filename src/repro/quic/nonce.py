@@ -19,7 +19,7 @@ exists to demonstrate option 1 and its cost.
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from typing import Dict, Set, Tuple
 
 #: AEAD nonces in QUIC crypto are 12 bytes (96 bits).
 NONCE_BITS = 96
@@ -41,7 +41,7 @@ class PathAwareNonce:
     """
 
     def __init__(self) -> None:
-        self._highest_pn = {}  # path_id -> highest packet number seen
+        self._highest_pn: Dict[int, int] = {}  # path_id -> highest packet number seen
 
     def derive(self, path_id: int, packet_number: int) -> int:
         """Return the nonce for a packet; raises on misuse."""

@@ -9,7 +9,7 @@ retransmission ambiguity that plagues TCP RTT estimation; paper §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.quic import wire

@@ -10,10 +10,11 @@ connection, which is free to rebind them onto *any* path (paper §3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.quic.frames import AckFrame, Frame
 from repro.quic.rtt import RttEstimator
+from repro.util import sanitize as _san
 
 
 @dataclass
@@ -65,12 +66,21 @@ class LossRecovery:
         #: Optional telemetry hook ``fn(lost_packets)`` invoked with the
         #: freshly declared-lost packets (wired when a tracer is
         #: attached; one ``is None`` check otherwise).
-        self.on_packets_lost = None
+        self.on_packets_lost: Optional[Callable[[List[SentPacket]], None]] = None
 
     # -- sending -------------------------------------------------------------
 
     def on_packet_sent(self, packet_number: int, frames: Tuple[Frame, ...], size: int, now: float, ack_eliciting: bool) -> None:
         """Register a freshly transmitted packet."""
+        if _san.SANITIZE:
+            # Per-path packet numbers are strictly monotonic: reuse
+            # would repeat an AEAD nonce and corrupt loss detection.
+            _san.check(
+                packet_number > self.largest_sent,
+                "packet number not strictly monotonic on this path",
+                packet_number=packet_number,
+                largest_sent=self.largest_sent,
+            )
         sp = SentPacket(packet_number, frames, size, now, ack_eliciting)
         self.sent[packet_number] = sp
         if packet_number > self.largest_sent:
@@ -83,6 +93,18 @@ class LossRecovery:
 
     def on_ack_received(self, ack: AckFrame, now: float) -> AckResult:
         """Process an ACK frame for this path's number space."""
+        if _san.SANITIZE:
+            # Note: largest_acked may exceed largest_sent here because
+            # pure-ACK packets take numbers without registering with
+            # recovery; the allocation-bound check lives in the
+            # connection, which owns the number allocator.
+            for start, stop in ack.ranges:
+                _san.check(
+                    0 <= start < stop <= ack.largest_acked + 1,
+                    "malformed ACK range",
+                    range=(start, stop),
+                    largest_acked=ack.largest_acked,
+                )
         newly_acked: List[SentPacket] = []
         rtt_sample: Optional[float] = None
         acked_bytes = 0
@@ -104,6 +126,12 @@ class LossRecovery:
             self.largest_acked = ack.largest_acked
         while self._floor < self.largest_acked and self._floor not in self.sent:
             self._floor += 1
+        if _san.SANITIZE:
+            _san.check(
+                self.bytes_in_flight >= 0,
+                "bytes_in_flight went negative after ACK processing",
+                bytes_in_flight=self.bytes_in_flight,
+            )
         if rtt_sample is not None:
             self.rtt.update(rtt_sample, ack.ack_delay)
         if newly_acked:

@@ -12,6 +12,8 @@ MPTCP's scheduler mis-preferring slow paths (§4.1).
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 
 class RttEstimator:
     """RFC 6298-style smoothed RTT with optional ack-delay correction."""
@@ -29,7 +31,7 @@ class RttEstimator:
         self.samples_taken = 0
         #: Optional telemetry hook ``fn(estimator)``, invoked after each
         #: absorbed sample when a tracer is attached (no-op otherwise).
-        self.on_sample = None
+        self.on_sample: Optional[Callable[[RttEstimator], None]] = None
 
     @property
     def has_sample(self) -> bool:

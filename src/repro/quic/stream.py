@@ -8,7 +8,7 @@ extra sequence-number space (paper §3, *Reliable Data Transmission*).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.quic.frames import StreamFrame
 from repro.util.ranges import RangeSet

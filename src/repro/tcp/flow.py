@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cc.base import CongestionController
 from repro.netsim.engine import Simulator, Timer
@@ -409,7 +409,6 @@ class TcpFlow:
             # In a SYN+data (TFO) segment the payload begins one
             # sequence number after the SYN.
             offset = segment.seq - self.SEQ_BASE + (1 if segment.syn else 0)
-            before = self.reassembler.read_offset
             self.reassembler.insert(offset, segment.data)
             self._last_block_received = (offset, offset + len(segment.data))
             ready = self.reassembler.pop_ready()

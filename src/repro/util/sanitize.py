@@ -1,0 +1,90 @@
+"""Opt-in runtime sanitizer (``REPRO_SANITIZE=1``).
+
+Cheap assertion hooks scattered through the transport hot paths —
+recovery, flow control, ACK bookkeeping, scheduling and the DES engine
+— that verify protocol invariants *while a simulation runs*: per-path
+packet numbers strictly monotonic, cwnd never below its floor,
+flow-control credit never exceeded, timers never scheduled in the
+past, ACK ranges never covering unsent packets.
+
+The hooks are no-ops by default.  Every instrumented call site is
+guarded as::
+
+    if _san.SANITIZE:
+        _san.check(...)
+
+so a production run pays one module-attribute load and a falsy branch
+per site — nothing else (``tests/test_sanitize.py`` pins this wiring).
+Enable via the environment (read once at import)::
+
+    REPRO_SANITIZE=1 python -m pytest tests/test_handover_repro.py
+
+or programmatically/with a scope in tests::
+
+    from repro.util import sanitize
+    with sanitize.enabled():
+        run_simulation()
+
+Violations raise :class:`SanitizerError` (an ``AssertionError``
+subclass, so ``pytest.raises(AssertionError)`` also matches).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["SANITIZE", "SanitizerError", "check", "enabled", "sanitizing"]
+
+
+class SanitizerError(AssertionError):
+    """A runtime protocol invariant was violated."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+#: Global switch.  Call sites must read it as ``sanitize.SANITIZE`` (an
+#: attribute access, not a from-import) so :func:`enabled` can flip it
+#: for everyone at once.
+SANITIZE: bool = _env_enabled()
+
+
+def check(condition: bool, message: str, **context: Any) -> None:
+    """Raise :class:`SanitizerError` unless ``condition`` holds.
+
+    ``context`` values are appended to the message for diagnosis; they
+    are only formatted on failure, so passing them is free on the
+    success path.
+    """
+    if condition:
+        return
+    if context:
+        detail = ", ".join(f"{key}={value!r}" for key, value in sorted(context.items()))
+        message = f"{message} ({detail})"
+    raise SanitizerError(message)
+
+
+def sanitizing() -> bool:
+    """True when the sanitizer is currently active."""
+    return SANITIZE
+
+
+@contextmanager
+def enabled(value: bool = True) -> Iterator[None]:
+    """Scoped enable (or disable) of the sanitizer, for tests."""
+    global SANITIZE
+    previous = SANITIZE
+    SANITIZE = value
+    try:
+        yield
+    finally:
+        SANITIZE = previous

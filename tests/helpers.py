@@ -3,12 +3,11 @@ seeded scenario/fault builders and canonical path sets."""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import pytest
 
 from repro.apps.bulk import BulkTransferApp
-from repro.apps.transport import TransportEndpoint, make_client_server
+from repro.apps.transport import make_client_server
 from repro.netsim.engine import Simulator
 from repro.netsim.faults import (
     Blackhole,

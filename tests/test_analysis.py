@@ -1,0 +1,442 @@
+"""The static analyzer itself: rules, suppression, reporters, CLI.
+
+Each rule gets a fixture source that trips it and a near-miss that must
+stay clean, so rule regressions show up as precise test failures rather
+than as noise (or silence) in the repo-wide gate.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    findings_from_json,
+    render_json,
+    render_rule_list,
+    render_text,
+    suppressed_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+EXPECTED_RULES = {
+    "wall-clock",
+    "unseeded-random",
+    "set-iteration",
+    "mutable-default",
+    "float-equality",
+    "silent-except",
+    "obs-category",
+    "dict-mutation",
+}
+
+
+def check(source, rel_path="repro/module.py", select=()):
+    return analyze_source(
+        textwrap.dedent(source),
+        display_path="module.py",
+        rel_path=rel_path,
+        select=select,
+    )
+
+
+def rule_ids(findings):
+    return {f.rule for f in findings}
+
+
+class TestRegistry:
+    def test_all_eight_rules_registered(self):
+        assert set(all_rules()) == EXPECTED_RULES
+
+    def test_every_rule_has_a_rationale(self):
+        for rule_cls in all_rules().values():
+            assert rule_cls.rationale
+
+    def test_rule_list_covers_all_rules(self):
+        listing = render_rule_list()
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in listing
+
+
+class TestWallClockRule:
+    def test_time_time_flagged(self):
+        findings = check("""
+            import time
+            t = time.time()
+        """)
+        assert rule_ids(findings) == {"wall-clock"}
+
+    def test_monotonic_and_perf_counter_flagged(self):
+        findings = check("""
+            import time
+            a = time.monotonic()
+            b = time.perf_counter()
+        """)
+        assert len([f for f in findings if f.rule == "wall-clock"]) == 2
+
+    def test_datetime_now_flagged(self):
+        findings = check("""
+            import datetime
+            d = datetime.datetime.now()
+        """)
+        assert "wall-clock" in rule_ids(findings)
+
+    def test_from_import_flagged(self):
+        findings = check("from time import monotonic\n")
+        assert "wall-clock" in rule_ids(findings)
+
+    def test_benchmarks_are_exempt(self):
+        findings = check(
+            """
+            import time
+            t = time.time()
+            """,
+            rel_path="benchmarks/runner.py",
+        )
+        assert findings == []
+
+    def test_simulated_clock_attribute_is_clean(self):
+        findings = check("now = sim.now\n")
+        assert findings == []
+
+
+class TestUnseededRandomRule:
+    def test_module_level_random_call_flagged(self):
+        findings = check("""
+            import random
+            x = random.random()
+        """)
+        assert "unseeded-random" in rule_ids(findings)
+
+    def test_unseeded_random_constructor_flagged(self):
+        findings = check("""
+            import random
+            rng = random.Random()
+        """)
+        assert "unseeded-random" in rule_ids(findings)
+
+    def test_seeded_constructor_is_clean(self):
+        findings = check("""
+            import random
+            rng = random.Random(42)
+        """)
+        assert findings == []
+
+    def test_injected_rng_method_is_clean(self):
+        findings = check("""
+            def jitter(rng):
+                return rng.random()
+        """)
+        assert findings == []
+
+
+class TestSetIterationRule:
+    def test_for_over_set_literal_flagged(self):
+        findings = check("""
+            for x in {1, 2, 3}:
+                print(x)
+        """)
+        assert "set-iteration" in rule_ids(findings)
+
+    def test_comprehension_over_set_call_flagged(self):
+        findings = check("ys = [y for y in set([1, 2])]\n")
+        assert "set-iteration" in rule_ids(findings)
+
+    def test_sorted_set_is_clean(self):
+        findings = check("""
+            for x in sorted({3, 1, 2}):
+                print(x)
+        """)
+        assert findings == []
+
+
+class TestMutableDefaultRule:
+    def test_list_default_flagged(self):
+        findings = check("""
+            def f(items=[]):
+                return items
+        """)
+        assert rule_ids(findings) == {"mutable-default"}
+
+    def test_keyword_only_dict_default_flagged(self):
+        findings = check("""
+            def f(*, table={}):
+                return table
+        """)
+        assert "mutable-default" in rule_ids(findings)
+
+    def test_lambda_default_flagged(self):
+        findings = check("g = lambda xs=[]: xs\n")
+        assert "mutable-default" in rule_ids(findings)
+
+    def test_none_default_is_clean(self):
+        findings = check("""
+            def f(items=None):
+                return items or []
+        """)
+        assert findings == []
+
+
+class TestFloatEqualityRule:
+    def test_float_literal_comparison_flagged(self):
+        findings = check("ok = x == 0.5\n")
+        assert "float-equality" in rule_ids(findings)
+
+    def test_time_rate_names_flagged(self):
+        findings = check("stalled = srtt != delay_s\n")
+        assert "float-equality" in rule_ids(findings)
+
+    def test_float_inf_sentinel_is_clean(self):
+        findings = check('unset = rtt == float("inf")\n')
+        assert findings == []
+
+    def test_integer_comparison_is_clean(self):
+        findings = check("done = count == 3\n")
+        assert findings == []
+
+
+class TestSilentExceptRule:
+    def test_bare_except_flagged(self):
+        findings = check("""
+            try:
+                work()
+            except:
+                pass
+        """)
+        assert "silent-except" in rule_ids(findings)
+
+    def test_swallowed_broad_except_flagged(self):
+        findings = check("""
+            try:
+                work()
+            except Exception:
+                pass
+        """)
+        assert "silent-except" in rule_ids(findings)
+
+    def test_broad_except_with_handling_is_clean(self):
+        findings = check("""
+            try:
+                work()
+            except Exception as exc:
+                log(exc)
+        """)
+        assert findings == []
+
+    def test_narrow_swallow_is_clean(self):
+        findings = check("""
+            try:
+                work()
+            except KeyError:
+                pass
+        """)
+        assert findings == []
+
+
+class TestObsCategoryRule:
+    def test_literal_positional_category_flagged(self):
+        findings = check('trace.emit(1.0, "conn-1", "made_up", "event")\n')
+        assert "obs-category" in rule_ids(findings)
+
+    def test_literal_keyword_category_flagged(self):
+        findings = check('trace.emit(1.0, "conn-1", category="made_up")\n')
+        assert "obs-category" in rule_ids(findings)
+
+    def test_constant_category_is_clean(self):
+        findings = check('trace.emit(1.0, "conn-1", CAT_RECOVERY, "event")\n')
+        assert findings == []
+
+
+class TestDictMutationRule:
+    def test_delete_while_iterating_flagged(self):
+        findings = check("""
+            for key in table:
+                del table[key]
+        """)
+        assert "dict-mutation" in rule_ids(findings)
+
+    def test_pop_while_iterating_keys_flagged(self):
+        findings = check("""
+            for key in table.keys():
+                table.pop(key)
+        """)
+        assert "dict-mutation" in rule_ids(findings)
+
+    def test_iterating_a_list_copy_is_clean(self):
+        findings = check("""
+            for key in list(table):
+                del table[key]
+        """)
+        assert findings == []
+
+
+class TestSuppression:
+    SOURCE = "import time\nt = time.time()  # repro: allow[{marker}]\n"
+
+    def test_exact_id_suppresses(self):
+        findings = analyze_source(
+            self.SOURCE.format(marker="wall-clock"), "m.py", "repro/m.py"
+        )
+        assert findings == []
+
+    def test_wildcard_suppresses(self):
+        findings = analyze_source(
+            self.SOURCE.format(marker="*"), "m.py", "repro/m.py"
+        )
+        assert findings == []
+
+    def test_comma_list_suppresses(self):
+        findings = analyze_source(
+            self.SOURCE.format(marker="unseeded-random, wall-clock"),
+            "m.py",
+            "repro/m.py",
+        )
+        assert findings == []
+
+    def test_unrelated_id_does_not_suppress(self):
+        findings = analyze_source(
+            self.SOURCE.format(marker="set-iteration"), "m.py", "repro/m.py"
+        )
+        assert rule_ids(findings) == {"wall-clock"}
+
+    def test_marker_is_line_scoped(self):
+        source = (
+            "import time  # repro: allow[wall-clock]\n"
+            "t = time.time()\n"
+        )
+        findings = analyze_source(source, "m.py", "repro/m.py")
+        assert rule_ids(findings) == {"wall-clock"}
+
+    def test_suppressed_rules_parser(self):
+        line = "x = 1  # repro: allow[a, b] and # repro: allow[c]"
+        assert suppressed_rules(line) == {"a", "b", "c"}
+
+
+class TestSelection:
+    DIRTY = "import time\nt = time.time()\nrng = __import__\n"
+
+    def test_select_runs_only_named_rules(self):
+        findings = check(
+            """
+            import time
+            t = time.time()
+
+            def f(items=[]):
+                return items
+            """,
+            select=("mutable-default",),
+        )
+        assert rule_ids(findings) == {"mutable-default"}
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError, match="no-such-rule"):
+            check("x = 1\n", select=("no-such-rule",))
+
+
+class TestReporters:
+    FINDINGS = [
+        Finding("a.py", 3, 5, "wall-clock", "time.time() call"),
+        Finding("b.py", 1, 1, "mutable-default", "mutable default"),
+    ]
+
+    def test_text_format(self):
+        text = render_text(self.FINDINGS, files_analyzed=2)
+        assert "a.py:3:5: [wall-clock] time.time() call" in text
+        assert text.endswith("2 findings in 2 file(s) analyzed")
+
+    def test_text_singular_footer(self):
+        text = render_text(self.FINDINGS[:1], files_analyzed=1)
+        assert text.endswith("1 finding in 1 file(s) analyzed")
+
+    def test_json_round_trip(self):
+        payload = render_json(self.FINDINGS, files_analyzed=2)
+        document = json.loads(payload)
+        assert document["count"] == 2
+        assert document["files_analyzed"] == 2
+        assert findings_from_json(payload) == self.FINDINGS
+
+    def test_json_version_checked(self):
+        payload = render_json(self.FINDINGS, 2).replace('"version": 1', '"version": 99')
+        with pytest.raises(ValueError, match="version"):
+            findings_from_json(payload)
+
+    def test_json_count_checked(self):
+        payload = render_json(self.FINDINGS, 2).replace('"count": 2', '"count": 5')
+        with pytest.raises(ValueError, match="count"):
+            findings_from_json(payload)
+
+
+class TestRepoTree:
+    def test_production_tree_is_clean(self):
+        findings, files_analyzed = analyze_paths([REPO_ROOT / "src" / "repro"])
+        assert findings == []
+        assert files_analyzed > 50
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env=env,
+    )
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        proc = run_cli(str(clean))
+        assert proc.returncode == 0
+        assert "0 findings" in proc.stdout
+
+    def test_findings_exit_one(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        proc = run_cli(str(dirty))
+        assert proc.returncode == 1
+        assert "[wall-clock]" in proc.stdout
+
+    def test_json_output_parses(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        proc = run_cli(str(dirty), "--format", "json")
+        assert proc.returncode == 1
+        findings = findings_from_json(proc.stdout)
+        assert findings and findings[0].rule == "wall-clock"
+
+    def test_missing_path_exits_two(self):
+        proc = run_cli("does/not/exist.py")
+        assert proc.returncode == 2
+        assert "no such path" in proc.stderr
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        proc = run_cli(str(clean), "--select", "bogus-rule")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+
+    def test_select_filters_rules(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        proc = run_cli(str(dirty), "--select", "mutable-default")
+        assert proc.returncode == 0
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in proc.stdout

@@ -1,0 +1,63 @@
+"""Regression tests for the real defects the static analyzer surfaced.
+
+Each test pins the *behavioural* consequence of a finding from
+``python -m repro.analysis`` so the fixes cannot silently regress:
+
+- ``float-equality`` in ``repro.cc.olia``: the smoothed-RTT seeding
+  test used ``== 0.0``, so a negative zero or a tiny negative artifact
+  would skip the seeding branch and poison the EWMA.
+- ``obs-category`` in ``repro.quic.connection``: telemetry emissions
+  used literal category strings, which can drift from the registered
+  ``CAT_*`` vocabulary without anything failing.
+"""
+
+from repro.cc.olia import OliaCoordinator
+from repro.obs import Tracer
+from repro.obs.events import CATEGORIES
+
+from tests.helpers import TWO_CLEAN_PATHS, run_transfer
+
+
+class TestOliaRttSeeding:
+    def _path(self):
+        coordinator = OliaCoordinator(mss=1400)
+        return coordinator.path_controller(0)
+
+    def test_first_sample_seeds_the_estimate(self):
+        path = self._path()
+        path.on_ack(0.1, 1400, rtt=0.05)
+        assert path.smoothed_rtt == 0.05
+
+    def test_negative_zero_still_counts_as_unseeded(self):
+        # `== 0.0` happened to accept -0.0 too, but the guard's intent
+        # is "no sample yet": any non-positive value must reseed rather
+        # than be blended into the EWMA.
+        path = self._path()
+        path.smoothed_rtt = -0.0
+        path.on_ack(0.1, 1400, rtt=0.05)
+        assert path.smoothed_rtt == 0.05
+
+    def test_negative_artifact_reseeds_instead_of_blending(self):
+        path = self._path()
+        path.smoothed_rtt = -1e-9  # would survive an exact == 0.0 test
+        path.on_ack(0.1, 1400, rtt=0.05)
+        assert path.smoothed_rtt == 0.05
+
+    def test_subsequent_samples_blend(self):
+        path = self._path()
+        path.on_ack(0.1, 1400, rtt=0.04)
+        path.on_ack(0.2, 1400, rtt=0.08)
+        assert 0.04 < path.smoothed_rtt < 0.08
+
+
+class TestEmittedCategoriesAreRegistered:
+    def test_full_transfer_emits_only_known_categories(self):
+        tracer = Tracer()
+        result = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=300_000, trace=tracer
+        )
+        assert result.ok
+        seen = {event.category for event in tracer.events}
+        assert seen, "transfer produced no telemetry at all"
+        unknown = seen - set(CATEGORIES)
+        assert not unknown, f"unregistered event categories emitted: {unknown}"

@@ -1,13 +1,12 @@
 """Tests for MPQUIC extensions: redundant scheduling, PATHS exchange."""
 
-import pytest
 
 from repro.core.connection import MultipathQuicConnection
 from repro.core.scheduler import RedundantScheduler, make_scheduler
 from repro.experiments.runner import run_handover
 from repro.experiments.scenarios import HANDOVER_SCENARIO
 from repro.netsim.engine import Simulator
-from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.netsim.topology import TwoPathTopology
 from repro.quic.config import QuicConfig
 
 from tests.helpers import TWO_CLEAN_PATHS, run_transfer

@@ -26,7 +26,7 @@ from repro.experiments.scenarios import (
     wifi_to_lte_family,
     wifi_to_lte_handover,
 )
-from repro.netsim.faults import FaultTimeline, blackhole, timeline
+from repro.netsim.faults import blackhole, timeline
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ emerging TLS 1.3 and TCP Fast Open"; these tests pin down the setup
 cost of each combination.
 """
 
-import pytest
 
 from repro.netsim.engine import Simulator
 from repro.netsim.topology import PathConfig, TwoPathTopology
@@ -65,7 +64,7 @@ class TestTlsVersions:
         topo = TwoPathTopology(sim, [PATH], seed=1)
         cfg = TcpConfig(tls_version="1.3", fast_open=True)
         client = TcpConnection(sim, topo.client, "client", cfg)
-        server = TcpConnection(sim, topo.server, "server", cfg)
+        TcpConnection(sim, topo.server, "server", cfg)
         topo.forward_links[0].set_loss_rate(1.0)
         client.connect()
         sim.run(until=0.5)
@@ -78,7 +77,7 @@ class TestTlsVersions:
         topo = TwoPathTopology(sim, [PATH], seed=1)
         cfg = TcpConfig(tls_version="1.3", fast_open=True)
         client = TcpConnection(sim, topo.client, "client", cfg)
-        server = TcpConnection(sim, topo.server, "server", cfg)
+        TcpConnection(sim, topo.server, "server", cfg)
         topo.return_links[0].set_loss_rate(1.0)
         client.connect()
         sim.run(until=0.5)
@@ -93,7 +92,7 @@ class TestZeroRttQuic:
         topo = TwoPathTopology(sim, [PATH], seed=1)
         cfg = QuicConfig(zero_rtt=True)
         client = QuicConnection(sim, topo.client, "client", cfg)
-        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        QuicConnection(sim, topo.server, "server", QuicConfig())
         out = {}
         client.on_established = lambda: out.update(t=sim.now)
         client.connect()

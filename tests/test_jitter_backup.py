@@ -26,7 +26,6 @@ class TestLinkJitter:
         for _ in range(50):
             link.send(Datagram(payload=None, size=100))
         sim.run()
-        tx = 100 * 8 / 8e6
         for i, t in enumerate(sorted(arrivals)):
             assert t >= 0.010  # never below base propagation
 

@@ -1,6 +1,5 @@
 """Unit tests for MPTCP DSS mapping bookkeeping and the path manager."""
 
-import pytest
 
 from repro.core.path_manager import PathManager
 from repro.mptcp.connection import _Mapping

@@ -1,6 +1,5 @@
 """End-to-end tests of MPTCP scheduler variants and DSS integrity."""
 
-import pytest
 
 from repro.mptcp.connection import MptcpConnection
 from repro.netsim.engine import Simulator

@@ -60,9 +60,9 @@ class TestMux:
             sim, topo.server, "server", QuicConfig(), connection_id=0xDEAD
         )
         smux.register(stray)
-        sid = None  # force a packet from the stray: use a ping path
+        # Force a packet from the stray: open a path and ping on it.
         from repro.quic.frames import PingFrame
-        path = stray._create_path(0, 0)
+        stray._create_path(0, 0)
         stray._queue_control(0, PingFrame())
         stray._send_pending()
         sim.run(until=1.0)

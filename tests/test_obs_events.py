@@ -6,7 +6,6 @@ sampling/throttling, the scheduler hook, and the extended
 ``PacketTrace.filter`` time window.
 """
 
-import pytest
 
 from repro.cc.newreno import NewReno
 from repro.core.connection import MultipathQuicConnection

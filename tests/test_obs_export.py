@@ -9,7 +9,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.netsim.topology import PathConfig
 from repro.obs import (
     Tracer,
     format_report,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cc import NewReno, OliaCoordinator
+from repro.cc import OliaCoordinator
 from repro.cc.base import MIN_WINDOW_SEGMENTS
 
 MSS = 1400

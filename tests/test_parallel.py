@@ -8,7 +8,6 @@ the results — the matrices are bit-identical to the serial loop over
 
 from dataclasses import replace
 
-import pytest
 
 from repro.expdesign.parameters import generate_scenarios
 from repro.experiments.parallel import (

@@ -1,7 +1,6 @@
 """Robustness tests: protocol violations and adversarial inputs must
 close connections cleanly, never crash the simulation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,6 +11,7 @@ from repro.quic.config import QuicConfig
 from repro.quic.connection import QuicConnection
 from repro.quic.frames import StreamFrame
 from repro.quic.packet import Packet, UDP_IP_OVERHEAD
+from repro.util import sanitize
 
 
 def make_pair():
@@ -29,7 +29,6 @@ class TestFlowControlViolation:
     def test_peer_overrun_closes_connection(self):
         sim, topo, client, server = make_pair()
         # Inject a stream frame far beyond any advertised window.
-        limit = server._stream_recv_windows.get(1)
         huge_offset = server.config.max_stream_window + 10**7
         frame = StreamFrame(1, huge_offset, b"x" * 100, False)
         packet = Packet(0, 999_999, (frame,), multipath=False)
@@ -50,14 +49,20 @@ class TestFlowControlViolation:
 
 
 class TestAdversarialPacketNumbers:
+    # These tests inject wire-level protocol violations from a
+    # synthetic hostile peer; the runtime sanitizer (REPRO_SANITIZE=1)
+    # asserts the *absence* of exactly these violations in our own
+    # machinery, so it is scoped off while the bogus packets fly.
+
     def test_duplicate_packet_number_ignored_gracefully(self):
         sim, topo, client, server = make_pair()
         frame = StreamFrame(1, 0, b"dup", False)
         packet = Packet(0, 5000, (frame,), multipath=False)
         dgram = Datagram(payload=packet, size=packet.wire_size + UDP_IP_OVERHEAD)
-        server.datagram_received(dgram, 0)
-        server.datagram_received(dgram, 0)  # exact duplicate
-        sim.run(until=1.0)
+        with sanitize.enabled(False):
+            server.datagram_received(dgram, 0)
+            server.datagram_received(dgram, 0)  # exact duplicate
+            sim.run(until=1.0)
         assert not server.closed
 
     def test_ack_for_unknown_path_ignored(self):
@@ -79,10 +84,11 @@ class TestAdversarialPacketNumbers:
         ack = AckFrame(path_id=0, largest_acked=10**6, ack_delay=0.0,
                        ranges=((10**6 - 5, 10**6 + 1),))
         packet = Packet(0, 6001, (ack,), multipath=False)
-        server.datagram_received(
-            Datagram(payload=packet, size=packet.wire_size + UDP_IP_OVERHEAD), 0
-        )
-        sim.run(until=1.0)
+        with sanitize.enabled(False):
+            server.datagram_received(
+                Datagram(payload=packet, size=packet.wire_size + UDP_IP_OVERHEAD), 0
+            )
+            sim.run(until=1.0)
         assert not server.closed
 
 

@@ -42,7 +42,7 @@ class TestHandshake:
         sim = Simulator()
         topo = TwoPathTopology(sim, paths, seed=1)
         client = QuicConnection(sim, topo.client, "client", QuicConfig())
-        server = QuicConnection(sim, topo.server, "server", QuicConfig())
+        QuicConnection(sim, topo.server, "server", QuicConfig())
         topo.forward_links[0].set_loss_rate(1.0)
         client.connect()
         sim.run(until=0.3)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.quic.frames import AckFrame, PingFrame, StreamFrame
+from repro.quic.frames import AckFrame, StreamFrame
 from repro.quic.recovery import LossRecovery
 from repro.quic.rtt import RttEstimator
 

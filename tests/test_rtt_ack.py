@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.quic.ackmgr import ACK_EVERY_N, AckManager, MAX_ACK_DELAY
+from repro.quic.ackmgr import ACK_EVERY_N, AckManager
 from repro.quic.frames import MAX_ACK_RANGES
 from repro.quic.rtt import RttEstimator
 

@@ -6,7 +6,7 @@ from repro.apps.bulk import BulkTransferApp
 from repro.apps.transport import make_client_server
 from repro.experiments.sampling import ConnectionSampler, MptcpSampler
 from repro.netsim.engine import Simulator
-from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.netsim.topology import TwoPathTopology
 
 from tests.helpers import TWO_CLEAN_PATHS
 

@@ -1,0 +1,246 @@
+"""The opt-in runtime sanitizer (REPRO_SANITIZE=1).
+
+Two properties under test: every instrumented invariant actually trips
+on a violation, and the wiring costs nothing when the sanitizer is off
+(no `check` call is ever reached from the hot paths).
+"""
+
+import heapq
+
+import pytest
+
+from repro.cc.newreno import NewReno
+from repro.core.scheduler import Scheduler
+from repro.netsim.engine import Simulator, Timer
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.quic.ackmgr import AckManager
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+from repro.quic.flowcontrol import ReceiveWindow, SendWindow
+from repro.quic.frames import AckFrame
+from repro.quic.packet import Packet, UDP_IP_OVERHEAD
+from repro.quic.recovery import LossRecovery
+from repro.quic.rtt import RttEstimator
+from repro.util import sanitize
+from repro.util.sanitize import SanitizerError
+
+from tests.helpers import TWO_CLEAN_PATHS, run_transfer
+
+
+class TestSwitch:
+    def test_error_is_assertion_error(self):
+        assert issubclass(SanitizerError, AssertionError)
+
+    def test_enabled_context_restores_previous_state(self):
+        before = sanitize.SANITIZE
+        with sanitize.enabled():
+            assert sanitize.SANITIZE is True
+            with sanitize.enabled(False):
+                assert sanitize.SANITIZE is False
+            assert sanitize.SANITIZE is True
+        assert sanitize.SANITIZE is before
+
+    def test_check_passes_and_fails(self):
+        sanitize.check(True, "never raised")
+        with pytest.raises(SanitizerError, match=r"boom \(k=1\)"):
+            sanitize.check(False, "boom", k=1)
+
+
+class TestZeroOverheadWiring:
+    """With the sanitizer off, no hot path ever reaches check()."""
+
+    def test_no_check_calls_during_a_full_transfer(self, monkeypatch):
+        calls = []
+
+        def recording_check(condition, message, **context):
+            calls.append(message)
+
+        monkeypatch.setattr(sanitize, "check", recording_check)
+        with sanitize.enabled(False):
+            result = run_transfer("mpquic", TWO_CLEAN_PATHS, file_size=200_000)
+        assert result.ok
+        assert calls == []
+
+    def test_same_transfer_exercises_checks_when_enabled(self, monkeypatch):
+        calls = []
+        real_check = sanitize.check
+
+        def recording_check(condition, message, **context):
+            calls.append(message)
+            real_check(condition, message, **context)
+
+        monkeypatch.setattr(sanitize, "check", recording_check)
+        with sanitize.enabled():
+            result = run_transfer("mpquic", TWO_CLEAN_PATHS, file_size=200_000)
+        assert result.ok
+        # The transfer sends, acks and schedules: every hook family fires.
+        assert len(calls) > 100
+
+
+class TestRecoveryInvariants:
+    def _recovery(self):
+        return LossRecovery(RttEstimator())
+
+    def test_packet_numbers_strictly_monotonic(self):
+        rec = self._recovery()
+        with sanitize.enabled():
+            rec.on_packet_sent(3, (), 100, 0.0, ack_eliciting=True)
+            with pytest.raises(SanitizerError, match="monotonic"):
+                rec.on_packet_sent(3, (), 100, 0.1, ack_eliciting=True)
+
+    def test_malformed_ack_range_rejected(self):
+        rec = self._recovery()
+        with sanitize.enabled():
+            rec.on_packet_sent(0, (), 100, 0.0, ack_eliciting=True)
+            bogus = AckFrame(
+                path_id=0, largest_acked=0, ack_delay=0.0, ranges=((0, 5),)
+            )
+            with pytest.raises(SanitizerError, match="malformed ACK range"):
+                rec.on_ack_received(bogus, 0.2)
+
+    def test_ack_beyond_allocated_numbers_trips_connection_check(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PathConfig(10, 40, 50)], seed=1)
+        client = QuicConnection(sim, topo.client, "client", QuicConfig())
+        QuicConnection(sim, topo.server, "server", QuicConfig())
+        client.connect()
+        sim.run(until=0.5)
+        assert client.established
+        bogus = AckFrame(
+            path_id=0, largest_acked=10**6, ack_delay=0.0,
+            ranges=((10**6, 10**6 + 1),),
+        )
+        packet = Packet(0, 7000, (bogus,), multipath=False)
+        from repro.netsim.node import Datagram
+
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="never sent"):
+                client.datagram_received(
+                    Datagram(payload=packet, size=packet.wire_size + UDP_IP_OVERHEAD),
+                    0,
+                )
+
+
+class TestFlowControlInvariants:
+    def test_send_window_credit_never_exceeded(self):
+        window = SendWindow(initial_limit=1000)
+        with sanitize.enabled():
+            window.consume(600)
+            # Simulate internal corruption: the limit shrinks under us.
+            window.limit = 500
+            with pytest.raises(SanitizerError, match="credit exceeded"):
+                window.consume(0)
+
+    def test_receive_window_consumption_bounded_by_arrivals(self):
+        window = ReceiveWindow(initial_window=1000, max_window=4000)
+        window.on_data_received(100)
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="beyond received"):
+                window.on_data_consumed(200)
+
+    def test_tcp_style_usage_without_receive_tracking_is_exempt(self):
+        window = ReceiveWindow(initial_window=1000, max_window=4000)
+        with sanitize.enabled():
+            window.on_data_consumed(200)  # highest_received stays 0
+
+
+class TestAckManagerInvariants:
+    def test_largest_acked_must_match_ranges(self):
+        mgr = AckManager(path_id=0)
+        mgr.on_packet_received(0, now=0.0, ack_eliciting=True)
+        mgr.on_packet_received(5, now=0.1, ack_eliciting=True)
+        mgr.largest_received = 7  # corruption: beyond anything received
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="largest_acked disagrees"):
+                mgr.build_ack(0.2)
+
+    def test_honest_ack_passes(self):
+        mgr = AckManager(path_id=0)
+        for pn in (0, 1, 4, 5):
+            mgr.on_packet_received(pn, now=0.0, ack_eliciting=True)
+        with sanitize.enabled():
+            ack = mgr.build_ack(0.1)
+        assert ack.largest_acked == 5
+
+
+class TestCongestionInvariants:
+    def test_window_floor_violation_detected(self):
+        class BrokenCc(NewReno):
+            def _reduce_on_loss(self, now):
+                self.cwnd_bytes = 0.0  # below the floor, deliberately
+
+        cc = BrokenCc()
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="cwnd below the minimum"):
+                cc.on_loss_event(1.0, 0.5)
+
+    def test_compliant_controller_passes(self):
+        cc = NewReno()
+        with sanitize.enabled():
+            cc.on_ack(0.1, 14000, 0.05)
+            cc.on_loss_event(1.0, 0.5)
+            cc.on_rto(2.0)
+
+
+class TestSchedulerInvariants:
+    class _StubPath:
+        def __init__(self, path_id, can_send):
+            self.path_id = path_id
+            self._can_send = can_send
+
+        def can_send_data(self):
+            return self._can_send
+
+    def test_selecting_a_full_path_trips(self):
+        class GreedyScheduler(Scheduler):
+            name = "greedy"
+
+            def select_path(self, paths):
+                return paths[0]  # ignores window room
+
+        full = self._StubPath(0, can_send=False)
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="no congestion window room"):
+                GreedyScheduler().choose([full])
+
+    def test_selecting_outside_candidates_trips(self):
+        foreign = self._StubPath(9, can_send=True)
+
+        class ForeignScheduler(Scheduler):
+            name = "foreign"
+
+            def select_path(self, paths):
+                return foreign
+
+        candidate = self._StubPath(0, can_send=True)
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="outside the candidate"):
+                ForeignScheduler().choose([candidate])
+
+
+class TestEngineInvariants:
+    def test_nan_deadline_rejected(self):
+        sim = Simulator()
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="NaN"):
+                sim.schedule_at(float("nan"), lambda: None)
+
+    def test_past_event_in_heap_detected(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.run()
+        assert sim.now == 5.0
+        # Corrupt the heap with an event in the past (bypasses the
+        # schedule_at guard, as a buggy refactor might).
+        heapq.heappush(sim._heap, (1.0, -1, Timer(1.0, fired.append, ("bad",))))
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="before current simulated time"):
+                sim.run()
+
+    def test_scheduling_in_the_past_still_raises_value_error(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)

@@ -1,10 +1,9 @@
 """End-to-end tests of the TCP + TLS 1.2 baseline."""
 
-import pytest
 
 from repro.netsim.engine import Simulator
 from repro.netsim.topology import PathConfig, TwoPathTopology
-from repro.tcp.config import TcpConfig, TLS_MESSAGE_SIZES
+from repro.tcp.config import TcpConfig
 from repro.tcp.connection import TcpConnection
 from repro.tcp.segment import Segment
 

@@ -1,7 +1,6 @@
 """Trace-driven behavioural tests: assert on *how* protocols behaved,
 not just the outcome, using the packet trace."""
 
-import pytest
 
 from repro.core.connection import MultipathQuicConnection
 from repro.netsim.engine import Simulator

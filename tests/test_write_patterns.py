@@ -5,7 +5,6 @@ produces, the receiver must see exactly those bytes in order per
 stream, across every protocol family.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
