@@ -152,6 +152,18 @@ class MultipathQuicConnection(QuicConnection):
             if other.path_id != path.path_id:
                 self._queue_control(other.path_id, frame)
 
+    def _on_path_abandoned(self, path: PathState) -> None:
+        """Release the retired path's coupled-CC and manager state.
+
+        OLIA's epsilon computation iterates over its registered paths;
+        dropping the abandoned one keeps the surviving paths' increase
+        terms from being diluted by a window that will never move
+        again.
+        """
+        if self._olia is not None:
+            self._olia.remove_path(path.path_id)
+        self.path_manager.on_path_abandoned(path.path_id)
+
     def _build_paths_frame(self, failed: Tuple[int, ...] = ()) -> PathsFrame:
         active = tuple(
             PathInfo(p.path_id, int(p.rtt.smoothed * 1e6))

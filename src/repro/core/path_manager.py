@@ -10,7 +10,7 @@ NATs or firewalls.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Set
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.connection import MultipathQuicConnection
@@ -23,6 +23,8 @@ class PathManager:
         self.connection = connection
         self._next_client_path_id = 1
         self._next_server_path_id = 2
+        #: Path IDs permanently retired by the liveness state machine.
+        self.retired: Set[int] = set()
 
     def next_path_id(self) -> int:
         """Allocate the next Path ID for this host's role."""
@@ -48,6 +50,18 @@ class PathManager:
             if iface.index in used or not iface.up:
                 continue
             self.connection.open_path(iface.index)
+
+    def on_path_abandoned(self, path_id: int) -> None:
+        """Record a path the liveness machine retired for good.
+
+        Retired IDs are never reused (packet-number/nonce uniqueness)
+        and the interface is not re-opened automatically — rejoining
+        after an abandon requires an explicit ``open_path``.
+        """
+        self.retired.add(path_id)
+
+    def is_retired(self, path_id: int) -> bool:
+        return path_id in self.retired
 
     def usable_interface_indices(self) -> List[int]:
         return [i.index for i in self.connection.host.interfaces if i.up]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, List, Optional
 
-from repro.quic.connection import PathState
+from repro.quic.connection import PathLiveness, PathState
 from repro.util import sanitize as _san
 
 
@@ -51,6 +51,18 @@ class Scheduler(ABC):
                 "scheduler selected a path with no congestion window room",
                 scheduler=self.name,
                 path_id=path.path_id,
+            )
+            # Fresh data never rides a path under active probing or one
+            # already retired (the connection's _usable_paths filter
+            # must have kept them out of the candidate list).
+            liveness = getattr(path, "liveness", PathLiveness.ACTIVE)
+            _san.check(
+                liveness is not PathLiveness.PROBING
+                and liveness is not PathLiveness.ABANDONED,
+                "scheduler selected a probing or abandoned path",
+                scheduler=self.name,
+                path_id=path.path_id,
+                liveness=getattr(liveness, "value", str(liveness)),
             )
         if path is not None and self.telemetry is not None:
             self.telemetry(path)

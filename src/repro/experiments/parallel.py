@@ -20,6 +20,13 @@ Guarantees:
   full QUIC/TCP endpoint configs, and a results-format version bumped
   whenever the stored schema (or simulation semantics) changes.
 
+The engine is crash-isolated and resumable: a worker process dying
+(``BrokenProcessPool``) or a cell raising is retried under a fresh pool
+with bounded backoff; cells that keep failing are quarantined into a
+reported skip-list instead of sinking the sweep; and every finished
+cell is persisted to the cache *immediately*, so an interrupted sweep
+resumes from disk instead of restarting.
+
 Environment knobs (also surfaced as ``--jobs`` / ``--no-cache`` on the
 ``repro.experiments.figures`` CLI):
 
@@ -27,6 +34,12 @@ Environment knobs (also surfaced as ``--jobs`` / ``--no-cache`` on the
   ``1`` forces in-process serial execution).
 * ``REPRO_CACHE`` — ``off``/``0``/``false`` disables the on-disk cache.
 * ``REPRO_CACHE_DIR`` — cache root (default ``results/cache``).
+* ``REPRO_RETRIES`` — retry attempts per failing cell (default 2).
+* ``REPRO_QUARANTINE_FILE`` — write the quarantine report (JSON) here
+  after every :func:`execute_cells` call.
+* ``REPRO_CHAOS_CRASH_KEY`` / ``REPRO_CHAOS_MARKER_DIR`` /
+  ``REPRO_CHAOS_MODE`` — fault-drill hooks for CI; see
+  :func:`_chaos_crash_requested`.
 """
 
 from __future__ import annotations
@@ -35,10 +48,13 @@ import hashlib
 import json
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import as_completed, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.expdesign.parameters import Scenario
 from repro.experiments.runner import (
@@ -54,7 +70,17 @@ from repro.tcp.config import TcpConfig
 #: Bump when the cached result schema or the simulation semantics
 #: change, invalidating every previously stored result.
 #: v2: fault timelines became part of a cell's identity.
-RESULTS_FORMAT_VERSION = 2
+#: v3: path-liveness probing and lifetime limits entered QuicConfig and
+#:     the transport's failure reaction (reinjection) changed semantics.
+RESULTS_FORMAT_VERSION = 3
+
+#: Default retry attempts for a crashed or raising cell (on top of the
+#: first attempt); override per call or via ``REPRO_RETRIES``.
+DEFAULT_RETRIES = 2
+#: Bounded backoff between retry rounds, seconds (wall clock — this is
+#: harness code, not simulation).
+RETRY_BACKOFF_BASE = 0.25
+RETRY_BACKOFF_MAX = 2.0
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", "cache")
@@ -147,8 +173,36 @@ def plan_class_sweep(
     return cells
 
 
+def _chaos_crash_requested(cell: SweepCell) -> bool:
+    """CI fault-drill hook: should this cell simulate a worker crash?
+
+    Active when ``REPRO_CHAOS_CRASH_KEY`` is a prefix of the cell's
+    cache key.  With ``REPRO_CHAOS_MARKER_DIR`` set, each cell crashes
+    at most once (a marker file records the first crash), so the
+    retry machinery completes the sweep; without it the cell crashes on
+    every attempt and ends up quarantined.  ``REPRO_CHAOS_MODE=raise``
+    raises instead of killing the process — the in-process variant used
+    by tests running with ``jobs=1``.
+    """
+    key_prefix = os.environ.get("REPRO_CHAOS_CRASH_KEY")
+    if not key_prefix or not cell.cache_key().startswith(key_prefix):
+        return False
+    marker_dir = os.environ.get("REPRO_CHAOS_MARKER_DIR")
+    if marker_dir:
+        marker = Path(marker_dir) / cell.cache_key()
+        if marker.exists():
+            return False
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.touch()
+    return True
+
+
 def run_cell(cell: SweepCell) -> BulkRunResult:
     """Execute one cell — the worker entry point (must be picklable)."""
+    if _chaos_crash_requested(cell):
+        if os.environ.get("REPRO_CHAOS_MODE") == "raise":
+            raise RuntimeError("chaos drill: simulated cell failure")
+        os._exit(17)  # hard death, as a real worker crash would be
     return run_bulk(
         cell.protocol,
         cell.paths,
@@ -276,6 +330,16 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Retries per failing cell: explicit arg > ``REPRO_RETRIES`` > default."""
+    if retries is not None:
+        return max(0, retries)
+    env = os.environ.get("REPRO_RETRIES")
+    if env:
+        return max(0, int(env))
+    return DEFAULT_RETRIES
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
@@ -291,6 +355,12 @@ class SweepStats:
     jobs: int = 1
     #: Sum of simulator events over executed (non-cached) cells.
     events_processed: int = 0
+    #: Cell attempts beyond the first (crash/exception recovery).
+    retries: int = 0
+    #: Cells that exhausted every attempt and were skipped.
+    quarantined: int = 0
+    #: Worker pools torn down by a crashed worker and rebuilt.
+    pool_restarts: int = 0
 
     def merge(self, other: "SweepStats") -> None:
         self.cells += other.cells
@@ -299,6 +369,9 @@ class SweepStats:
         self.executed += other.executed
         self.events_processed += other.events_processed
         self.jobs = max(self.jobs, other.jobs)
+        self.retries += other.retries
+        self.quarantined += other.quarantined
+        self.pool_restarts += other.pool_restarts
 
 
 #: Stats of the most recent :func:`execute_cells` call (observability
@@ -306,13 +379,44 @@ class SweepStats:
 #: ``stats=`` explicitly).
 last_stats = SweepStats()
 
+#: Quarantine entries of the most recent :func:`execute_cells` call.
+last_quarantine: List[Dict] = []
+
+
+def write_quarantine_report(path: os.PathLike, entries: List[Dict]) -> None:
+    """Atomically write the quarantine skip-list as JSON.
+
+    Written even when empty so CI can always upload the artifact and a
+    clean run is distinguishable from a run that never reported.
+    """
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": RESULTS_FORMAT_VERSION,
+        "quarantined_cells": len(entries),
+        "quarantined": entries,
+    }
+    fd, tmp = tempfile.mkstemp(dir=target.parent or None, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
 
 def execute_cells(
     cells: Sequence[SweepCell],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = "auto",  # type: ignore[assignment]
     stats: Optional[SweepStats] = None,
-) -> List[BulkRunResult]:
+    retries: Optional[int] = None,
+) -> List[Optional[BulkRunResult]]:
     """Run every cell, returning results aligned with ``cells``.
 
     Cached cells are served from disk; the rest are executed — in a
@@ -321,16 +425,27 @@ def execute_cells(
     each worker performs the exact same ``run_bulk`` call, and ordering
     is restored from the plan, not from completion order.
 
+    Crash isolation: a worker dying (``BrokenProcessPool``) or a cell
+    raising fails only that round's affected cells; they are retried up
+    to ``retries`` more times (``REPRO_RETRIES``, default 2) under a
+    fresh pool with bounded backoff.  Cells failing every attempt are
+    quarantined — their result slot is ``None``, the skip-list lands in
+    :data:`last_quarantine` (and ``REPRO_QUARANTINE_FILE`` when set),
+    and a ``RuntimeWarning`` reports the count.  Finished cells are
+    written to the cache immediately, so an interrupted sweep resumes
+    from disk.
+
     ``cache="auto"`` resolves via :func:`default_cache` (honouring
     ``REPRO_CACHE``); pass ``None`` to bypass caching explicitly.
     """
-    global last_stats
+    global last_stats, last_quarantine
     if cache == "auto":
         cache = default_cache()
     jobs = resolve_jobs(jobs)
     stats = stats if stats is not None else SweepStats()
     stats.cells += len(cells)
     stats.jobs = max(stats.jobs, jobs)
+    quarantined: List[Dict] = []
 
     results: List[Optional[BulkRunResult]] = [None] * len(cells)
     missing: List[int] = []
@@ -345,32 +460,163 @@ def execute_cells(
         stats.cache_misses += len(missing)
 
     if missing:
-        todo = [cells[i] for i in missing]
-        if jobs > 1 and len(todo) > 1:
-            fresh = _run_pool(todo, jobs)
-        else:
-            fresh = [run_cell(cell) for cell in todo]
-        for i, result in zip(missing, fresh):
+        max_attempts = resolve_retries(retries) + 1
+        errors: Dict[int, List[str]] = {}
+
+        def on_success(i: int, result: BulkRunResult) -> None:
             results[i] = result
+            # Persist immediately: an interrupted sweep resumes from
+            # whatever completed, not from scratch.
             if cache is not None:
                 cache.put(cells[i], result)
-        stats.executed += len(todo)
-        stats.events_processed += sum(
-            int(r.details.get("sim_events", 0)) for r in fresh
-        )
+            stats.executed += 1
+            stats.events_processed += int(result.details.get("sim_events", 0))
 
-    return results  # type: ignore[return-value]
+        pending = [(i, cells[i]) for i in missing]
+        round_no = 0
+        while pending:
+            if round_no > 0:
+                stats.retries += len(pending)
+                time.sleep(
+                    min(
+                        RETRY_BACKOFF_BASE * 2 ** (round_no - 1),
+                        RETRY_BACKOFF_MAX,
+                    )
+                )
+            failures = _run_round(
+                pending, jobs, on_success, stats, isolate=round_no > 0
+            )
+            still: List[Tuple[int, SweepCell]] = []
+            for i, cell in pending:
+                if i not in failures:
+                    continue
+                errors.setdefault(i, []).append(failures[i])
+                if len(errors[i]) >= max_attempts:
+                    quarantined.append(
+                        {
+                            "index": i,
+                            "cache_key": cell.cache_key(),
+                            "protocol": cell.protocol,
+                            "initial_interface": cell.initial_interface,
+                            "base_seed": cell.base_seed,
+                            "attempts": len(errors[i]),
+                            "errors": errors[i],
+                        }
+                    )
+                else:
+                    still.append((i, cell))
+            pending = still
+            round_no += 1
+
+        stats.quarantined += len(quarantined)
+        if quarantined:
+            warnings.warn(
+                f"{len(quarantined)} sweep cell(s) quarantined after "
+                f"{max_attempts} failed attempt(s) each; their result "
+                "slots are None (see the quarantine report)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    last_stats = stats
+    last_quarantine = quarantined
+    report_path = os.environ.get("REPRO_QUARANTINE_FILE")
+    if report_path:
+        write_quarantine_report(report_path, quarantined)
+    return results
 
 
-def _run_pool(cells: Sequence[SweepCell], jobs: int) -> List[BulkRunResult]:
-    """Fan cells out over a process pool; fall back to serial if the
-    platform refuses to fork (restricted sandboxes)."""
-    chunksize = max(1, len(cells) // (jobs * 4))
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(run_cell, cells, chunksize=chunksize))
-    except (OSError, PermissionError):
-        return [run_cell(cell) for cell in cells]
+def _run_round(
+    pending: List[Tuple[int, SweepCell]],
+    jobs: int,
+    on_success: Callable[[int, BulkRunResult], None],
+    stats: SweepStats,
+    isolate: bool = False,
+) -> Dict[int, str]:
+    """One execution attempt over ``pending``; failures keyed by index.
+
+    ``isolate`` (retry rounds) runs every cell in its own single-worker
+    pool: a worker crash poisons a shared pool's *other* futures too,
+    so a cell that crashes on every attempt would otherwise drag its
+    innocent round-mates into quarantine with it.
+    """
+    if jobs > 1 and (isolate or len(pending) > 1):
+        try:
+            if isolate:
+                failures: Dict[int, str] = {}
+                for item in pending:
+                    failures.update(
+                        _run_round_pooled([item], 1, on_success, stats)
+                    )
+                return failures
+            return _run_round_pooled(pending, jobs, on_success, stats)
+        except (OSError, PermissionError) as exc:
+            # Restricted sandboxes may refuse to spawn processes at
+            # all; the sweep still completes, just without parallelism.
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); falling back to "
+                "serial sweep execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return _run_round_serial(pending, on_success)
+
+
+def _run_round_serial(
+    pending: List[Tuple[int, SweepCell]],
+    on_success: Callable[[int, BulkRunResult], None],
+) -> Dict[int, str]:
+    failures: Dict[int, str] = {}
+    for i, cell in pending:
+        try:
+            result = run_cell(cell)
+        except Exception as exc:
+            # In-process stand-in for a worker crash: record the error
+            # for the retry/quarantine machinery and keep going.
+            failures[i] = repr(exc)
+        else:
+            on_success(i, result)
+    return failures
+
+
+def _run_round_pooled(
+    pending: List[Tuple[int, SweepCell]],
+    jobs: int,
+    on_success: Callable[[int, BulkRunResult], None],
+    stats: SweepStats,
+) -> Dict[int, str]:
+    """Fan one round out over a fresh process pool.
+
+    A dead worker poisons the whole pool (every outstanding future gets
+    ``BrokenProcessPool``); affected cells are recorded as failures and
+    the caller retries them under a new pool next round.
+    """
+    failures: Dict[int, str] = {}
+    broken = False
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures: Dict = {}
+        for idx, (i, cell) in enumerate(pending):
+            try:
+                futures[pool.submit(run_cell, cell)] = i
+            except BrokenProcessPool as exc:
+                broken = True
+                for j, _ in pending[idx:]:
+                    failures[j] = repr(exc)
+                break
+        for future in as_completed(futures):
+            i = futures[future]
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                broken = True
+                failures[i] = repr(exc)
+            except Exception as exc:
+                failures[i] = repr(exc)
+            else:
+                on_success(i, result)
+    if broken:
+        stats.pool_restarts += 1
+    return failures
 
 
 def execute_class_sweep(

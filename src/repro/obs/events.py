@@ -39,6 +39,10 @@ CAT_FLOWCONTROL = "flowcontrol"
 #: shows the network timeline interleaved with the transport's
 #: reaction (see ``repro.netsim.faults``).
 CAT_NETWORK = "network"
+#: Connection-lifetime events: close, idle timeout, handshake deadline,
+#: loss of the last viable path.  Emitted with ``path_id == -1`` since
+#: they concern the connection as a whole, not one path.
+CAT_CONNECTION = "connection"
 
 CATEGORIES = (
     CAT_TRANSPORT,
@@ -48,6 +52,7 @@ CATEGORIES = (
     CAT_PATH,
     CAT_FLOWCONTROL,
     CAT_NETWORK,
+    CAT_CONNECTION,
 )
 
 #: Translation of the legacy ``PacketTrace`` event names used by the

@@ -27,6 +27,7 @@ _LIFECYCLE = (
     "new",
     "validated",
     "potentially_failed",
+    "probing",
     "recovered",
     "abandoned",
     "migrated",

@@ -70,6 +70,27 @@ class QuicConfig:
     #: this for repeat connections; the paper measures the 1-RTT case).
     zero_rtt: bool = False
 
+    #: Path liveness probing (PATH_CHALLENGE / PATH_RESPONSE): interval
+    #: before the first probe after a path turns potentially failed.
+    probe_interval_initial: float = 0.2
+    #: Ceiling of the exponential probe backoff.
+    probe_interval_max: float = 2.0
+    #: Multiplier applied to the probe interval after every probe.
+    probe_backoff: float = 2.0
+    #: Unanswered probes before the path is abandoned for good.
+    path_max_probes: int = 6
+
+    #: Connection lifetime limits: close with IdleTimeoutError after
+    #: this many seconds without receiving anything (0 = disabled).
+    idle_timeout: float = 0.0
+    #: Abort with HandshakeTimeoutError when the handshake has not
+    #: completed within this many seconds (0 = disabled).
+    handshake_timeout: float = 0.0
+    #: Draining period after close, in multiples of the current RTO
+    #: (RFC 9000 §10.2 uses 3·PTO): how long a closed endpoint keeps
+    #: answering stray peer packets with the final CONNECTION_CLOSE.
+    drain_period_rtos: float = 3.0
+
     #: Loss detection: reordering threshold in packets.
     packet_reordering_threshold: int = 3
     #: Loss detection: time threshold as a fraction of RTT.

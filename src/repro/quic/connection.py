@@ -10,8 +10,10 @@ only packet-number spaces, scheduling and path management need work.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.cc import make_controller
 from repro.cc.base import CongestionController
@@ -20,6 +22,7 @@ from repro.netsim.node import Datagram, Host
 from repro.netsim.trace import PacketTrace
 from repro.obs.events import (
     CAT_CC,
+    CAT_CONNECTION,
     CAT_FLOWCONTROL,
     CAT_PATH,
     CAT_RECOVERY,
@@ -35,7 +38,9 @@ from repro.quic.frames import (
     ConnectionCloseFrame,
     Frame,
     HandshakeFrame,
+    PathChallengeFrame,
     PathInfo,
+    PathResponseFrame,
     PathsFrame,
     PingFrame,
     StreamFrame,
@@ -47,6 +52,75 @@ from repro.quic.recovery import LossRecovery, SentPacket
 from repro.quic.rtt import RttEstimator
 from repro.quic.stream import RecvStream, SendStream
 from repro.util import sanitize as _san
+
+
+class PathLiveness(Enum):
+    """Liveness of one path, as seen by the local endpoint.
+
+    The state machine (paper §4.3, extended with RFC 9000 §8.2-style
+    active probing)::
+
+        ACTIVE ──rto/peer──▶ POTENTIALLY_FAILED ──probe timer──▶ PROBING
+           ▲                     │        │                     │     │
+           └──────ack/probe──────┘────────│─────────────────────┘     │
+                                          ▼                           ▼
+                                      ABANDONED ◀──give-up threshold──┘
+
+    Recovery (a fresh ACK of data sent on the path, or a matching
+    PATH_RESPONSE) returns the path to ``ACTIVE``; exhausting the probe
+    budget retires it to ``ABANDONED``, which is terminal.
+    """
+
+    ACTIVE = "active"
+    POTENTIALLY_FAILED = "potentially_failed"
+    PROBING = "probing"
+    ABANDONED = "abandoned"
+
+
+#: Legal liveness transitions; everything else is a protocol bug (and a
+#: sanitizer trip under ``REPRO_SANITIZE=1``).
+LEGAL_LIVENESS_TRANSITIONS: Dict[PathLiveness, FrozenSet[PathLiveness]] = {
+    PathLiveness.ACTIVE: frozenset({PathLiveness.POTENTIALLY_FAILED}),
+    PathLiveness.POTENTIALLY_FAILED: frozenset(
+        {PathLiveness.PROBING, PathLiveness.ACTIVE, PathLiveness.ABANDONED}
+    ),
+    PathLiveness.PROBING: frozenset(
+        {PathLiveness.ACTIVE, PathLiveness.ABANDONED}
+    ),
+    PathLiveness.ABANDONED: frozenset(),
+}
+
+#: Obs event emitted on entry to each liveness state.
+_LIVENESS_EVENT: Dict[PathLiveness, str] = {
+    PathLiveness.ACTIVE: "recovered",
+    PathLiveness.POTENTIALLY_FAILED: "potentially_failed",
+    PathLiveness.PROBING: "probing",
+    PathLiveness.ABANDONED: "abandoned",
+}
+
+
+class TransportError(Exception):
+    """Fatal connection-level condition, surfaced via ``close_error``."""
+
+    event = "error"
+
+
+class IdleTimeoutError(TransportError):
+    """Nothing received for ``QuicConfig.idle_timeout`` seconds."""
+
+    event = "idle_timeout"
+
+
+class HandshakeTimeoutError(TransportError):
+    """Handshake incomplete after ``QuicConfig.handshake_timeout``."""
+
+    event = "handshake_timeout"
+
+
+class NoViablePathError(TransportError):
+    """Every path of the connection has been abandoned."""
+
+    event = "no_viable_path"
 
 
 class PathState:
@@ -77,7 +151,17 @@ class PathState:
         self.cc = cc
         self.next_packet_number = 0
         self.active = True
-        self.potentially_failed = False
+        #: Liveness state machine (see :class:`PathLiveness`); mutate
+        #: only through ``QuicConnection._set_liveness`` so transitions
+        #: stay legal and observable.
+        self.liveness = PathLiveness.ACTIVE
+        # Probe machinery (PATH_CHALLENGE / PATH_RESPONSE).
+        self.probe_timer: Optional[Timer] = None
+        self.probe_interval = config.probe_interval_initial
+        self.probes_sent = 0
+        self.probe_seq = 0
+        self.last_challenge: Optional[bytes] = None
+        self.abandoned_at: Optional[float] = None
         #: Loss episode bookkeeping: packets lost while the largest
         #: acknowledged number is below this mark belong to the current
         #: recovery episode and trigger no further window reduction
@@ -99,6 +183,12 @@ class PathState:
         self.bytes_received = 0
         self.duplicated_packets = 0
         self.stream_bytes_retransmitted = 0
+        self.reinjected_bytes = 0
+
+    @property
+    def potentially_failed(self) -> bool:
+        """Back-compat view: any non-ACTIVE liveness counts as failed."""
+        return self.liveness is not PathLiveness.ACTIVE
 
     @property
     def rtt_known(self) -> bool:
@@ -135,6 +225,12 @@ class ConnectionStats:
     frames_retransmitted: int = 0
     #: Packets proactively duplicated onto other paths by the scheduler.
     packets_duplicated: int = 0
+    #: Stream bytes pulled off a potentially-failed/abandoned path and
+    #: handed back for immediate transmission on the surviving paths
+    #: (the §4.3 reinjection policy; no per-packet RTO wait).
+    reinjected_bytes: int = 0
+    #: Retransmittable frames reinjected the same way.
+    reinjected_frames: int = 0
 
 
 class QuicConnection:
@@ -167,7 +263,17 @@ class QuicConnection:
         self.connection_id = connection_id
         self.established = False
         self.closed = False
+        #: Set when a lifetime limit (idle/handshake timeout, loss of
+        #: the last viable path) terminated the connection.
+        self.close_error: Optional[TransportError] = None
         self.stats = ConnectionStats()
+
+        # Connection lifetime limits.
+        self._idle_timer: Optional[Timer] = None
+        self._handshake_timer: Optional[Timer] = None
+        self._last_activity = sim.now
+        self._drain_deadline: Optional[float] = None
+        self._drain_close_echoed = False
 
         self.paths: Dict[int, PathState] = {}
         #: Enforces the paper's nonce-uniqueness rule: the Path ID is
@@ -318,6 +424,11 @@ class QuicConnection:
             self.established = True
             self.stats.handshake_completed_at = self.sim.now
             self._handshake_complete()
+        if self.config.handshake_timeout > 0 and not self.established:
+            self._handshake_timer = self.sim.schedule(
+                self.config.handshake_timeout, self._on_handshake_timer
+            )
+        self._arm_idle_timer()
         self._send_pending()
 
     def open_stream(self) -> int:
@@ -335,7 +446,14 @@ class QuicConnection:
         self._send_pending()
 
     def close(self, error_code: int = 0, reason: str = "") -> None:
-        """Send CONNECTION_CLOSE and stop."""
+        """Send CONNECTION_CLOSE and enter the draining period.
+
+        The endpoint stops sending, but keeps answering stray peer
+        packets with (one copy of) the final CONNECTION_CLOSE for
+        ``drain_period_rtos`` retransmission timeouts (RFC 9000 §10.2),
+        so a peer that missed the close does not retransmit into a
+        black hole until its own idle timeout.
+        """
         if self.closed:
             return
         path = self._first_usable_path()
@@ -344,7 +462,21 @@ class QuicConnection:
                 ConnectionCloseFrame(error_code, reason),
             )
             self._send_packet(path, frames)
+        timeouts = [
+            p.recovery.rto_timeout(
+                self.config.min_rto, self.config.max_rto, self.config.initial_rto
+            )
+            for p in self.paths.values()
+        ]
+        base_rto = max(timeouts) if timeouts else self.config.initial_rto
+        self._drain_deadline = self.sim.now + self.config.drain_period_rtos * base_rto
         self.closed = True
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, CAT_CONNECTION, "closed", -1,
+                error_code=error_code, reason=reason,
+                drain_until=self._drain_deadline,
+            )
         self._cancel_all_timers()
 
     def migrate(self, interface_index: int) -> None:
@@ -362,7 +494,10 @@ class QuicConnection:
         path.cc = self._make_cc(path.path_id)
         path.rtt = RttEstimator(use_ack_delay=True)
         path.recovery.rtt = path.rtt
-        path.potentially_failed = False
+        if path.liveness in (
+            PathLiveness.POTENTIALLY_FAILED, PathLiveness.PROBING
+        ):
+            self._mark_recovered(path, reason="migrated")
         path.tlp_count = 0
         if self.trace is not None:
             self.trace.log(
@@ -379,6 +514,305 @@ class QuicConnection:
             if iface.index != path.interface_index and iface.up:
                 self.migrate(iface.index)
                 return
+
+    # ------------------------------------------------------------------
+    # Path liveness state machine
+    # ------------------------------------------------------------------
+
+    def _set_liveness(self, path: PathState, new: PathLiveness, **data: object) -> None:
+        """Transition a path's liveness, emitting the matching obs event."""
+        old = path.liveness
+        if _san.SANITIZE:
+            _san.check(
+                new in LEGAL_LIVENESS_TRANSITIONS[old],
+                "illegal path liveness transition",
+                path_id=path.path_id, old=old.value, new=new.value,
+            )
+        path.liveness = new
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, CAT_PATH,
+                _LIVENESS_EVENT[new], path.path_id, **data,
+            )
+
+    def _mark_potentially_failed(self, path: PathState, source: str) -> None:
+        """Enter POTENTIALLY_FAILED: reinject stranded data, start probing.
+
+        ``source`` records who detected the failure: ``"rto"`` (local
+        timeout with no network activity) or ``"peer"`` (PATHS frame).
+        """
+        if (
+            self.closed
+            or not path.active
+            or path.liveness is not PathLiveness.ACTIVE
+        ):
+            return
+        self._set_liveness(path, PathLiveness.POTENTIALLY_FAILED, source=source)
+        self._reinject_in_flight(path)
+        path.probes_sent = 0
+        path.probe_interval = self.config.probe_interval_initial
+        path.last_challenge = None
+        self._schedule_probe(path)
+        self._on_path_potentially_failed(path)
+
+    def _reinject_in_flight(self, path: PathState) -> None:
+        """Hand the path's retransmittable in-flight frames to the
+        surviving paths immediately (paper §4.3's reaction; the policy
+        De Coninck 2021 shows dominates handover latency).
+
+        Stream frames return to their stream's retransmission queue —
+        the scheduler rebinds them to the best good path on the next
+        send — and control frames are requeued directly.  This is a
+        scheduling decision, not a loss declaration: loss counters and
+        RTO backoff are untouched (see ``LossRecovery.drain_in_flight``).
+        """
+        drained = path.recovery.drain_in_flight()
+        if not drained:
+            return
+        stream_bytes = 0
+        frames = 0
+        for sp in drained:
+            for frame in sp.frames:
+                if isinstance(frame, StreamFrame):
+                    stream_bytes += len(frame.data)
+                    frames += 1
+                elif frame.retransmittable:
+                    frames += 1
+            self._requeue_frames(sp.frames, path)
+        path.reinjected_bytes += stream_bytes
+        self.stats.reinjected_bytes += stream_bytes
+        self.stats.reinjected_frames += frames
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, CAT_PATH, "reinject",
+                path.path_id, packets=len(drained), frames=frames,
+                stream_bytes=stream_bytes,
+            )
+
+    def _schedule_probe(self, path: PathState) -> None:
+        """Arm the probe timer at the path's current backoff interval."""
+        if path.probe_timer is not None:
+            path.probe_timer.cancel()
+            path.probe_timer = None
+        if _san.SANITIZE:
+            # The interval is clamped at the update site; a value
+            # outside [floor, ceiling] here means the backoff logic
+            # regressed (or someone poked the path state directly).
+            _san.check(
+                self.config.probe_interval_initial - 1e-9
+                <= path.probe_interval
+                <= self.config.probe_interval_max + 1e-9,
+                "probe interval outside the configured backoff bounds",
+                path_id=path.path_id, interval=path.probe_interval,
+                floor=self.config.probe_interval_initial,
+                ceiling=self.config.probe_interval_max,
+            )
+        path.probe_timer = self.sim.schedule(
+            path.probe_interval, self._on_probe_timer, path
+        )
+
+    def _on_probe_timer(self, path: PathState) -> None:
+        path.probe_timer = None
+        if self.closed or path.liveness not in (
+            PathLiveness.POTENTIALLY_FAILED, PathLiveness.PROBING
+        ):
+            return
+        if path.probes_sent >= self.config.path_max_probes:
+            self._abandon_path(path, reason="probe_timeout")
+            return
+        if path.liveness is PathLiveness.POTENTIALLY_FAILED:
+            # First probe due and still no sign of life: the suspicion
+            # is now being actively verified.
+            self._set_liveness(path, PathLiveness.PROBING)
+        path.probe_seq += 1
+        # Token salted by role so the two endpoints probing the same
+        # path never mistake each other's challenges for responses.
+        token = struct.pack(
+            ">BBHI",
+            0x43 if self.role == "client" else 0x53,
+            path.path_id & 0xFF,
+            0,
+            path.probe_seq & 0xFFFFFFFF,
+        )
+        path.last_challenge = token
+        path.probes_sent += 1
+        self._send_packet(path, (PathChallengeFrame(token),))
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, CAT_PATH, "probe",
+                path.path_id, seq=path.probe_seq,
+                interval=path.probe_interval, probes_sent=path.probes_sent,
+            )
+        path.probe_interval = min(
+            path.probe_interval * self.config.probe_backoff,
+            self.config.probe_interval_max,
+        )
+        self._schedule_probe(path)
+
+    def _on_path_challenge(self, frame: PathChallengeFrame, path: PathState) -> None:
+        """Echo the token on the same path (it must prove *this* path)."""
+        if path.liveness is PathLiveness.ABANDONED:
+            # We retired the path; stay silent and let the peer's own
+            # probe budget expire.
+            return
+        self._send_packet(path, (PathResponseFrame(frame.data),))
+
+    def _on_path_response(self, frame: PathResponseFrame, path: PathState) -> None:
+        if frame.data != path.last_challenge:
+            return  # stale or unsolicited response
+        if path.liveness in (
+            PathLiveness.POTENTIALLY_FAILED, PathLiveness.PROBING
+        ):
+            self._mark_recovered(path, reason="probe")
+
+    def _mark_recovered(self, path: PathState, reason: str) -> None:
+        """Return a suspect path to ACTIVE (emits ``path:recovered``)."""
+        if path.liveness not in (
+            PathLiveness.POTENTIALLY_FAILED, PathLiveness.PROBING
+        ):
+            return
+        self._set_liveness(path, PathLiveness.ACTIVE, reason=reason)
+        if path.probe_timer is not None:
+            path.probe_timer.cancel()
+            path.probe_timer = None
+        path.probes_sent = 0
+        path.probe_interval = self.config.probe_interval_initial
+        path.last_challenge = None
+        path.tlp_count = 0
+
+    def _abandon_path(self, path: PathState, reason: str) -> None:
+        """Retire a path for good: release its state, reroute its load.
+
+        Terminal: the path never carries anything again.  Whatever was
+        still bound to it (in-flight frames, queued control) moves to
+        the surviving paths; when none remains, the connection ends
+        with :class:`NoViablePathError` instead of idling forever.
+        """
+        if path.liveness is PathLiveness.ABANDONED:
+            return
+        self._set_liveness(
+            path, PathLiveness.ABANDONED,
+            reason=reason, probes_sent=path.probes_sent,
+        )
+        path.active = False
+        path.abandoned_at = self.sim.now
+        for timer in (
+            path.rto_timer, path.loss_timer, path.ack_timer, path.probe_timer
+        ):
+            if timer is not None:
+                timer.cancel()
+        path.rto_timer = path.loss_timer = path.ack_timer = None
+        path.probe_timer = None
+        self._reinject_in_flight(path)
+        pending = self._pending_control.get(path.path_id, [])
+        if pending:
+            self._pending_control[path.path_id] = []
+            target = self._first_usable_path()
+            if target is not None:
+                for frame in pending:
+                    if frame.retransmittable:
+                        self._queue_control(target.path_id, frame)
+        if _san.SANITIZE:
+            _san.check(
+                not path.recovery.has_eliciting_in_flight(),
+                "retransmittable frames still bound to an abandoned path",
+                path_id=path.path_id,
+            )
+            _san.check(
+                not self._pending_control.get(path.path_id),
+                "control frames still queued on an abandoned path",
+                path_id=path.path_id,
+            )
+        self._on_path_abandoned(path)
+        if not self._active_paths() and not self.closed:
+            self._close_with_error(
+                NoViablePathError("every path was abandoned"),
+                error_code=0x05,
+            )
+        else:
+            self._send_pending()
+
+    def _on_path_abandoned(self, path: PathState) -> None:
+        """Hook: MPQUIC releases coupled-CC and path-manager state."""
+
+    # ------------------------------------------------------------------
+    # Connection lifetime limits
+    # ------------------------------------------------------------------
+
+    def _arm_idle_timer(self) -> None:
+        """Lazily arm the idle timer; reschedules itself on activity."""
+        if (
+            self.config.idle_timeout <= 0
+            or self.closed
+            or self._idle_timer is not None
+        ):
+            return
+        deadline = max(
+            self._last_activity + self.config.idle_timeout, self.sim.now
+        )
+        self._idle_timer = self.sim.schedule_at(deadline, self._on_idle_timer)
+
+    def _on_idle_timer(self) -> None:
+        self._idle_timer = None
+        if self.closed:
+            return
+        deadline = self._last_activity + self.config.idle_timeout
+        if self.sim.now + 1e-9 >= deadline:
+            self._close_with_error(
+                IdleTimeoutError(
+                    f"nothing received for {self.config.idle_timeout}s"
+                ),
+                error_code=0x07,
+            )
+            return
+        self._idle_timer = self.sim.schedule_at(deadline, self._on_idle_timer)
+
+    def _on_handshake_timer(self) -> None:
+        self._handshake_timer = None
+        if self.closed or self.established:
+            return
+        self._close_with_error(
+            HandshakeTimeoutError(
+                f"handshake incomplete after {self.config.handshake_timeout}s"
+            ),
+            error_code=0x08,
+        )
+
+    def _close_with_error(self, error: TransportError, error_code: int) -> None:
+        """Terminate with an observable transport error.
+
+        A total blackhole thus ends in a clean, queryable state — the
+        error lands in ``close_error``, a ``connection:<event>`` obs
+        record explains why, and the ``on_closed`` callback fires —
+        instead of the simulation hanging until its own timeout.
+        """
+        if self.closed:
+            return
+        self.close_error = error
+        if self._obs is not None:
+            self._obs.emit(
+                self.sim.now, self.host.name, CAT_CONNECTION, error.event,
+                -1, reason=str(error),
+            )
+        self.close(error_code=error_code, reason=str(error))
+        if self.on_closed:
+            self.on_closed()
+
+    def _on_draining_datagram(self, datagram: Datagram) -> None:
+        """While draining, answer one stray peer packet with the final
+        CONNECTION_CLOSE (RFC 9000 §10.2), then go fully silent."""
+        if self._drain_deadline is None or self._drain_close_echoed:
+            return
+        if self.sim.now >= self._drain_deadline:
+            return
+        packet: Packet = datagram.payload
+        path = self.paths.get(packet.path_id)
+        if path is None or not path.active:
+            return
+        self._drain_close_echoed = True
+        self._send_packet(
+            path, (ConnectionCloseFrame(0, "draining"),)
+        )
 
     def stream_fully_acked(self, stream_id: int) -> bool:
         """True when every byte written (plus FIN) was delivered."""
@@ -425,6 +859,7 @@ class QuicConnection:
     def datagram_received(self, datagram: Datagram, interface_index: int) -> None:
         """Entry point for packets delivered by the simulator."""
         if self.closed:
+            self._on_draining_datagram(datagram)
             return
         packet: Packet = datagram.payload
         path = self._ensure_path(packet.path_id, interface_index)
@@ -445,11 +880,13 @@ class QuicConnection:
         path.bytes_received += datagram.size
         self.stats.packets_received += 1
         self.stats.bytes_received += datagram.size
-        if path.potentially_failed:
-            # Network activity: the path works again (paper §4.3).
-            path.potentially_failed = False
-            if self._obs is not None:
-                self._obs.emit(now, self.host.name, CAT_PATH, "recovered", path.path_id)
+        self._last_activity = now
+        self._arm_idle_timer()
+        # Note: receiving a packet alone does NOT recover a potentially
+        # failed path — stray one-way traffic says nothing about the
+        # return direction.  Recovery requires a fresh ACK of data sent
+        # on the path, or a matching PATH_RESPONSE (see
+        # ``_mark_recovered``).
         if self.trace is not None:
             self.trace.log(
                 now, self.host.name, "recv", path.path_id,
@@ -480,6 +917,10 @@ class QuicConnection:
             self._on_handshake_frame(frame, path)
         elif isinstance(frame, PathsFrame):
             self._on_paths_frame(frame, path)
+        elif isinstance(frame, PathChallengeFrame):
+            self._on_path_challenge(frame, path)
+        elif isinstance(frame, PathResponseFrame):
+            self._on_path_response(frame, path)
         elif isinstance(frame, AddAddressFrame):
             if frame.address not in self.peer_addresses:
                 self.peer_addresses.append(frame.address)
@@ -514,6 +955,9 @@ class QuicConnection:
 
     def _handshake_complete(self) -> None:
         """Hook extended by MPQUIC's path manager; fires the callback."""
+        if self._handshake_timer is not None:
+            self._handshake_timer.cancel()
+            self._handshake_timer = None
         if self.config.keepalive_interval > 0:
             self.sim.schedule(self.config.keepalive_interval, self._on_keepalive)
         if self.on_established:
@@ -638,12 +1082,7 @@ class QuicConnection:
         for path_id in frame.failed:
             failed_path = self.paths.get(path_id)
             if failed_path is not None:
-                if self._obs is not None and not failed_path.potentially_failed:
-                    self._obs.emit(
-                        self.sim.now, self.host.name, CAT_PATH,
-                        "potentially_failed", path_id, source="peer",
-                    )
-                failed_path.potentially_failed = True
+                self._mark_potentially_failed(failed_path, source="peer")
 
     def _on_ack_frame(self, ack: AckFrame) -> None:
         path = self.paths.get(ack.path_id)
@@ -663,6 +1102,12 @@ class QuicConnection:
         result = path.recovery.on_ack_received(ack, now)
         if result.newly_acked:
             path.tlp_count = 0
+            if path.liveness in (
+                PathLiveness.POTENTIALLY_FAILED, PathLiveness.PROBING
+            ):
+                # Fresh ACK of data sent on this path: it demonstrably
+                # works in both directions again.
+                self._mark_recovered(path, reason="ack")
             if result.rtt_sample is not None:
                 path.cc.on_ack(now, result.acked_bytes, path.rtt.latest)
             else:
@@ -740,16 +1185,37 @@ class QuicConnection:
     # ------------------------------------------------------------------
 
     def _queue_control(self, path_id: int, frame: Frame) -> None:
+        path = self.paths.get(path_id)
+        if path is not None and path.liveness is PathLiveness.ABANDONED:
+            # Nothing may bind to a retired path; reroute (or drop when
+            # the connection has nowhere left to send).
+            target = self._first_usable_path()
+            if target is None:
+                return
+            path_id = target.path_id
         self._pending_control.setdefault(path_id, []).append(frame)
 
     def _active_paths(self) -> List[PathState]:
         return [p for p in self.paths.values() if p.active]
 
     def _usable_paths(self) -> List[PathState]:
-        """Active paths, preferring ones not marked potentially failed."""
+        """Active paths, preferring fully-live ones.
+
+        ACTIVE paths are the normal candidates.  When none exists,
+        paths still in POTENTIALLY_FAILED remain a last resort — the
+        failure is only suspected, and stopping entirely would turn a
+        false alarm into a stall.  PROBING paths have confirmed
+        silence (a probe has already gone unanswered) and ABANDONED
+        paths are retired, so neither ever carries fresh data.
+        """
         active = self._active_paths()
-        good = [p for p in active if not p.potentially_failed]
-        return good or active
+        good = [p for p in active if p.liveness is PathLiveness.ACTIVE]
+        if good:
+            return good
+        return [
+            p for p in active
+            if p.liveness is PathLiveness.POTENTIALLY_FAILED
+        ]
 
     def _first_usable_path(self) -> Optional[PathState]:
         paths = self._usable_paths()
@@ -952,6 +1418,16 @@ class QuicConnection:
         # Every transmission (including retransmitted data, which gets a
         # fresh packet number) must map to a unique AEAD nonce (§3).
         self._nonce.derive(path.path_id, packet.packet_number)
+        if _san.SANITIZE:
+            # A retired path owns no congestion/recovery state any more;
+            # binding retransmittable frames to it would strand them.
+            _san.check(
+                path.liveness is not PathLiveness.ABANDONED
+                or not packet.is_ack_eliciting,
+                "retransmittable frame bound to an abandoned path",
+                path_id=path.path_id,
+                packet_number=packet.packet_number,
+            )
         size = packet.wire_size + UDP_IP_OVERHEAD
         datagram = Datagram(payload=packet, size=size)
         now = self.sim.now
@@ -1052,15 +1528,18 @@ class QuicConnection:
             self._send_tail_loss_probe(path)
             self._rearm_rto(path)
             return
+        path.cc.on_rto(now)
         # "Potentially failed": an RTO with no network activity since the
         # last packet transmission (paper §4.3, mirroring MPTCP's logic).
-        if path.last_receive_time < path.last_send_time:
-            newly_failed = not path.potentially_failed
-            path.potentially_failed = True
-        else:
-            newly_failed = False
+        # Entering the state reinjects the whole in-flight window onto
+        # the surviving paths at once, so the RTO drain below finds
+        # nothing left — no per-packet RTO wait for the backlog.
+        if (
+            path.liveness is PathLiveness.ACTIVE
+            and path.last_receive_time < path.last_send_time
+        ):
+            self._mark_potentially_failed(path, source="rto")
         lost = path.recovery.on_rto_fired(now)
-        path.cc.on_rto(now)
         path.recovery_exit_pn = path.recovery.largest_sent + 1
         self.stats.rto_count += 1
         self.stats.packets_lost += len(lost)
@@ -1068,13 +1547,6 @@ class QuicConnection:
             self._requeue_frames(sp.frames, path)
         if self.trace is not None:
             self.trace.log(now, self.host.name, "rto", path.path_id)
-        if newly_failed:
-            if self._obs is not None:
-                self._obs.emit(
-                    now, self.host.name, CAT_PATH, "potentially_failed",
-                    path.path_id, source="rto",
-                )
-            self._on_path_potentially_failed(path)
         self._rearm_rto(path)
         self._send_pending()
 
@@ -1102,10 +1574,18 @@ class QuicConnection:
 
     def _cancel_all_timers(self) -> None:
         for path in self.paths.values():
-            for timer in (path.rto_timer, path.loss_timer, path.ack_timer):
+            for timer in (
+                path.rto_timer, path.loss_timer, path.ack_timer,
+                path.probe_timer,
+            ):
                 if timer is not None:
                     timer.cancel()
             path.rto_timer = path.loss_timer = path.ack_timer = None
+            path.probe_timer = None
+        for conn_timer in (self._idle_timer, self._handshake_timer):
+            if conn_timer is not None:
+                conn_timer.cancel()
+        self._idle_timer = self._handshake_timer = None
 
     # ------------------------------------------------------------------
     # Introspection used by tests and experiments
@@ -1129,5 +1609,6 @@ class QuicConnection:
                 "retransmitted_bytes": path.stream_bytes_retransmitted,
                 "duplicated": path.duplicated_packets,
                 "potentially_failed": float(path.potentially_failed),
+                "reinjected_bytes": float(path.reinjected_bytes),
             }
         return out

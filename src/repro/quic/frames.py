@@ -154,6 +154,57 @@ class AddAddressFrame(Frame):
         return 1 + 1 + len(self.address.encode())
 
 
+#: Wire size of a PATH_CHALLENGE / PATH_RESPONSE token, bytes.
+PATH_TOKEN_SIZE = 8
+
+
+@dataclass(frozen=True)
+class PathChallengeFrame(Frame):
+    """Probes liveness of one path (RFC 9000 §8.2 style).
+
+    Carries an opaque 8-byte token the peer must echo back in a
+    PATH_RESPONSE *on the same path*; a matching echo proves the path
+    forwards packets in both directions.  Probes are not retransmitted
+    on loss — the liveness state machine's backed-off probe timer
+    (see :mod:`repro.quic.connection`) is the retry mechanism — so the
+    frame never arms the RTO machinery of a path already suspected
+    dead.
+    """
+
+    data: bytes
+
+    retransmittable = False
+
+    def __post_init__(self) -> None:
+        if len(self.data) != PATH_TOKEN_SIZE:
+            raise ValueError(
+                f"path challenge token must be {PATH_TOKEN_SIZE} bytes, "
+                f"got {len(self.data)}"
+            )
+
+    def wire_size(self) -> int:
+        return 1 + PATH_TOKEN_SIZE
+
+
+@dataclass(frozen=True)
+class PathResponseFrame(Frame):
+    """Echoes a PATH_CHALLENGE token, validating the path it rode in on."""
+
+    data: bytes
+
+    retransmittable = False
+
+    def __post_init__(self) -> None:
+        if len(self.data) != PATH_TOKEN_SIZE:
+            raise ValueError(
+                f"path response token must be {PATH_TOKEN_SIZE} bytes, "
+                f"got {len(self.data)}"
+            )
+
+    def wire_size(self) -> int:
+        return 1 + PATH_TOKEN_SIZE
+
+
 @dataclass(frozen=True)
 class PingFrame(Frame):
     """Solicits an ACK; used to probe a path."""
@@ -179,10 +230,17 @@ class HandshakeFrame(Frame):
 
 @dataclass(frozen=True)
 class ConnectionCloseFrame(Frame):
-    """Terminates the connection."""
+    """Terminates the connection.
+
+    Never retransmitted by loss recovery: a close either arrives or the
+    peer's own lifetime limits (idle timeout) finish the job, matching
+    RFC 9000 §10.2's closing/draining behaviour.
+    """
 
     error_code: int = 0
     reason: str = ""
+
+    retransmittable = False
 
     def wire_size(self) -> int:
         return 1 + 4 + 2 + len(self.reason.encode())

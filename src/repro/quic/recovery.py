@@ -207,6 +207,26 @@ class LossRecovery:
         """True while any ack-eliciting packet awaits acknowledgment."""
         return any(sp.ack_eliciting for sp in self.sent.values())
 
+    def drain_in_flight(self) -> List[SentPacket]:
+        """Hand back every ack-eliciting in-flight packet *without*
+        declaring it lost.
+
+        Used when a path turns potentially failed: its outstanding
+        window is reinjected onto the surviving paths immediately
+        (paper §4.3 / the reinjection policy of De Coninck 2021),
+        which is a scheduling decision, not a loss event — so loss
+        counters, RTO backoff and the ``on_packets_lost`` telemetry
+        hook are deliberately left untouched.
+        """
+        drained: List[SentPacket] = []
+        for pn in list(self.sent):
+            sp = self.sent[pn]
+            if sp.ack_eliciting:
+                del self.sent[pn]
+                self.bytes_in_flight -= sp.size
+                drained.append(sp)
+        return drained
+
     def on_rto_fired(self, now: float) -> List[SentPacket]:
         """Handle an RTO: hand back all in-flight packets for retransmission.
 

@@ -28,6 +28,8 @@ TYPE_CONNECTION_CLOSE = 0x06
 # MPQUIC extension frames.
 TYPE_ADD_ADDRESS = 0x10
 TYPE_PATHS = 0x11
+TYPE_PATH_CHALLENGE = 0x12
+TYPE_PATH_RESPONSE = 0x13
 
 #: Public header flag: packet carries an explicit Path ID byte.
 FLAG_MULTIPATH = 0x40
@@ -212,6 +214,10 @@ def encode_frame(frame: "Frame") -> bytes:
         out.append(len(frame.failed))
         out += bytes(frame.failed)
         return bytes(out)
+    if isinstance(frame, f.PathChallengeFrame):
+        return bytes([TYPE_PATH_CHALLENGE]) + frame.data
+    if isinstance(frame, f.PathResponseFrame):
+        return bytes([TYPE_PATH_RESPONSE]) + frame.data
     raise TypeError(f"cannot encode frame {frame!r}")
 
 
@@ -314,4 +320,14 @@ def decode_frame(buf: bytes, pos: int) -> Tuple["Frame", int]:
         failed = tuple(buf[pos:pos + n_failed])
         pos += n_failed
         return f.PathsFrame(tuple(active), failed), pos
+    if base_type == TYPE_PATH_CHALLENGE:
+        _need(buf, pos, f.PATH_TOKEN_SIZE, "path challenge token")
+        data = buf[pos:pos + f.PATH_TOKEN_SIZE]
+        pos += f.PATH_TOKEN_SIZE
+        return f.PathChallengeFrame(data), pos
+    if base_type == TYPE_PATH_RESPONSE:
+        _need(buf, pos, f.PATH_TOKEN_SIZE, "path response token")
+        data = buf[pos:pos + f.PATH_TOKEN_SIZE]
+        pos += f.PATH_TOKEN_SIZE
+        return f.PathResponseFrame(data), pos
     raise WireFormatError(f"unknown frame type 0x{type_byte:02x}")

@@ -1,0 +1,392 @@
+"""End-to-end failure recovery: the path liveness state machine,
+probe-driven recovery/abandonment, cross-path reinjection and the
+connection lifetime limits.
+
+Three layers under test:
+
+* unit — liveness transitions follow the legal table (hypothesis walk),
+  recovery demands *evidence* (a fresh ACK or a matching PATH_RESPONSE,
+  never mere packet receipt), probe backoff stays inside its bounds;
+* sanitizer — every new invariant actually trips on a violation;
+* e2e — a permanent single-path failure completes on the surviving
+  path with reinjected bytes and an ABANDONED path in the trace, while
+  a total blackhole terminates with a clean idle-timeout error.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.connection import MultipathQuicConnection
+from repro.netsim.engine import Simulator
+from repro.netsim.faults import Blackhole, FaultEvent, FaultTimeline
+from repro.netsim.topology import PathConfig, TwoPathTopology
+from repro.obs import Tracer
+from repro.quic.config import QuicConfig
+from repro.quic.connection import (
+    LEGAL_LIVENESS_TRANSITIONS,
+    HandshakeTimeoutError,
+    IdleTimeoutError,
+    NoViablePathError,
+    PathLiveness,
+    QuicConnection,
+)
+from repro.quic.frames import PathResponseFrame, PingFrame
+from repro.util import sanitize
+from repro.util.sanitize import SanitizerError
+
+from tests.helpers import TWO_CLEAN_PATHS, failure_timeline, run_transfer
+
+
+def mp_pair(config=None, trace=None, seed=1):
+    """An established two-path MPQUIC pair, 1 simulated second in."""
+    sim = Simulator()
+    topo = TwoPathTopology(sim, list(TWO_CLEAN_PATHS), seed=seed)
+    client = MultipathQuicConnection(sim, topo.client, "client", config, trace)
+    server = MultipathQuicConnection(sim, topo.server, "server", config, trace)
+    client.connect()
+    sim.run(until=1.0)
+    assert client.established and server.established
+    assert 1 in client.paths  # path manager opened the second path
+    return sim, topo, client, server
+
+
+def total_blackhole(time: float) -> FaultTimeline:
+    """Every path silently eats datagrams from ``time`` on."""
+    return FaultTimeline(
+        (FaultEvent(time, 0, Blackhole()), FaultEvent(time, 1, Blackhole()))
+    )
+
+
+# ----------------------------------------------------------------------
+# The transition table
+# ----------------------------------------------------------------------
+
+class TestLivenessTable:
+    def test_abandoned_is_terminal(self):
+        assert LEGAL_LIVENESS_TRANSITIONS[PathLiveness.ABANDONED] == frozenset()
+
+    def test_active_only_degrades_to_potentially_failed(self):
+        assert LEGAL_LIVENESS_TRANSITIONS[PathLiveness.ACTIVE] == frozenset(
+            {PathLiveness.POTENTIALLY_FAILED}
+        )
+
+    def test_every_state_has_an_entry(self):
+        assert set(LEGAL_LIVENESS_TRANSITIONS) == set(PathLiveness)
+
+    def test_recovery_possible_from_suspect_states_only(self):
+        recoverable = {
+            s for s, targets in LEGAL_LIVENESS_TRANSITIONS.items()
+            if PathLiveness.ACTIVE in targets
+        }
+        assert recoverable == {
+            PathLiveness.POTENTIALLY_FAILED, PathLiveness.PROBING
+        }
+
+    @given(
+        st.lists(
+            st.sampled_from(list(PathLiveness)), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_only_table_transitions_are_accepted(self, targets):
+        """Property: _set_liveness accepts exactly the table's edges;
+        an illegal attempt trips the sanitizer and leaves state intact."""
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PathConfig(10, 40, 50)], seed=1)
+        conn = QuicConnection(sim, topo.client, "client", QuicConfig())
+        conn.connect()
+        path = conn.paths[0]
+        with sanitize.enabled():
+            for target in targets:
+                before = path.liveness
+                if target in LEGAL_LIVENESS_TRANSITIONS[before]:
+                    conn._set_liveness(path, target)
+                    assert path.liveness is target
+                else:
+                    with pytest.raises(SanitizerError):
+                        conn._set_liveness(path, target)
+                    assert path.liveness is before
+
+
+# ----------------------------------------------------------------------
+# Recovery requires evidence (the satellite bug fix)
+# ----------------------------------------------------------------------
+
+#: Probes pushed out far enough that they cannot rescue the path first.
+SLOW_PROBES = dict(probe_interval_initial=5.0, probe_interval_max=5.0)
+
+
+class TestRecoveryEvidence:
+    def test_packet_receipt_alone_does_not_recover(self):
+        """The old blanket clear-on-receive is gone: a PING landing on a
+        potentially-failed path proves the *peer's* direction works, not
+        that our own packets get through."""
+        sim, topo, client, server = mp_pair(QuicConfig(**SLOW_PROBES))
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        client._send_pending()  # flush the PATHS signal, as _on_rto does
+        server._queue_control(1, PingFrame())
+        server._send_pending()
+        sim.run(until=sim.now + 1.0)  # PING delivered, no probe fired yet
+        assert path.liveness is PathLiveness.POTENTIALLY_FAILED
+
+    def test_probe_response_recovers(self):
+        trace = Tracer()
+        sim, topo, client, server = mp_pair(
+            QuicConfig(**SLOW_PROBES), trace=trace
+        )
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        client._send_pending()  # flush the PATHS signal, as _on_rto does
+        sim.run(until=sim.now + 7.0)  # probe at +5s round-trips
+        assert path.liveness is PathLiveness.ACTIVE
+        recovered = [
+            ev for ev in trace.events_of("path", "recovered")
+            if ev.host == "client" and ev.path_id == 1
+        ]
+        assert recovered and recovered[0].data["reason"] == "probe"
+
+    def test_stale_probe_response_is_ignored(self):
+        sim, topo, client, server = mp_pair(QuicConfig(**SLOW_PROBES))
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        client._on_path_response(PathResponseFrame(b"\x00" * 8), path)
+        assert path.liveness is PathLiveness.POTENTIALLY_FAILED
+
+    def test_fresh_ack_recovers(self):
+        """An ACK of new data sent on the suspect path is the other
+        legitimate recovery signal (here: a WINDOW_UPDATE's ACK)."""
+        trace = Tracer()
+        sim, topo, client, server = mp_pair(
+            QuicConfig(**SLOW_PROBES), trace=trace
+        )
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        client._queue_control(1, PingFrame())  # eliciting, rides path 1
+        client._send_pending()
+        sim.run(until=sim.now + 1.0)
+        assert path.liveness is PathLiveness.ACTIVE
+        recovered = [
+            ev for ev in trace.events_of("path", "recovered")
+            if ev.host == "client" and ev.path_id == 1
+        ]
+        assert recovered and recovered[0].data["reason"] == "ack"
+
+
+# ----------------------------------------------------------------------
+# Probing and backoff
+# ----------------------------------------------------------------------
+
+class TestProbing:
+    def test_backoff_stays_inside_bounds(self):
+        """Probe intervals start at the floor, grow by the configured
+        factor and saturate at the ceiling."""
+        config = QuicConfig()
+        trace = Tracer()
+        res = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=200_000,
+            timeline=failure_timeline(0.3, path=0, mode="blackhole"),
+            quic_config=config, trace=trace, timeout=60.0,
+        )
+        res.sim.run(until=res.sim.now + 15.0)  # let the probe budget run out
+        probes = [
+            ev for ev in trace.events_of("path", "probe")
+            if ev.host == "client" and ev.path_id == 0
+        ]
+        assert len(probes) == config.path_max_probes
+        intervals = [ev.data["interval"] for ev in probes]
+        assert intervals[0] == config.probe_interval_initial
+        for prev, cur in zip(intervals, intervals[1:]):
+            assert cur == pytest.approx(
+                min(prev * config.probe_backoff, config.probe_interval_max)
+            )
+        assert all(
+            config.probe_interval_initial <= iv <= config.probe_interval_max
+            for iv in intervals
+        )
+
+    def test_exhausted_budget_abandons(self):
+        trace = Tracer()
+        res = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=200_000,
+            timeline=failure_timeline(0.3, path=0, mode="blackhole"),
+            trace=trace, timeout=60.0,
+        )
+        res.sim.run(until=res.sim.now + 15.0)
+        assert res.client.connection.paths[0].liveness is PathLiveness.ABANDONED
+        assert not res.client.connection.paths[0].active
+        abandoned = [
+            ev for ev in trace.events_of("path", "abandoned")
+            if ev.host == "client" and ev.path_id == 0
+        ]
+        assert abandoned and abandoned[0].data["reason"] == "probe_timeout"
+        # The full lifecycle appears in order on the event stream.
+        names = [
+            ev.name for ev in trace.events_of("path")
+            if ev.host == "client" and ev.path_id == 0
+            and ev.name in ("potentially_failed", "probing", "abandoned")
+        ]
+        assert names[0] == "potentially_failed"
+        assert "probing" in names
+        assert names[-1] == "abandoned"
+        assert names.index("probing") < names.index("abandoned")
+
+
+# ----------------------------------------------------------------------
+# Sanitizer invariants (REPRO_SANITIZE)
+# ----------------------------------------------------------------------
+
+class TestSanitizerInvariants:
+    def test_probe_interval_outside_bounds_trips(self):
+        sim, topo, client, server = mp_pair()
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        path.probe_interval = 99.0  # below-floor/above-ceiling poke
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="backoff bounds"):
+                client._schedule_probe(path)
+
+    def test_eliciting_send_on_abandoned_path_trips(self):
+        sim, topo, client, server = mp_pair()
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        client._abandon_path(path, reason="test")
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="abandoned"):
+                client._send_packet(path, (PingFrame(),))
+
+    def test_scheduler_rejects_probing_path(self):
+        from repro.core.scheduler import make_scheduler
+
+        sim, topo, client, server = mp_pair()
+        path = client.paths[1]
+        client._mark_potentially_failed(path, source="rto")
+        client._set_liveness(path, PathLiveness.PROBING)
+        scheduler = make_scheduler("lowest_rtt")
+        with sanitize.enabled():
+            with pytest.raises(SanitizerError, match="probing or abandoned"):
+                scheduler.choose([path])
+
+
+# ----------------------------------------------------------------------
+# Permanent single-path failure (e2e guarantee)
+# ----------------------------------------------------------------------
+
+class TestPermanentFailure:
+    @pytest.fixture(scope="class")
+    def failed_run(self):
+        """Interface 0 goes down for good mid-transfer and never
+        returns; the whole run executes under the sanitizer."""
+        trace = Tracer()
+        with sanitize.enabled():
+            res = run_transfer(
+                "mpquic", TWO_CLEAN_PATHS, file_size=3_000_000,
+                timeline=failure_timeline(0.5, path=0, mode="down"),
+                trace=trace, timeout=120.0,
+            )
+            res.sim.run(until=res.sim.now + 15.0)  # through abandonment
+        return res
+
+    def test_completes_on_surviving_path(self, failed_run):
+        assert failed_run.ok
+        assert failed_run.app.bytes_received == 3_000_000
+
+    def test_inflight_bytes_were_reinjected(self, failed_run):
+        assert failed_run.server.connection.stats.reinjected_bytes > 0
+        reinjects = [
+            ev for ev in failed_run.trace.events_of("path", "reinject")
+            if ev.path_id == 0
+        ]
+        assert reinjects
+        assert any(ev.data["stream_bytes"] > 0 for ev in reinjects)
+
+    def test_path_ends_abandoned(self, failed_run):
+        assert (
+            failed_run.client.connection.paths[0].liveness is PathLiveness.ABANDONED
+        )
+        abandoned = failed_run.trace.events_of("path", "abandoned")
+        assert any(
+            ev.host == "client" and ev.path_id == 0 for ev in abandoned
+        )
+
+    def test_scheduler_never_selects_suspect_path(self, failed_run):
+        """After the failure is detected, fresh data only rides path 1;
+        path 0 sees probes at most."""
+        t_pf = min(
+            ev.time
+            for ev in failed_run.trace.events_of("path", "potentially_failed")
+            if ev.host == "server" and ev.path_id == 0
+        )
+        selected = failed_run.trace.events_of(
+            "scheduler", "path_selected", "server", 0, t_min=t_pf
+        )
+        assert not selected
+
+    def test_abandoned_path_is_retired_in_path_manager(self, failed_run):
+        assert failed_run.client.connection.path_manager.is_retired(0)
+
+
+# ----------------------------------------------------------------------
+# Connection lifetime limits
+# ----------------------------------------------------------------------
+
+class TestLifetimeLimits:
+    def test_total_blackhole_idle_times_out(self):
+        """The acceptance guarantee: when every path dies, the transfer
+        terminates with a clean idle-timeout error at the configured
+        deadline — not a simulation hang."""
+        trace = Tracer()
+        config = QuicConfig(idle_timeout=5.0)
+        res = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=5_000_000,
+            timeline=total_blackhole(1.0),
+            quic_config=config, trace=trace, timeout=600.0,
+        )
+        assert not res.ok
+        assert res.client.connection.closed
+        assert isinstance(res.client.connection.close_error, IdleTimeoutError)
+        closes = [
+            ev for ev in trace.events_of("connection", "idle_timeout")
+            if ev.host == "client"
+        ]
+        assert closes
+        # Last receipt is shortly after the blackhole at t=1.0; the
+        # error must land one idle period later, not "eventually".
+        assert 5.9 <= closes[0].time <= 7.0
+
+    def test_idle_timer_disabled_by_default(self):
+        sim, topo, client, server = mp_pair()
+        assert client.config.idle_timeout == 0.0
+        assert client._idle_timer is None
+
+    def test_handshake_deadline(self):
+        sim = Simulator()
+        topo = TwoPathTopology(sim, [PathConfig(10, 40, 50)], seed=1)
+        topo.forward_links[0].set_loss_rate(1.0)  # CHLO never arrives
+        client = QuicConnection(
+            sim, topo.client, "client", QuicConfig(handshake_timeout=1.5)
+        )
+        QuicConnection(sim, topo.server, "server", QuicConfig())
+        client.connect()
+        sim.run(until=10.0)
+        assert client.closed and not client.established
+        assert isinstance(client.close_error, HandshakeTimeoutError)
+
+    def test_all_paths_abandoned_closes_with_error(self):
+        """Without an idle timeout, the probe budget still bounds the
+        connection's lifetime: abandoning the last path closes it."""
+        trace = Tracer()
+        config = QuicConfig(path_max_probes=2)
+        res = run_transfer(
+            "mpquic", TWO_CLEAN_PATHS, file_size=5_000_000,
+            timeline=total_blackhole(0.5),
+            quic_config=config, trace=trace, timeout=600.0,
+        )
+        assert not res.ok
+        assert isinstance(res.client.connection.close_error, NoViablePathError)
+        assert all(
+            p.liveness is PathLiveness.ABANDONED
+            for p in res.client.connection.paths.values()
+        )
+        assert trace.events_of("connection", "no_viable_path")

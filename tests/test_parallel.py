@@ -3,13 +3,17 @@
 The contract under test: fanning a class sweep out over worker
 processes (or serving it from the on-disk cache) must be invisible in
 the results — the matrices are bit-identical to the serial loop over
-``run_scenario_protocol_matrix``.
+``run_scenario_protocol_matrix`` — and that guarantee survives crashed
+workers, raising cells, an unavailable pool and interrupted sweeps.
 """
 
+import json
 from dataclasses import replace
 
+import pytest
 
 from repro.expdesign.parameters import generate_scenarios
+from repro.experiments import parallel
 from repro.experiments.parallel import (
     ResultCache,
     SweepCell,
@@ -20,6 +24,7 @@ from repro.experiments.parallel import (
     execute_class_sweep,
     plan_class_sweep,
     resolve_jobs,
+    resolve_retries,
     result_from_dict,
     result_to_dict,
     run_cell,
@@ -226,3 +231,116 @@ class TestProcessPool:
         assert [r.goodput_bps for r in inproc] == [
             r.goodput_bps for r in pooled
         ]
+
+
+def _arm_chaos(monkeypatch, victim, mode="raise", marker_dir=None):
+    """Make ``victim`` crash via the chaos drill hooks.
+
+    ``mode="raise"`` raises in-process (usable at ``jobs=1``); the
+    default ``os._exit`` variant kills the worker — only safe under a
+    real pool.  A ``marker_dir`` limits each cell to one crash.
+    """
+    monkeypatch.setenv("REPRO_CHAOS_CRASH_KEY", victim.cache_key()[:16])
+    monkeypatch.setenv("REPRO_CHAOS_MODE", mode)
+    if marker_dir is not None:
+        monkeypatch.setenv("REPRO_CHAOS_MARKER_DIR", str(marker_dir))
+    else:
+        monkeypatch.delenv("REPRO_CHAOS_MARKER_DIR", raising=False)
+
+
+class TestCrashIsolation:
+    def test_raising_cell_is_retried_to_success(self, monkeypatch, tmp_path):
+        cells = [_cell(), _cell(protocol="tcp")]
+        clean = execute_cells(cells, jobs=1, cache=None)
+        stats = SweepStats()
+        _arm_chaos(monkeypatch, cells[0], marker_dir=tmp_path / "markers")
+        results = execute_cells(cells, jobs=1, cache=None, stats=stats)
+        assert stats.retries == 1 and stats.quarantined == 0
+        assert [result_to_dict(r) for r in results] == [
+            result_to_dict(r) for r in clean
+        ]
+
+    def test_repeated_failure_is_quarantined(self, monkeypatch):
+        cells = [_cell(), _cell(protocol="tcp")]
+        stats = SweepStats()
+        _arm_chaos(monkeypatch, cells[0])  # crashes on every attempt
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            results = execute_cells(
+                cells, jobs=1, cache=None, stats=stats, retries=1
+            )
+        assert results[0] is None and results[1] is not None
+        assert stats.quarantined == 1 and stats.retries == 1
+        assert len(parallel.last_quarantine) == 1
+        entry = parallel.last_quarantine[0]
+        assert entry["cache_key"] == cells[0].cache_key()
+        assert entry["attempts"] == 2 and len(entry["errors"]) == 2
+        assert "chaos drill" in entry["errors"][0]
+
+    def test_quarantine_report_written_even_when_clean(
+        self, monkeypatch, tmp_path
+    ):
+        report = tmp_path / "quarantine.json"
+        monkeypatch.setenv("REPRO_QUARANTINE_FILE", str(report))
+        execute_cells([_cell(protocol="tcp")], jobs=1, cache=None)
+        payload = json.loads(report.read_text())
+        assert payload["quarantined"] == []
+        assert payload["quarantined_cells"] == 0
+
+    def test_dead_worker_recovers_bit_identical(self, monkeypatch, tmp_path):
+        """A worker killed mid-cell poisons the pool; the retry round
+        rebuilds it and the final matrix matches the clean serial run."""
+        cells = [
+            _cell(protocol=p, initial_interface=i)
+            for p in ("tcp", "quic") for i in (0, 1)
+        ]
+        clean = execute_cells(cells, jobs=1, cache=None)
+        stats = SweepStats()
+        _arm_chaos(
+            monkeypatch, cells[1], mode="exit",
+            marker_dir=tmp_path / "markers",
+        )
+        results = execute_cells(cells, jobs=2, cache=None, stats=stats)
+        assert stats.pool_restarts >= 1 and stats.retries >= 1
+        assert stats.quarantined == 0
+        assert [result_to_dict(r) for r in results] == [
+            result_to_dict(r) for r in clean
+        ]
+
+    def test_serial_fallback_when_pool_unavailable(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise PermissionError("no processes in this sandbox")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", refuse)
+        cells = [_cell(protocol="tcp"), _cell(protocol="tcp", initial_interface=1)]
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = execute_cells(cells, jobs=4, cache=None)
+        assert all(r is not None for r in results)
+
+    def test_interrupted_sweep_resumes_from_cache(self, monkeypatch, tmp_path):
+        """Cells finished before a failure are served from disk on the
+        next invocation; only the failed cell re-executes."""
+        cells = [_cell(), _cell(protocol="tcp")]
+        clean = execute_cells(cells, jobs=1, cache=None)
+        cache = ResultCache(tmp_path / "cache")
+        _arm_chaos(monkeypatch, cells[0])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            first = execute_cells(
+                cells, jobs=1, cache=cache, retries=0
+            )
+        assert first[0] is None and first[1] is not None
+        # The "interruption" is over: disarm chaos and resume.
+        monkeypatch.delenv("REPRO_CHAOS_CRASH_KEY")
+        stats = SweepStats()
+        resumed = execute_cells(cells, jobs=1, cache=cache, stats=stats)
+        assert stats.cache_hits == 1 and stats.executed == 1
+        assert [result_to_dict(r) for r in resumed] == [
+            result_to_dict(r) for r in clean
+        ]
+
+    def test_resolve_retries_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "5")
+        assert resolve_retries() == 5
+        assert resolve_retries(1) == 1  # explicit wins over env
+        monkeypatch.delenv("REPRO_RETRIES")
+        assert resolve_retries() == parallel.DEFAULT_RETRIES
+        assert resolve_retries(-3) == 0

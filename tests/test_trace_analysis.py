@@ -7,6 +7,7 @@ from repro.netsim.engine import Simulator
 from repro.netsim.topology import PathConfig, TwoPathTopology
 from repro.netsim.trace import PacketTrace
 from repro.quic.config import QuicConfig
+from repro.quic.connection import PathLiveness
 
 
 def traced_transfer(paths, size=500_000, config=None, seed=1, until=30.0):
@@ -93,7 +94,10 @@ class TestTraceAnalysis:
         sim.run(until=0.4)
         topo.set_path_loss(0, 100.0)
         sim.run(until=3.0)
-        # The sender probed the dead path before giving up on it (TLP),
-        # then declared an RTO.
-        assert trace.filter(event="tlp", host="server")
-        assert trace.filter(event="rto", host="server")
+        # The sender probed the dead path before giving up on it (TLP);
+        # then either its own RTO or the peer's PATHS warning marked the
+        # path potentially failed and reinjected the in-flight window
+        # onto the surviving path — no per-packet RTO wait.
+        assert trace.filter(event="tlp", host="server", path_id=0)
+        assert server.paths[0].liveness is not PathLiveness.ACTIVE
+        assert server.stats.reinjected_bytes > 0

@@ -15,7 +15,9 @@ from repro.quic.frames import (
     ConnectionCloseFrame,
     HandshakeFrame,
     MAX_ACK_RANGES,
+    PathChallengeFrame,
     PathInfo,
+    PathResponseFrame,
     PathsFrame,
     PingFrame,
     StreamFrame,
@@ -65,6 +67,8 @@ FRAME_EXAMPLES = [
     HandshakeFrame("CHLO", 730),
     HandshakeFrame("SHLO", 100),
     ConnectionCloseFrame(error_code=7, reason="bye"),
+    PathChallengeFrame(data=b"\x43\x01\x00\x00\x00\x00\x00\x2a"),
+    PathResponseFrame(data=b"\x53\x01\x00\x00\x00\x00\x00\x2a"),
     AddAddressFrame("10.1.0.2"),
     PathsFrame(active=(PathInfo(0, 25000), PathInfo(1, 48000)), failed=(2,)),
     PathsFrame(active=(), failed=()),
