@@ -1,0 +1,193 @@
+"""Engine micro-benchmark: raw event throughput and metrics overhead.
+
+Measures the discrete-event core in isolation — how fast the simulator
+dispatches trivial events, how it copes with heavy timer churn
+(schedule + cancel, the recovery layer's access pattern), and what a
+representative MPQUIC transfer costs end to end.  The transfer is run
+twice, with ``REPRO_METRICS`` instrumentation off (the default,
+headline number) and on, so the record quantifies the observability
+tax and a regression in the *off* path — the production hot path — is
+caught by ``python -m repro.obs.bench_compare`` in CI.
+
+Writes a ``BENCH_engine.json`` record::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --events 50000 --file-size 1000000 --output BENCH_engine.json
+
+Each timing is the best of ``--repeat`` runs, which suppresses
+scheduler noise on shared CI hosts better than the mean does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.experiments.runner import run_bulk
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import PathConfig
+from repro.obs import metrics as _metrics
+
+
+def _best_of(fn: Callable[[], int], repeat: int) -> Tuple[float, int]:
+    """(best wall seconds, events of the best run) over ``repeat`` runs."""
+    best = float("inf")
+    events = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        n = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best, events = dt, n
+    return best, events
+
+
+def bench_event_loop(n_events: int, repeat: int) -> dict:
+    """Dispatch ``n_events`` trivial timers: the engine's speed-of-light."""
+
+    def run() -> int:
+        sim = Simulator()
+        for i in range(n_events):
+            sim.schedule(i * 1e-6, _noop)
+        sim.run()
+        return sim.events_processed
+
+    seconds, events = _best_of(run, repeat)
+    return {
+        "events": events,
+        "wall_seconds": round(seconds, 6),
+        "events_per_second": round(events / seconds) if seconds > 0 else None,
+    }
+
+
+def _noop() -> None:
+    pass
+
+
+def bench_timer_churn(n_events: int, repeat: int) -> dict:
+    """Schedule-and-cancel churn: the loss-recovery access pattern.
+
+    Two timers are scheduled per event and one is cancelled, so half
+    the heap is dead weight and the lazy compactor has real work to do.
+    """
+
+    def run() -> int:
+        sim = Simulator()
+        for i in range(n_events):
+            keep = sim.schedule(i * 1e-6, _noop)
+            victim = sim.schedule(i * 1e-6 + 2.0, _noop)
+            victim.cancel()
+            del keep
+        sim.run()
+        return sim.events_processed
+
+    seconds, events = _best_of(run, repeat)
+    return {
+        "events": events,
+        "cancelled": events,  # one victim per kept timer
+        "wall_seconds": round(seconds, 6),
+        "events_per_second": round(events / seconds) if seconds > 0 else None,
+    }
+
+
+def bench_transfer(
+    file_size: int, repeat: int, metrics_on: bool
+) -> dict:
+    """One 2-path MPQUIC bulk download, instrumented or not."""
+
+    def run() -> int:
+        result = run_bulk(
+            "mpquic",
+            [PathConfig(10, 30, 60), PathConfig(10, 30, 60)],
+            file_size,
+        )
+        if not result.completed:
+            raise RuntimeError("benchmark transfer did not complete")
+        return int(result.details.get("sim_events", 0))
+
+    if metrics_on:
+        with _metrics.enabled():
+            seconds, events = _best_of(run, repeat)
+    else:
+        seconds, events = _best_of(run, repeat)
+    return {
+        "events": events,
+        "wall_seconds": round(seconds, 6),
+        "events_per_second": round(events / seconds) if seconds > 0 else None,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--events", type=int,
+        default=int(os.environ.get("REPRO_BENCH_EVENTS", "50000")),
+        help="event count for the micro loops",
+    )
+    parser.add_argument(
+        "--file-size", type=int,
+        default=int(os.environ.get("REPRO_FILE_SIZE", "1000000")),
+        help="bytes transferred in the MPQUIC benchmark",
+    )
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    if _metrics.METRICS:
+        print(
+            "FAIL: run with REPRO_METRICS unset — the headline numbers "
+            "must measure the uninstrumented hot path",
+            file=sys.stderr,
+        )
+        return 1
+
+    loop = bench_event_loop(args.events, args.repeat)
+    print(f"event_loop:  {loop['events_per_second']:>9} events/s")
+    churn = bench_timer_churn(args.events, args.repeat)
+    print(f"timer_churn: {churn['events_per_second']:>9} events/s")
+    off = bench_transfer(args.file_size, args.repeat, metrics_on=False)
+    print(f"mpquic off:  {off['events_per_second']:>9} events/s")
+    on = bench_transfer(args.file_size, args.repeat, metrics_on=True)
+    print(f"mpquic on:   {on['events_per_second']:>9} events/s")
+    overhead = (
+        round(on["wall_seconds"] / off["wall_seconds"], 3)
+        if off["wall_seconds"] > 0 else None
+    )
+    print(f"metrics overhead factor (on/off wall time): {overhead}")
+
+    record = {
+        "benchmark": "engine",
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "events": args.events,
+            "file_size": args.file_size,
+            "repeat": args.repeat,
+        },
+        # Headline: raw engine dispatch rate, what bench_compare gates.
+        "events_per_second": loop["events_per_second"],
+        "event_loop": loop,
+        "timer_churn": churn,
+        "mpquic_transfer": off,
+        "mpquic_transfer_metrics_on": on,
+        # Wall-time factor of running instrumented (1.0 = free,
+        # 1.25 = a 25% observability tax when REPRO_METRICS=1).
+        "metrics_overhead_ratio": overhead,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

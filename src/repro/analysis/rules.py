@@ -17,9 +17,19 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.analysis.core import Finding, ModuleContext, Rule, register
 
 #: Locations where wall-clock access is legitimate: benchmark harnesses
-#: time real execution, and the parallel executor reports elapsed
-#: wall time for its own scheduling diagnostics (never into results).
-WALL_CLOCK_EXEMPT = ("benchmarks/", "experiments/parallel.py")
+#: time real execution, the parallel executor reports elapsed wall time
+#: for its own scheduling diagnostics (never into results), and the
+#: metrics registry owns the one sanctioned timing handle.
+WALL_CLOCK_EXEMPT = (
+    "benchmarks/",
+    "experiments/parallel.py",
+    "obs/metrics.py",
+)
+
+#: The only module allowed to touch ``time.perf_counter`` directly;
+#: everything else times through ``repro.obs.metrics.clock`` (or the
+#: ``timed()`` scope) so wall-time attribution stays in one place.
+PERF_TIMING_EXEMPT = ("benchmarks/", "obs/metrics.py")
 
 #: ``time`` module functions that read host clocks.
 _TIME_FUNCS = frozenset(
@@ -150,6 +160,61 @@ class WallClockRule(Rule):
                                     ctx,
                                     node,
                                     f"imports wall-clock `time.{alias.name}`",
+                                )
+                            )
+        return findings
+
+
+@register
+class PerfTimingRule(Rule):
+    """All timing goes through the metrics registry's clock."""
+
+    rule_id = "perf-timing"
+    rationale = (
+        "Ad-hoc time.perf_counter() timing scatters wall-clock reads "
+        "that the metrics registry cannot attribute; use "
+        "repro.obs.metrics.clock() (or metrics.timed()) so profiles "
+        "and per-subsystem wall time stay consistent."
+    )
+
+    #: Unlike the wall-clock rule, bare *references* are flagged too:
+    #: ``pc = time.perf_counter`` followed by ``pc()`` would evade a
+    #: call-only check.
+    _FORBIDDEN = frozenset({"perf_counter", "perf_counter_ns"})
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if _is_exempt(ctx, PERF_TIMING_EXEMPT):
+            return []
+        findings = []
+        for node in _walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if chain is None:
+                    continue
+                parts = chain.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] == "time"
+                    and parts[1] in self._FORBIDDEN
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"direct `{chain}` timing (use "
+                            "repro.obs.metrics.clock instead)",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in self._FORBIDDEN:
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node,
+                                    f"imports `time.{alias.name}` (use "
+                                    "repro.obs.metrics.clock instead)",
                                 )
                             )
         return findings

@@ -12,6 +12,7 @@ import enum
 from abc import ABC, abstractmethod
 from typing import Callable, Optional
 
+from repro.obs import metrics as _metrics
 from repro.util import sanitize as _san
 
 
@@ -47,6 +48,10 @@ class CongestionController(ABC):
         ] = None
 
     def _emit(self, event: str, now: float) -> None:
+        if _metrics.METRICS:
+            # Every _emit call marks a controller state transition
+            # (loss-event entry, RTO collapse, recovery exit).
+            _metrics.REGISTRY.inc("cc.state_transitions")
         if self.telemetry is not None:
             self.telemetry(event, self, now)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, List, Optional
 
+from repro.obs import metrics as _metrics
 from repro.quic.connection import PathLiveness, PathState
 from repro.util import sanitize as _san
 
@@ -37,6 +38,8 @@ class Scheduler(ABC):
     def choose(self, paths: List[PathState]) -> Optional[PathState]:
         """Select a path and report the decision to the telemetry hook."""
         path = self.select_path(paths)
+        if _metrics.METRICS and path is not None:
+            _metrics.REGISTRY.inc("scheduler.decisions")
         if _san.SANITIZE and path is not None:
             # A scheduler must only pick from the offered paths and
             # never overcommit a full congestion window.

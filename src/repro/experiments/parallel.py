@@ -37,6 +37,11 @@ Environment knobs (also surfaced as ``--jobs`` / ``--no-cache`` on the
 * ``REPRO_RETRIES`` — retry attempts per failing cell (default 2).
 * ``REPRO_QUARANTINE_FILE`` — write the quarantine report (JSON) here
   after every :func:`execute_cells` call.
+* ``REPRO_SWEEP_TELEMETRY`` — stream one JSONL record per finished
+  cell (runtime, cache hit/miss, attempts, worker pid, events/sec) to
+  this sidecar file; see :class:`SweepTelemetry`.
+* ``REPRO_PROGRESS`` — force the live progress/ETA line on (it is
+  otherwise shown only when stderr is a terminal).
 * ``REPRO_CHAOS_CRASH_KEY`` / ``REPRO_CHAOS_MARKER_DIR`` /
   ``REPRO_CHAOS_MODE`` — fault-drill hooks for CI; see
   :func:`_chaos_crash_requested`.
@@ -47,6 +52,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import time
 import warnings
@@ -54,9 +60,10 @@ from concurrent.futures import as_completed, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.expdesign.parameters import Scenario
+from repro.obs import metrics as _metrics
 from repro.experiments.runner import (
     DEFAULT_SIM_TIMEOUT,
     BulkRunResult,
@@ -215,6 +222,19 @@ def run_cell(cell: SweepCell) -> BulkRunResult:
         timeout=cell.timeout,
         timeline=cell.timeline,
     )
+
+
+def _run_cell_timed(cell: SweepCell) -> Tuple[BulkRunResult, float, int]:
+    """Worker entry with telemetry: ``(result, wall_seconds, worker_pid)``.
+
+    Timing wraps only the cell's own execution, so pool scheduling and
+    result pickling stay out of the per-cell runtime.  The result object
+    itself is untouched — cached entries remain bit-identical whether a
+    sweep ran with telemetry or without.
+    """
+    t0 = _metrics.clock()
+    result = run_cell(cell)
+    return result, _metrics.clock() - t0, os.getpid()
 
 
 # ----------------------------------------------------------------------
@@ -410,12 +430,180 @@ def write_quarantine_report(path: os.PathLike, entries: List[Dict]) -> None:
         raise
 
 
+class SweepTelemetry:
+    """Streams per-cell sweep telemetry to a JSONL sidecar.
+
+    Record types (``"record"`` field):
+
+    * ``sweep_start`` — one per :func:`execute_cells` call: cell count,
+      worker count, format version.
+    * ``cell`` — exactly one *terminal* record per cell, whether it was
+      served from cache (``status="cached"``), executed
+      (``"executed"``, with wall seconds, worker pid, attempt count and
+      events/sec) or gave up (``"quarantined"``).
+    * ``attempt_failed`` — one per failed attempt (crash or exception),
+      before the cell's terminal record.
+    * ``sweep_end`` — closing totals mirroring :class:`SweepStats`.
+
+    The sidecar is opened in append mode, so a figure run spanning
+    several class sweeps accumulates one ``sweep_start``/``sweep_end``
+    block per sweep in a single file.  Each record is written and
+    flushed individually: a killed sweep leaves a readable prefix, and
+    ``tail -f`` follows a live one.
+
+    A progress/ETA line is maintained on ``stream`` (default: stderr
+    when it is a terminal, or always under ``REPRO_PROGRESS=1``).  The
+    ETA extrapolates from the mean wall time of the cells finished so
+    far — coarse, but it needs no knowledge of cache hit rates ahead
+    of time.
+    """
+
+    def __init__(
+        self,
+        path: Optional[os.PathLike] = None,
+        total: int = 0,
+        jobs: int = 1,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total = total
+        self.jobs = jobs
+        self.done = 0
+        self.cell_records = 0
+        self._t0 = _metrics.clock()
+        self._fh: Optional[TextIO] = None
+        self._stream = stream
+        if path is not None:
+            target = Path(path)
+            if str(target.parent) not in ("", "."):
+                target.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(target, "a")
+        self._write(
+            {
+                "record": "sweep_start",
+                "format": RESULTS_FORMAT_VERSION,
+                "cells": total,
+                "jobs": jobs,
+            }
+        )
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._fh is not None:
+            json.dump(record, self._fh, sort_keys=True)
+            self._fh.write("\n")
+            self._fh.flush()
+
+    def _progress(self) -> None:
+        if self._stream is None:
+            return
+        elapsed = _metrics.clock() - self._t0
+        remaining = self.total - self.done
+        eta = elapsed / self.done * remaining if self.done else float("nan")
+        self._stream.write(
+            f"\rsweep [{self.done}/{self.total}] "
+            f"elapsed={elapsed:6.1f}s eta={eta:6.1f}s"
+        )
+        if self.done >= self.total:
+            self._stream.write("\n")
+        self._stream.flush()
+
+    def cell(
+        self,
+        index: int,
+        cell: SweepCell,
+        status: str,
+        wall_seconds: float = 0.0,
+        worker_pid: Optional[int] = None,
+        attempts: int = 1,
+        events: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        """Terminal record for one cell; drives the progress line."""
+        record: Dict[str, Any] = {
+            "record": "cell",
+            "index": index,
+            "cache_key": cell.cache_key(),
+            "protocol": cell.protocol,
+            "initial_interface": cell.initial_interface,
+            "base_seed": cell.base_seed,
+            "status": status,
+            "wall_seconds": round(wall_seconds, 6),
+            "attempts": attempts,
+        }
+        if worker_pid is not None:
+            record["worker_pid"] = worker_pid
+        if events:
+            record["events"] = events
+            if wall_seconds > 0:
+                record["events_per_second"] = round(events / wall_seconds)
+        if error is not None:
+            record["error"] = error
+        self._write(record)
+        self.cell_records += 1
+        self.done += 1
+        self._progress()
+
+    def attempt_failed(self, index: int, attempt: int, error: str) -> None:
+        self._write(
+            {
+                "record": "attempt_failed",
+                "index": index,
+                "attempt": attempt,
+                "error": error,
+            }
+        )
+
+    def close(self, stats: SweepStats) -> None:
+        self._write(
+            {
+                "record": "sweep_end",
+                "cells": stats.cells,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "executed": stats.executed,
+                "events_processed": stats.events_processed,
+                "retries": stats.retries,
+                "quarantined": stats.quarantined,
+                "pool_restarts": stats.pool_restarts,
+                "wall_seconds": round(_metrics.clock() - self._t0, 6),
+            }
+        )
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _progress_stream() -> Optional[TextIO]:
+    """stderr when it wants a progress line (tty, or forced by env)."""
+    if os.environ.get("REPRO_PROGRESS", "").lower() in ("1", "on", "true", "yes"):
+        return sys.stderr
+    try:
+        if sys.stderr.isatty():
+            return sys.stderr
+    except (AttributeError, ValueError):
+        pass
+    return None
+
+
+def default_telemetry(total: int, jobs: int) -> Optional[SweepTelemetry]:
+    """Telemetry configured by the environment, or None when silent.
+
+    Active when ``REPRO_SWEEP_TELEMETRY`` names a sidecar path and/or a
+    progress line is wanted (tty stderr or ``REPRO_PROGRESS=1``).
+    """
+    path = os.environ.get("REPRO_SWEEP_TELEMETRY", "").strip() or None
+    stream = _progress_stream()
+    if path is None and stream is None:
+        return None
+    return SweepTelemetry(path, total, jobs, stream=stream)
+
+
 def execute_cells(
     cells: Sequence[SweepCell],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = "auto",  # type: ignore[assignment]
     stats: Optional[SweepStats] = None,
     retries: Optional[int] = None,
+    telemetry: Optional[SweepTelemetry] = "auto",  # type: ignore[assignment]
 ) -> List[Optional[BulkRunResult]]:
     """Run every cell, returning results aligned with ``cells``.
 
@@ -437,86 +625,116 @@ def execute_cells(
 
     ``cache="auto"`` resolves via :func:`default_cache` (honouring
     ``REPRO_CACHE``); pass ``None`` to bypass caching explicitly.
+    ``telemetry="auto"`` resolves via :func:`default_telemetry`
+    (honouring ``REPRO_SWEEP_TELEMETRY`` / ``REPRO_PROGRESS``); pass
+    ``None`` to silence it or a :class:`SweepTelemetry` to direct it.
     """
     global last_stats, last_quarantine
     if cache == "auto":
         cache = default_cache()
     jobs = resolve_jobs(jobs)
+    if telemetry == "auto":
+        telemetry = default_telemetry(len(cells), jobs)
     stats = stats if stats is not None else SweepStats()
     stats.cells += len(cells)
     stats.jobs = max(stats.jobs, jobs)
     quarantined: List[Dict] = []
 
-    results: List[Optional[BulkRunResult]] = [None] * len(cells)
-    missing: List[int] = []
-    for i, cell in enumerate(cells):
-        cached = cache.get(cell) if cache is not None else None
-        if cached is not None:
-            results[i] = cached
-        else:
-            missing.append(i)
-    if cache is not None:
-        stats.cache_hits += len(cells) - len(missing)
-        stats.cache_misses += len(missing)
+    try:
+        results: List[Optional[BulkRunResult]] = [None] * len(cells)
+        missing: List[int] = []
+        for i, cell in enumerate(cells):
+            cached = cache.get(cell) if cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                if telemetry is not None:
+                    telemetry.cell(i, cell, "cached")
+            else:
+                missing.append(i)
+        if cache is not None:
+            stats.cache_hits += len(cells) - len(missing)
+            stats.cache_misses += len(missing)
 
-    if missing:
-        max_attempts = resolve_retries(retries) + 1
-        errors: Dict[int, List[str]] = {}
+        if missing:
+            max_attempts = resolve_retries(retries) + 1
+            errors: Dict[int, List[str]] = {}
 
-        def on_success(i: int, result: BulkRunResult) -> None:
-            results[i] = result
-            # Persist immediately: an interrupted sweep resumes from
-            # whatever completed, not from scratch.
-            if cache is not None:
-                cache.put(cells[i], result)
-            stats.executed += 1
-            stats.events_processed += int(result.details.get("sim_events", 0))
-
-        pending = [(i, cells[i]) for i in missing]
-        round_no = 0
-        while pending:
-            if round_no > 0:
-                stats.retries += len(pending)
-                time.sleep(
-                    min(
-                        RETRY_BACKOFF_BASE * 2 ** (round_no - 1),
-                        RETRY_BACKOFF_MAX,
+            def on_success(
+                i: int, result: BulkRunResult, wall: float, pid: int
+            ) -> None:
+                results[i] = result
+                # Persist immediately: an interrupted sweep resumes from
+                # whatever completed, not from scratch.
+                if cache is not None:
+                    cache.put(cells[i], result)
+                stats.executed += 1
+                events = int(result.details.get("sim_events", 0))
+                stats.events_processed += events
+                if telemetry is not None:
+                    telemetry.cell(
+                        i, cells[i], "executed",
+                        wall_seconds=wall, worker_pid=pid,
+                        attempts=len(errors.get(i, [])) + 1, events=events,
                     )
+
+            pending = [(i, cells[i]) for i in missing]
+            round_no = 0
+            while pending:
+                if round_no > 0:
+                    stats.retries += len(pending)
+                    time.sleep(
+                        min(
+                            RETRY_BACKOFF_BASE * 2 ** (round_no - 1),
+                            RETRY_BACKOFF_MAX,
+                        )
+                    )
+                failures = _run_round(
+                    pending, jobs, on_success, stats, isolate=round_no > 0
                 )
-            failures = _run_round(
-                pending, jobs, on_success, stats, isolate=round_no > 0
-            )
-            still: List[Tuple[int, SweepCell]] = []
-            for i, cell in pending:
-                if i not in failures:
-                    continue
-                errors.setdefault(i, []).append(failures[i])
-                if len(errors[i]) >= max_attempts:
-                    quarantined.append(
-                        {
-                            "index": i,
-                            "cache_key": cell.cache_key(),
-                            "protocol": cell.protocol,
-                            "initial_interface": cell.initial_interface,
-                            "base_seed": cell.base_seed,
-                            "attempts": len(errors[i]),
-                            "errors": errors[i],
-                        }
-                    )
-                else:
-                    still.append((i, cell))
-            pending = still
-            round_no += 1
+                still: List[Tuple[int, SweepCell]] = []
+                for i, cell in pending:
+                    if i not in failures:
+                        continue
+                    errors.setdefault(i, []).append(failures[i])
+                    if telemetry is not None:
+                        telemetry.attempt_failed(
+                            i, len(errors[i]), failures[i]
+                        )
+                    if len(errors[i]) >= max_attempts:
+                        quarantined.append(
+                            {
+                                "index": i,
+                                "cache_key": cell.cache_key(),
+                                "protocol": cell.protocol,
+                                "initial_interface": cell.initial_interface,
+                                "base_seed": cell.base_seed,
+                                "attempts": len(errors[i]),
+                                "errors": errors[i],
+                            }
+                        )
+                        if telemetry is not None:
+                            telemetry.cell(
+                                i, cell, "quarantined",
+                                attempts=len(errors[i]),
+                                error=errors[i][-1],
+                            )
+                    else:
+                        still.append((i, cell))
+                pending = still
+                round_no += 1
 
-        stats.quarantined += len(quarantined)
-        if quarantined:
-            warnings.warn(
-                f"{len(quarantined)} sweep cell(s) quarantined after "
-                f"{max_attempts} failed attempt(s) each; their result "
-                "slots are None (see the quarantine report)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            stats.quarantined += len(quarantined)
+            if quarantined:
+                warnings.warn(
+                    f"{len(quarantined)} sweep cell(s) quarantined after "
+                    f"{max_attempts} failed attempt(s) each; their result "
+                    "slots are None (see the quarantine report)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    finally:
+        if telemetry is not None:
+            telemetry.close(stats)
 
     last_stats = stats
     last_quarantine = quarantined
@@ -526,10 +744,14 @@ def execute_cells(
     return results
 
 
+#: Per-cell success callback: ``(index, result, wall_seconds, worker_pid)``.
+OnSuccess = Callable[[int, BulkRunResult, float, int], None]
+
+
 def _run_round(
     pending: List[Tuple[int, SweepCell]],
     jobs: int,
-    on_success: Callable[[int, BulkRunResult], None],
+    on_success: OnSuccess,
     stats: SweepStats,
     isolate: bool = False,
 ) -> Dict[int, str]:
@@ -564,25 +786,25 @@ def _run_round(
 
 def _run_round_serial(
     pending: List[Tuple[int, SweepCell]],
-    on_success: Callable[[int, BulkRunResult], None],
+    on_success: OnSuccess,
 ) -> Dict[int, str]:
     failures: Dict[int, str] = {}
     for i, cell in pending:
         try:
-            result = run_cell(cell)
+            result, wall, pid = _run_cell_timed(cell)
         except Exception as exc:
             # In-process stand-in for a worker crash: record the error
             # for the retry/quarantine machinery and keep going.
             failures[i] = repr(exc)
         else:
-            on_success(i, result)
+            on_success(i, result, wall, pid)
     return failures
 
 
 def _run_round_pooled(
     pending: List[Tuple[int, SweepCell]],
     jobs: int,
-    on_success: Callable[[int, BulkRunResult], None],
+    on_success: OnSuccess,
     stats: SweepStats,
 ) -> Dict[int, str]:
     """Fan one round out over a fresh process pool.
@@ -597,7 +819,7 @@ def _run_round_pooled(
         futures: Dict = {}
         for idx, (i, cell) in enumerate(pending):
             try:
-                futures[pool.submit(run_cell, cell)] = i
+                futures[pool.submit(_run_cell_timed, cell)] = i
             except BrokenProcessPool as exc:
                 broken = True
                 for j, _ in pending[idx:]:
@@ -606,14 +828,14 @@ def _run_round_pooled(
         for future in as_completed(futures):
             i = futures[future]
             try:
-                result = future.result()
+                result, wall, pid = future.result()
             except BrokenProcessPool as exc:
                 broken = True
                 failures[i] = repr(exc)
             except Exception as exc:
                 failures[i] = repr(exc)
             else:
-                on_success(i, result)
+                on_success(i, result, wall, pid)
     if broken:
         stats.pool_restarts += 1
     return failures

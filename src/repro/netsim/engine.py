@@ -11,6 +11,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.util import sanitize as _san
 
 
@@ -90,10 +91,14 @@ class Simulator:
             )
         timer = Timer(time, fn, args, sim=self)
         heapq.heappush(self._heap, (time, next(self._counter), timer))
+        if _metrics.METRICS:
+            _metrics.REGISTRY.inc("engine.timers_scheduled")
         return timer
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
+        if _metrics.METRICS:
+            _metrics.REGISTRY.inc("engine.timers_cancelled")
         if (
             self._cancelled >= self.COMPACT_MIN
             and self._cancelled > len(self._heap) * self.COMPACT_FRACTION
@@ -116,6 +121,8 @@ class Simulator:
         self._heap = live
         heapq.heapify(self._heap)
         self._cancelled = 0
+        if _metrics.METRICS:
+            _metrics.REGISTRY.inc("engine.heap_compactions")
 
     def run(
         self,
@@ -129,6 +136,24 @@ class Simulator:
                 (remaining events stay queued).
             max_events: safety valve against runaway simulations.
         """
+        if _metrics.METRICS:
+            # The loop runs inside an `engine` wall-time scope; each
+            # callback re-scopes to the subsystem owning it, so heap
+            # bookkeeping is attributed to the engine and callback work
+            # to the layer actually doing it.
+            _metrics.REGISTRY.enter("engine")
+            try:
+                self._run_loop(until, max_events)
+            finally:
+                _metrics.REGISTRY.exit()
+        else:
+            self._run_loop(until, max_events)
+
+    def _run_loop(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+    ) -> None:
         processed = 0
         while self._heap:
             time, _seq, timer = self._heap[0]
@@ -150,13 +175,29 @@ class Simulator:
                     now=self.now,
                 )
             self.now = time
-            timer.fn(*timer.args)
+            if _metrics.METRICS:
+                self._dispatch_instrumented(timer)
+            else:
+                timer.fn(*timer.args)
             processed += 1
             self.events_processed += 1
             if max_events is not None and processed >= max_events:
                 return
         if until is not None:
             self.now = max(self.now, until)
+
+    @staticmethod
+    def _dispatch_instrumented(timer: Timer) -> None:
+        """Fire one callback under metrics accounting (METRICS on)."""
+        reg = _metrics.REGISTRY
+        reg.inc("engine.events_processed")
+        reg.enter(
+            _metrics.subsystem_of(getattr(timer.fn, "__module__", None))
+        )
+        try:
+            timer.fn(*timer.args)
+        finally:
+            reg.exit()
 
     def run_until(
         self,
@@ -165,6 +206,20 @@ class Simulator:
         max_events: int = 100_000_000,
     ) -> bool:
         """Run until ``predicate()`` is true.  Returns False on timeout."""
+        if _metrics.METRICS:
+            _metrics.REGISTRY.enter("engine")
+            try:
+                return self._run_until_loop(predicate, timeout, max_events)
+            finally:
+                _metrics.REGISTRY.exit()
+        return self._run_until_loop(predicate, timeout, max_events)
+
+    def _run_until_loop(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float],
+        max_events: int,
+    ) -> bool:
         processed = 0
         while not predicate():
             if not self._heap:
@@ -185,7 +240,10 @@ class Simulator:
                     now=self.now,
                 )
             self.now = time
-            timer.fn(*timer.args)
+            if _metrics.METRICS:
+                self._dispatch_instrumented(timer)
+            else:
+                timer.fn(*timer.args)
             processed += 1
             self.events_processed += 1
             if processed >= max_events:

@@ -13,6 +13,7 @@ of an exported trace.
 from repro.obs.events import (
     CAT_CC,
     CAT_FLOWCONTROL,
+    CAT_METRICS,
     CAT_PATH,
     CAT_RECOVERY,
     CAT_SCHEDULER,
@@ -32,6 +33,7 @@ from repro.obs.summary import TraceSummary, format_report, summarize
 __all__ = [
     "CAT_CC",
     "CAT_FLOWCONTROL",
+    "CAT_METRICS",
     "CAT_PATH",
     "CAT_RECOVERY",
     "CAT_SCHEDULER",

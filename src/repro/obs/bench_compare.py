@@ -1,0 +1,136 @@
+"""Compare two ``BENCH_*.json`` records and gate on throughput loss.
+
+Usage::
+
+    python -m repro.obs.bench_compare BASELINE.json CANDIDATE.json \
+        [--threshold 0.30] [--warn-only]
+
+Extracts the headline events/sec from each record (top-level
+``events_per_second``; falls back to ``serial.events_per_second`` for
+``BENCH_sweep.json`` and ``event_loop.events_per_second`` for older
+engine records), prints the delta, and exits
+
+* ``0`` when the candidate is within ``threshold`` of the baseline
+  (or faster),
+* ``1`` on a regression past the threshold (``0`` with ``--warn-only``,
+  for hosts whose timings are too noisy to hard-fail on), and
+* ``2`` when either record is unreadable or carries no throughput
+  number.
+
+The default threshold is deliberately loose (30%): shared CI runners
+jitter by tens of percent, and the gate exists to catch structural
+regressions (an accidentally quadratic hot path), not 5% noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+#: Default maximum tolerated fractional slowdown (0.30 = 30% fewer
+#: events/sec than the baseline).
+DEFAULT_THRESHOLD = 0.30
+
+#: Where a record may keep its headline throughput, probed in order.
+_EPS_PATHS = (
+    ("events_per_second",),
+    ("serial", "events_per_second"),
+    ("event_loop", "events_per_second"),
+)
+
+
+def extract_events_per_second(record: Dict[str, Any]) -> Optional[float]:
+    """The record's headline events/sec, or None when absent."""
+    for path in _EPS_PATHS:
+        node: Any = record
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                node = None
+                break
+            node = node[key]
+        if isinstance(node, (int, float)) and node > 0:
+            return float(node)
+    return None
+
+
+def compare(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """Structured comparison; raises ValueError on missing numbers."""
+    base_eps = extract_events_per_second(baseline)
+    cand_eps = extract_events_per_second(candidate)
+    if base_eps is None:
+        raise ValueError("baseline record carries no events/sec")
+    if cand_eps is None:
+        raise ValueError("candidate record carries no events/sec")
+    change = (cand_eps - base_eps) / base_eps
+    return {
+        "baseline_events_per_second": base_eps,
+        "candidate_events_per_second": cand_eps,
+        "change": change,
+        "threshold": threshold,
+        "regression": change < -threshold,
+    }
+
+
+def _load(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return data
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench_compare", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="max tolerated fractional slowdown (default %(default)s)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report a regression but exit 0 (noisy hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = compare(
+            _load(args.baseline), _load(args.candidate), args.threshold
+        )
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"bench_compare: {exc}", file=sys.stderr)
+        return 2
+
+    pct = result["change"] * 100.0
+    direction = "faster" if result["change"] >= 0 else "slower"
+    print(
+        f"baseline:  {result['baseline_events_per_second']:>12.0f} events/s"
+    )
+    print(
+        f"candidate: {result['candidate_events_per_second']:>12.0f} events/s"
+    )
+    print(
+        f"change:    {pct:+.1f}% ({direction}; threshold "
+        f"-{args.threshold * 100:.0f}%)"
+    )
+    if result["regression"]:
+        print(
+            f"REGRESSION: candidate is {-pct:.1f}% slower than baseline",
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 1
+    print("OK: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

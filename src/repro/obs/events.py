@@ -43,6 +43,10 @@ CAT_NETWORK = "network"
 #: loss of the last viable path.  Emitted with ``path_id == -1`` since
 #: they concern the connection as a whole, not one path.
 CAT_CONNECTION = "connection"
+#: Performance-metrics events merged from :mod:`repro.obs.metrics`
+#: (``metrics:counter``, ``metrics:wall_time``, ...).  Emitted with
+#: ``path_id == -1``: metrics describe the runtime, not one path.
+CAT_METRICS = "metrics"
 
 CATEGORIES = (
     CAT_TRANSPORT,
@@ -53,6 +57,7 @@ CATEGORIES = (
     CAT_FLOWCONTROL,
     CAT_NETWORK,
     CAT_CONNECTION,
+    CAT_METRICS,
 )
 
 #: Translation of the legacy ``PacketTrace`` event names used by the

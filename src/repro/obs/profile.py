@@ -1,0 +1,240 @@
+"""cProfile harness for the simulation hot paths.
+
+Wraps the runner/sweep entry points in :mod:`cProfile`, prints a
+hot-function report, and optionally writes
+
+* a raw ``.prof`` dump (loadable with ``snakeviz`` or ``pstats``), and
+* a collapsed-stack file (``caller;callee count`` lines) compatible
+  with Brendan Gregg's ``flamegraph.pl`` and speedscope.  cProfile only
+  records caller/callee *pairs*, so the collapsed stacks are two frames
+  deep — enough to see which subsystem feeds each hot function, not a
+  full call tree (use ``--output`` + snakeviz for that).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.profile handover
+    PYTHONPATH=src python -m repro.obs.profile bulk-large \
+        --collapsed profile.collapsed --output profile.prof
+
+``--list`` prints the named scenarios.  Scenarios run with metrics off
+(the default) so the profile reflects the production hot path; pass
+``--metrics`` to profile the instrumented variant and measure the
+guard overhead in situ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as _metrics
+
+# -- named scenarios --------------------------------------------------------
+#
+# Each thunk performs one self-contained simulation workload.  Imports
+# are lazy so ``repro.obs`` never drags the experiment layer in at
+# import time.
+
+
+def _scenario_handover() -> None:
+    from repro.experiments.runner import run_handover
+
+    run_handover()
+
+
+def _scenario_bulk_small() -> None:
+    from repro.experiments.runner import run_bulk
+    from repro.experiments.scenarios import LTE_PATH, WIFI_PATH
+
+    run_bulk("mpquic", [WIFI_PATH, LTE_PATH], file_size=200_000)
+
+
+def _scenario_bulk_large() -> None:
+    from repro.experiments.runner import run_bulk
+    from repro.experiments.scenarios import LTE_PATH, WIFI_PATH
+
+    run_bulk("mpquic", [WIFI_PATH, LTE_PATH], file_size=2_000_000)
+
+
+def _scenario_sweep() -> None:
+    from repro.expdesign.parameters import generate_scenarios
+    from repro.experiments.parallel import execute_cells, plan_class_sweep
+
+    scenarios = generate_scenarios("low-bdp-no-loss", 4, seed=42)
+    cells = plan_class_sweep(scenarios, 500_000, False)
+    execute_cells(cells, jobs=1, cache=None)
+
+
+SCENARIOS: Dict[str, Callable[[], None]] = {
+    "handover": _scenario_handover,
+    "bulk-small": _scenario_bulk_small,
+    "bulk-large": _scenario_bulk_large,
+    "sweep": _scenario_sweep,
+}
+
+
+# -- profiling core ---------------------------------------------------------
+
+
+def profile_callable(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> pstats.Stats:
+    """Run ``fn`` under cProfile and return its :class:`pstats.Stats`."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def hot_report(
+    stats: pstats.Stats, limit: int = 25, sort: str = "cumulative"
+) -> str:
+    """Render the top-``limit`` functions as a plain-text table."""
+    buf = io.StringIO()
+    stats.stream = buf  # type: ignore[attr-defined]
+    stats.sort_stats(sort).print_stats(limit)
+    return buf.getvalue()
+
+
+def _frame_label(func: Tuple[str, int, str]) -> str:
+    """``file:line(name)`` label with path noise stripped."""
+    filename, lineno, name = func
+    if filename == "~":  # builtins
+        return name
+    short = filename
+    for marker in ("/site-packages/", "/src/"):
+        idx = short.rfind(marker)
+        if idx >= 0:
+            short = short[idx + len(marker):]
+            break
+    else:
+        short = short.rsplit("/", 1)[-1]
+    # Semicolons separate frames in the collapsed format.
+    return f"{short}:{lineno}({name})".replace(";", ",")
+
+
+def collapsed_stacks(stats: pstats.Stats) -> List[str]:
+    """Collapsed-stack lines (``caller;callee count``) from cProfile data.
+
+    The sample value is the callee's *total* time attributed to that
+    caller pair, in microseconds, so flame widths approximate where
+    wall time went.  Root functions (no recorded caller) appear as
+    single-frame lines.
+    """
+    lines: List[str] = []
+    for func, (cc, nc, tt, ct, callers) in sorted(stats.stats.items()):
+        label = _frame_label(func)
+        if not callers:
+            value = int(tt * 1e6)
+            if value > 0:
+                lines.append(f"{label} {value}")
+            continue
+        for caller, (c_cc, c_nc, c_tt, c_ct) in sorted(callers.items()):
+            value = int(c_tt * 1e6)
+            if value > 0:
+                lines.append(f"{_frame_label(caller)};{label} {value}")
+    return lines
+
+
+def write_collapsed(stats: pstats.Stats, path: str) -> int:
+    """Write collapsed stacks to ``path``; returns the line count."""
+    lines = collapsed_stacks(stats)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def _warm_imports() -> None:
+    """Import the experiment layer so module loading stays out of profiles."""
+    import repro.expdesign.parameters  # noqa: F401
+    import repro.experiments.parallel  # noqa: F401
+    import repro.experiments.runner  # noqa: F401
+    import repro.experiments.scenarios  # noqa: F401
+
+
+def profile_scenario(
+    name: str,
+    limit: int = 25,
+    sort: str = "cumulative",
+    metrics_on: bool = False,
+) -> Tuple[pstats.Stats, str]:
+    """Profile a named scenario; returns ``(stats, report_text)``."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+    _warm_imports()
+    if metrics_on:
+        with _metrics.enabled():
+            stats = profile_callable(fn)
+    else:
+        stats = profile_callable(fn)
+    return stats, hot_report(stats, limit=limit, sort=sort)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.profile", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default="handover",
+        help="named workload to profile (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    parser.add_argument("--limit", type=int, default=25)
+    parser.add_argument(
+        "--sort", default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+    )
+    parser.add_argument(
+        "--output", metavar="PATH",
+        help="also dump the raw profile (pstats/snakeviz format)",
+    )
+    parser.add_argument(
+        "--collapsed", metavar="PATH",
+        help="also write flamegraph-compatible collapsed stacks",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="profile with REPRO_METRICS instrumentation enabled",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+
+    try:
+        stats, report = profile_scenario(
+            args.scenario, limit=args.limit, sort=args.sort,
+            metrics_on=args.metrics,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report, end="")
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote {args.output}")
+    if args.collapsed:
+        count = write_collapsed(stats, args.collapsed)
+        print(f"wrote {args.collapsed} ({count} collapsed stacks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

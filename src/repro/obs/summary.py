@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.obs.events import (
+    CAT_METRICS,
     CAT_PATH,
     CAT_RECOVERY,
     CAT_SCHEDULER,
@@ -50,6 +51,8 @@ class PathSummary:
     duplicated_packets: int = 0
     rtos: int = 0
     scheduler_selections: int = 0
+    #: Every event attributed to this (host, path), whatever its kind.
+    events: int = 0
 
 
 @dataclass
@@ -64,6 +67,14 @@ class TraceSummary:
         default_factory=list
     )
     total_events: int = 0
+    #: category -> event count over the whole trace.
+    events_by_category: Counter = field(default_factory=Counter)
+    #: runtime counters merged from ``metrics:counter`` events.
+    metrics_counters: Dict[str, float] = field(default_factory=dict)
+    #: subsystem -> exclusive wall seconds, from ``metrics:wall_time``.
+    wall_time_seconds: Dict[str, float] = field(default_factory=dict)
+    #: total instrumented wall time, from the ``metrics:snapshot``.
+    wall_time_total_seconds: float = 0.0
 
     def path(self, host: str, path_id: int) -> PathSummary:
         key = (host, path_id)
@@ -77,7 +88,9 @@ def summarize(tracer: Tracer) -> TraceSummary:
     out = TraceSummary()
     for ev in tracer.events:
         out.total_events += 1
+        out.events_by_category[ev.category] += 1
         path = out.path(ev.host, ev.path_id)
+        path.events += 1
         if ev.category == CAT_TRANSPORT:
             size = int(ev.data.get("size", 0))
             if ev.name == "packet_sent":
@@ -98,6 +111,19 @@ def summarize(tracer: Tracer) -> TraceSummary:
                 path.duplicated_packets += 1
         elif ev.category == CAT_PATH and ev.name in _LIFECYCLE:
             out.handover_timeline.append((ev.time, ev.host, ev.path_id, ev.name))
+        elif ev.category == CAT_METRICS:
+            if ev.name == "counter":
+                out.metrics_counters[str(ev.data.get("metric"))] = float(
+                    ev.data.get("value", 0)
+                )
+            elif ev.name == "wall_time":
+                out.wall_time_seconds[str(ev.data.get("subsystem"))] = float(
+                    ev.data.get("seconds", 0.0)
+                )
+            elif ev.name == "snapshot":
+                out.wall_time_total_seconds = float(
+                    ev.data.get("wall_time_total_seconds", 0.0)
+                )
     for (host, path_id), count in tracer.scheduler_decisions.items():
         out.path(host, path_id).scheduler_selections = count
         out.scheduler_histogram.setdefault(host, Counter())[path_id] = count
@@ -128,12 +154,20 @@ _COLUMNS = (
     ("dup", "{duplicated_packets}"),
     ("rtos", "{rtos}"),
     ("sched", "{scheduler_selections}"),
+    ("events", "{events}"),
 )
 
 
 def format_report(summary: TraceSummary) -> str:
     """Render the per-path summary table plus histogram and timeline."""
-    lines: List[str] = [f"trace summary ({summary.total_events} events)", ""]
+    lines: List[str] = [f"trace summary ({summary.total_events} events)"]
+    if summary.events_by_category:
+        parts = ", ".join(
+            f"{category}={count}"
+            for category, count in sorted(summary.events_by_category.items())
+        )
+        lines.append(f"by category: {parts}")
+    lines.append("")
     header = [name for name, _ in _COLUMNS]
     rows = [header]
     for (host, path_id) in sorted(summary.paths):
@@ -163,4 +197,24 @@ def format_report(summary: TraceSummary) -> str:
         lines.append("path lifecycle timeline:")
         for time, host, path_id, name in summary.handover_timeline:
             lines.append(f"  {time:10.4f}s  {host:<8s} path {path_id}: {name}")
+    if summary.metrics_counters or summary.wall_time_seconds:
+        lines.append("")
+        lines.append("runtime metrics (REPRO_METRICS):")
+        for name in sorted(summary.metrics_counters):
+            lines.append(
+                f"  {name}: {summary.metrics_counters[name]:.0f}"
+            )
+        if summary.wall_time_seconds:
+            total = summary.wall_time_total_seconds or sum(
+                summary.wall_time_seconds.values()
+            )
+            lines.append(f"  wall time: {total:.4f}s")
+            for subsystem, seconds in sorted(
+                summary.wall_time_seconds.items(),
+                key=lambda item: -item[1],
+            ):
+                share = 100.0 * seconds / total if total else 0.0
+                lines.append(
+                    f"    {subsystem:<10s} {seconds:8.4f}s ({share:.1f}%)"
+                )
     return "\n".join(lines)

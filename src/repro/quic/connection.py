@@ -20,6 +20,7 @@ from repro.cc.base import CongestionController
 from repro.netsim.engine import Simulator, Timer
 from repro.netsim.node import Datagram, Host
 from repro.netsim.trace import PacketTrace
+from repro.obs import metrics as _metrics
 from repro.obs.events import (
     CAT_CC,
     CAT_CONNECTION,
@@ -858,6 +859,20 @@ class QuicConnection:
 
     def datagram_received(self, datagram: Datagram, interface_index: int) -> None:
         """Entry point for packets delivered by the simulator."""
+        if _metrics.METRICS:
+            # Re-scope wall time to `quic`: the simulator attributes a
+            # delivery callback to the link that scheduled it, but the
+            # work from here on is transport-side.
+            _metrics.REGISTRY.inc("quic.packets_received")
+            _metrics.REGISTRY.enter("quic")
+            try:
+                self._datagram_received(datagram, interface_index)
+            finally:
+                _metrics.REGISTRY.exit()
+        else:
+            self._datagram_received(datagram, interface_index)
+
+    def _datagram_received(self, datagram: Datagram, interface_index: int) -> None:
         if self.closed:
             self._on_draining_datagram(datagram)
             return
@@ -1441,6 +1456,8 @@ class QuicConnection:
                 packet.packet_number, frames, size, now, ack_eliciting=True
             )
             self._rearm_rto(path)
+        if _metrics.METRICS:
+            _metrics.REGISTRY.inc("quic.packets_sent")
         if self.trace is not None:
             self.trace.log(
                 now, self.host.name, "send", path.path_id,

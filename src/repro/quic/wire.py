@@ -14,6 +14,8 @@ from __future__ import annotations
 import struct
 from typing import TYPE_CHECKING, List, Tuple
 
+from repro.obs import metrics as _metrics
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.quic.frames import Frame
     from repro.quic.packet import Packet
@@ -123,6 +125,9 @@ def encode_packet(packet: "Packet") -> bytes:
     out += struct.pack(">I", packet.packet_number)
     for frame in packet.frames:
         out += encode_frame(frame)
+    if _metrics.METRICS:
+        _metrics.REGISTRY.inc("wire.packets_encoded")
+        _metrics.REGISTRY.observe("wire.encoded_packet_bytes", len(out))
     return bytes(out)
 
 
@@ -153,6 +158,8 @@ def decode_packet(buf: bytes) -> "Packet":
     while pos < len(buf):
         frame, pos = decode_frame(buf, pos)
         frames.append(frame)
+    if _metrics.METRICS:
+        _metrics.REGISTRY.inc("wire.packets_decoded")
     return Packet(
         path_id=path_id,
         packet_number=packet_number,

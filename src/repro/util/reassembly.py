@@ -9,6 +9,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.util.ranges import RangeSet
 
 
@@ -96,6 +97,8 @@ class Reassembler:
             self._chunks[piece_offset] = piece
             heapq.heappush(self._offsets, piece_offset)
             self._received.add(piece_offset, piece_offset + len(piece))
+        if _metrics.METRICS:
+            _metrics.REGISTRY.inc("reassembly.chunks_inserted")
 
     def pop_ready(self) -> bytes:
         """Return (and consume) contiguous data at the read offset."""
@@ -115,6 +118,8 @@ class Reassembler:
                 chunk = chunk[self._read_offset - offset:]
             out.append(chunk)
             self._read_offset = end
+        if _metrics.METRICS and out:
+            _metrics.REGISTRY.inc("reassembly.deliveries")
         return b"".join(out)
 
     def pending_ranges(self, limit: int = 0) -> List[Tuple[int, int]]:

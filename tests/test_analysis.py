@@ -37,6 +37,7 @@ EXPECTED_RULES = {
     "silent-except",
     "obs-category",
     "dict-mutation",
+    "perf-timing",
 }
 
 
@@ -54,7 +55,7 @@ def rule_ids(findings):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_rules_registered(self):
         assert set(all_rules()) == EXPECTED_RULES
 
     def test_every_rule_has_a_rationale(self):
@@ -106,6 +107,56 @@ class TestWallClockRule:
 
     def test_simulated_clock_attribute_is_clean(self):
         findings = check("now = sim.now\n")
+        assert findings == []
+
+
+class TestPerfTimingRule:
+    def test_perf_counter_call_flagged(self):
+        findings = check(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            select=("perf-timing",),
+        )
+        assert rule_ids(findings) == {"perf-timing"}
+
+    def test_bare_attribute_alias_flagged(self):
+        # Aliasing the function would evade a call-only check.
+        findings = check(
+            "import time\nclock = time.perf_counter\n",
+            select=("perf-timing",),
+        )
+        assert rule_ids(findings) == {"perf-timing"}
+
+    def test_from_import_flagged(self):
+        findings = check(
+            "from time import perf_counter_ns\n",
+            select=("perf-timing",),
+        )
+        assert rule_ids(findings) == {"perf-timing"}
+
+    def test_metrics_module_is_exempt(self):
+        findings = check(
+            "import time\nclock = time.perf_counter\n",
+            rel_path="repro/obs/metrics.py",
+            select=("perf-timing",),
+        )
+        assert findings == []
+
+    def test_benchmarks_are_exempt(self):
+        findings = check(
+            "import time\nt = time.perf_counter()\n",
+            rel_path="benchmarks/bench_engine.py",
+            select=("perf-timing",),
+        )
+        assert findings == []
+
+    def test_other_time_functions_are_not_this_rules_business(self):
+        findings = check(
+            "import time\nt = time.monotonic()\n",
+            select=("perf-timing",),
+        )
         assert findings == []
 
 

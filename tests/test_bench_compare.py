@@ -1,0 +1,131 @@
+"""The bench regression gate and the committed benchmark baselines."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import RESULTS_FORMAT_VERSION
+from repro.obs import bench_compare
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _record(eps, **extra):
+    return {"benchmark": "engine", "events_per_second": eps, **extra}
+
+
+def _write(tmp_path, name, record):
+    path = tmp_path / name
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestExtraction:
+    def test_top_level_events_per_second(self):
+        assert bench_compare.extract_events_per_second(
+            {"events_per_second": 1000}
+        ) == 1000.0
+
+    def test_sweep_record_fallback(self):
+        record = {"serial": {"events_per_second": 35219}}
+        assert bench_compare.extract_events_per_second(record) == 35219.0
+
+    def test_engine_loop_fallback(self):
+        record = {"event_loop": {"events_per_second": 42}}
+        assert bench_compare.extract_events_per_second(record) == 42.0
+
+    def test_missing_or_invalid(self):
+        assert bench_compare.extract_events_per_second({}) is None
+        assert bench_compare.extract_events_per_second(
+            {"events_per_second": 0}
+        ) is None
+        assert bench_compare.extract_events_per_second(
+            {"events_per_second": "fast"}
+        ) is None
+
+
+class TestCompare:
+    def test_within_threshold(self):
+        result = bench_compare.compare(_record(1000), _record(800))
+        assert result["change"] == pytest.approx(-0.2)
+        assert not result["regression"]
+
+    def test_regression_past_threshold(self):
+        result = bench_compare.compare(_record(1000), _record(600))
+        assert result["regression"]
+
+    def test_faster_is_never_a_regression(self):
+        result = bench_compare.compare(_record(1000), _record(5000))
+        assert not result["regression"]
+
+    def test_custom_threshold(self):
+        result = bench_compare.compare(
+            _record(1000), _record(899), threshold=0.10
+        )
+        assert result["regression"]
+
+    def test_missing_numbers_raise(self):
+        with pytest.raises(ValueError, match="baseline"):
+            bench_compare.compare({}, _record(1))
+        with pytest.raises(ValueError, match="candidate"):
+            bench_compare.compare(_record(1), {})
+
+
+class TestCli:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record(1000))
+        cand = _write(tmp_path, "cand.json", _record(950))
+        assert bench_compare.main([base, cand]) == 0
+        assert "OK: within threshold" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record(1000))
+        cand = _write(tmp_path, "cand.json", _record(100))
+        assert bench_compare.main([base, cand]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_warn_only_exit_zero(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _record(1000))
+        cand = _write(tmp_path, "cand.json", _record(100))
+        assert bench_compare.main([base, cand, "--warn-only"]) == 0
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_unreadable_exit_two(self, tmp_path, capsys):
+        cand = _write(tmp_path, "cand.json", _record(100))
+        assert bench_compare.main(
+            [str(tmp_path / "missing.json"), cand]
+        ) == 2
+
+    def test_garbage_json_exit_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        cand = _write(tmp_path, "cand.json", _record(100))
+        assert bench_compare.main([str(bad), cand]) == 2
+        assert bench_compare.main([cand, str(bad)]) == 2
+
+    def test_non_object_record_exit_two(self, tmp_path):
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2, 3]")
+        cand = _write(tmp_path, "cand.json", _record(100))
+        assert bench_compare.main([str(arr), cand]) == 2
+
+
+class TestCommittedBaselines:
+    """The checked-in BENCH_*.json files must match the code they gate."""
+
+    def test_bench_sweep_format_version_is_current(self):
+        record = json.loads((REPO_ROOT / "BENCH_sweep.json").read_text())
+        assert record["results_format_version"] == RESULTS_FORMAT_VERSION
+
+    def test_bench_engine_carries_headline_throughput(self):
+        record = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        assert bench_compare.extract_events_per_second(record) > 0
+        # The gate must also parse the sweep baseline (its documented
+        # fallback path), so a sweep-vs-sweep comparison works.
+        sweep = json.loads((REPO_ROOT / "BENCH_sweep.json").read_text())
+        assert bench_compare.extract_events_per_second(sweep) > 0
+
+    def test_baselines_compare_clean_against_themselves(self):
+        path = str(REPO_ROOT / "BENCH_engine.json")
+        assert bench_compare.main([path, path]) == 0

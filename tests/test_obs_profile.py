@@ -1,0 +1,75 @@
+"""The cProfile harness: hot reports and collapsed stacks."""
+
+import pstats
+
+from repro.obs import profile as obs_profile
+
+
+def _busy():
+    total = 0
+    for i in range(20_000):
+        total += _square(i)
+    return total
+
+
+def _square(x):
+    return x * x
+
+
+class TestProfileCallable:
+    def test_returns_stats_with_recorded_calls(self):
+        stats = obs_profile.profile_callable(_busy)
+        assert isinstance(stats, pstats.Stats)
+        names = {func[2] for func in stats.stats}
+        assert "_busy" in names and "_square" in names
+
+    def test_hot_report_mentions_hot_function(self):
+        stats = obs_profile.profile_callable(_busy)
+        report = obs_profile.hot_report(stats, limit=10, sort="tottime")
+        assert "_square" in report
+        assert "ncalls" in report
+
+
+class TestCollapsedStacks:
+    def test_caller_callee_lines_with_positive_counts(self):
+        stats = obs_profile.profile_callable(_busy)
+        lines = obs_profile.collapsed_stacks(stats)
+        assert lines, "expected at least one collapsed stack"
+        for line in lines:
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert 1 <= len(frames.split(";")) <= 2
+        assert any("_busy" in line and "_square" in line for line in lines)
+
+    def test_write_collapsed(self, tmp_path):
+        stats = obs_profile.profile_callable(_busy)
+        target = tmp_path / "stacks.collapsed"
+        count = obs_profile.write_collapsed(stats, str(target))
+        assert count == len(target.read_text().splitlines())
+
+
+class TestCli:
+    def test_list_scenarios(self, capsys):
+        assert obs_profile.main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(obs_profile.SCENARIOS) == set(out)
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        assert obs_profile.main(["no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_profiles_handover_and_writes_artifacts(self, tmp_path, capsys):
+        prof = tmp_path / "handover.prof"
+        collapsed = tmp_path / "handover.collapsed"
+        code = obs_profile.main(
+            [
+                "handover", "--limit", "5", "--sort", "tottime",
+                "--output", str(prof), "--collapsed", str(collapsed),
+            ]
+        )
+        assert code == 0
+        assert prof.exists() and collapsed.exists()
+        out = capsys.readouterr().out
+        assert "function calls" in out
+        # Simulation hot paths, not import machinery, top the report.
+        assert "repro/" in out

@@ -1,0 +1,211 @@
+"""Streamed sweep telemetry: the JSONL sidecar and its invariants.
+
+The load-bearing property: every sweep cell gets exactly one terminal
+``cell`` record — cached, executed, or quarantined — so the sidecar's
+cell count equals the sweep's cell count on every code path, including
+crash-retry and quarantine.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.expdesign.parameters import generate_scenarios
+from repro.experiments.parallel import (
+    ResultCache,
+    SweepStats,
+    SweepTelemetry,
+    default_telemetry,
+    execute_cells,
+    plan_class_sweep,
+)
+
+
+def _cells(count=1, file_size=100_000):
+    scenarios = generate_scenarios("low-bdp-no-loss", count, seed=42)
+    return plan_class_sweep(scenarios, file_size, False)
+
+
+def _records(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh]
+
+
+def _cell_records(path):
+    return [r for r in _records(path) if r["record"] == "cell"]
+
+
+class TestSidecar:
+    def test_one_terminal_record_per_cell(self, tmp_path):
+        cells = _cells()[:4]
+        sidecar = tmp_path / "telemetry.jsonl"
+        telemetry = SweepTelemetry(sidecar, len(cells), jobs=1)
+        results = execute_cells(
+            cells, jobs=1, cache=None, telemetry=telemetry
+        )
+        assert all(r is not None for r in results)
+        records = _records(sidecar)
+        assert records[0]["record"] == "sweep_start"
+        assert records[0]["cells"] == len(cells)
+        assert records[-1]["record"] == "sweep_end"
+        cell_records = _cell_records(sidecar)
+        assert len(cell_records) == len(cells)
+        assert sorted(r["index"] for r in cell_records) == list(
+            range(len(cells))
+        )
+        for record in cell_records:
+            assert record["status"] == "executed"
+            assert record["wall_seconds"] > 0
+            assert record["worker_pid"] > 0
+            assert record["attempts"] == 1
+            assert record["events"] > 0
+            assert record["events_per_second"] > 0
+
+    def test_cached_cells_get_cached_records(self, tmp_path):
+        cells = _cells()[:4]
+        cache = ResultCache(tmp_path / "cache")
+        execute_cells(cells, jobs=1, cache=cache, telemetry=None)
+        sidecar = tmp_path / "telemetry.jsonl"
+        telemetry = SweepTelemetry(sidecar, len(cells), jobs=1)
+        execute_cells(cells, jobs=1, cache=cache, telemetry=telemetry)
+        cell_records = _cell_records(sidecar)
+        assert len(cell_records) == len(cells)
+        assert all(r["status"] == "cached" for r in cell_records)
+        end = _records(sidecar)[-1]
+        assert end["record"] == "sweep_end"
+        assert end["cache_hits"] == len(cells)
+        assert end["executed"] == 0
+
+    def test_sweep_end_mirrors_stats(self, tmp_path):
+        cells = _cells()[:3]
+        sidecar = tmp_path / "telemetry.jsonl"
+        stats = SweepStats()
+        execute_cells(
+            cells, jobs=1, cache=None, stats=stats,
+            telemetry=SweepTelemetry(sidecar, len(cells), jobs=1),
+        )
+        end = _records(sidecar)[-1]
+        assert end["executed"] == stats.executed == len(cells)
+        assert end["events_processed"] == stats.events_processed
+        assert end["wall_seconds"] > 0
+
+    def test_append_mode_accumulates_sweeps(self, tmp_path):
+        cells = _cells()[:2]
+        sidecar = tmp_path / "telemetry.jsonl"
+        for _ in range(2):
+            execute_cells(
+                cells, jobs=1, cache=None,
+                telemetry=SweepTelemetry(sidecar, len(cells), jobs=1),
+            )
+        records = _records(sidecar)
+        assert sum(r["record"] == "sweep_start" for r in records) == 2
+        assert len(_cell_records(sidecar)) == 2 * len(cells)
+
+
+class TestRetryAndQuarantine:
+    def test_quarantined_cell_still_gets_one_terminal_record(
+        self, tmp_path, monkeypatch
+    ):
+        cells = _cells()[:3]
+        # Crash the middle cell on every attempt (no marker dir), in
+        # process (jobs=1 + raise mode).
+        monkeypatch.setenv(
+            "REPRO_CHAOS_CRASH_KEY", cells[1].cache_key()[:16]
+        )
+        monkeypatch.setenv("REPRO_CHAOS_MODE", "raise")
+        sidecar = tmp_path / "telemetry.jsonl"
+        stats = SweepStats()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results = execute_cells(
+                cells, jobs=1, cache=None, stats=stats, retries=2,
+                telemetry=SweepTelemetry(sidecar, len(cells), jobs=1),
+            )
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+        cell_records = _cell_records(sidecar)
+        assert len(cell_records) == len(cells)
+        by_index = {r["index"]: r for r in cell_records}
+        assert by_index[1]["status"] == "quarantined"
+        assert by_index[1]["attempts"] == 3
+        assert "chaos drill" in by_index[1]["error"]
+        failures = [
+            r for r in _records(sidecar) if r["record"] == "attempt_failed"
+        ]
+        assert [f["attempt"] for f in failures] == [1, 2, 3]
+        end = _records(sidecar)[-1]
+        assert end["quarantined"] == 1
+        assert end["retries"] == 2
+
+    def test_recovered_cell_reports_its_attempts(self, tmp_path, monkeypatch):
+        cells = _cells()[:2]
+        marker_dir = tmp_path / "markers"
+        monkeypatch.setenv(
+            "REPRO_CHAOS_CRASH_KEY", cells[0].cache_key()[:16]
+        )
+        monkeypatch.setenv("REPRO_CHAOS_MODE", "raise")
+        monkeypatch.setenv("REPRO_CHAOS_MARKER_DIR", str(marker_dir))
+        sidecar = tmp_path / "telemetry.jsonl"
+        results = execute_cells(
+            cells, jobs=1, cache=None, retries=2,
+            telemetry=SweepTelemetry(sidecar, len(cells), jobs=1),
+        )
+        assert all(r is not None for r in results)
+        by_index = {r["index"]: r for r in _cell_records(sidecar)}
+        assert by_index[0]["status"] == "executed"
+        assert by_index[0]["attempts"] == 2  # crashed once, then recovered
+        assert by_index[1]["attempts"] == 1
+
+
+class TestEnvironmentWiring:
+    def test_env_knob_creates_sidecar(self, tmp_path, monkeypatch):
+        sidecar = tmp_path / "env_telemetry.jsonl"
+        monkeypatch.setenv("REPRO_SWEEP_TELEMETRY", str(sidecar))
+        telemetry = default_telemetry(total=5, jobs=2)
+        assert telemetry is not None
+        telemetry.close(SweepStats())
+        records = _records(sidecar)
+        assert records[0]["record"] == "sweep_start"
+        assert records[0]["cells"] == 5
+
+    def test_silent_without_env_or_tty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_TELEMETRY", raising=False)
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        # pytest's captured stderr is not a tty, so: fully silent.
+        assert default_telemetry(total=5, jobs=1) is None
+
+    def test_progress_line_renders_eta(self, tmp_path):
+        class FakeStream:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, text):
+                self.chunks.append(text)
+
+            def flush(self):
+                pass
+
+        stream = FakeStream()
+        cells = _cells()[:2]
+        telemetry = SweepTelemetry(
+            tmp_path / "t.jsonl", len(cells), jobs=1, stream=stream
+        )
+        execute_cells(cells, jobs=1, cache=None, telemetry=telemetry)
+        text = "".join(stream.chunks)
+        assert f"[{len(cells)}/{len(cells)}]" in text
+        assert "eta=" in text
+        assert text.endswith("\n")  # final line is terminated
+
+
+class TestResultEquivalence:
+    def test_telemetry_does_not_change_results(self, tmp_path):
+        cells = _cells()[:4]
+        with_telemetry = execute_cells(
+            cells, jobs=1, cache=None,
+            telemetry=SweepTelemetry(tmp_path / "t.jsonl", len(cells), 1),
+        )
+        without = execute_cells(cells, jobs=1, cache=None, telemetry=None)
+        assert [
+            (r.transfer_time, r.goodput_bps) for r in with_telemetry
+        ] == [(r.transfer_time, r.goodput_bps) for r in without]
