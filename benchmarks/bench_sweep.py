@@ -138,8 +138,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         },
         "parallel": {
             "wall_seconds": round(parallel_seconds, 3),
-            "speedup_vs_serial": round(serial_seconds / parallel_seconds, 2)
-            if parallel_seconds > 0 else None,
+            # On a 1-core host "speedup" would only measure process-pool
+            # overhead (historically recorded as a misleading 0.89x), so
+            # the comparison is skipped, not published.
+            "speedup_vs_serial": (
+                round(serial_seconds / parallel_seconds, 2)
+                if parallel_seconds > 0 and cores > 1 else None
+            ),
             "cache_hits": cold_stats.cache_hits,
             "cache_misses": cold_stats.cache_misses,
             "runs_executed": cold_stats.executed,
@@ -152,6 +157,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         },
         "identical_matrices": True,
     }
+    if cores == 1:
+        record["parallel"]["speedup_skipped_reason"] = (
+            "single-core host: parallel wall time measures process-pool "
+            "overhead, not parallelism; speedup_vs_serial withheld"
+        )
     if cores < args.jobs:
         record["note"] = (
             f"host has {cores} core(s) < jobs={args.jobs}; parallel wall "

@@ -591,3 +591,128 @@ class DictMutationRule(Rule):
                         )
                     )
         return findings
+
+
+#: Modules on the per-packet hot path: one object allocation or bytes
+#: copy here multiplies by the packet count of every simulation (see
+#: docs/performance.md, "hot-path anatomy").
+HOT_PATH_MODULES = (
+    "quic/frames.py",
+    "quic/wire.py",
+    "quic/packet.py",
+    "quic/connection.py",
+    "quic/recovery.py",
+    "quic/stream.py",
+    "quic/ackmgr.py",
+    "netsim/engine.py",
+    "netsim/link.py",
+    "util/ranges.py",
+    "util/reassembly.py",
+)
+
+
+@register
+class HotPathRule(Rule):
+    """No quadratic ``bytes +=`` or frozen dataclasses in hot modules."""
+
+    rule_id = "hot-path"
+    rationale = (
+        "The per-packet modules pay any per-object cost once per "
+        "simulated packet: `bytes +=` accumulation copies the whole "
+        "buffer each step (quadratic), and frozen dataclasses "
+        "construct via object.__setattr__ (3-4x a __slots__ class).  "
+        "Use a bytearray and plain __slots__ classes; genuine cold "
+        "paths may carry `# repro: allow[hot-path]`."
+    )
+
+    def _in_hot_module(self, ctx: ModuleContext) -> bool:
+        rel = ctx.rel_path
+        return any(
+            rel == pattern or rel.endswith("/" + pattern)
+            for pattern in HOT_PATH_MODULES
+        )
+
+    def _is_bytes_init(self, node: ast.expr) -> bool:
+        """True for ``b"..."`` literals and ``bytes(...)`` calls."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "bytes"
+        )
+
+    def _is_frozen_dataclass(self, node: ast.ClassDef) -> bool:
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            name = _attr_chain(deco.func)
+            if name is None or name.split(".")[-1] != "dataclass":
+                continue
+            for kw in deco.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not self._in_hot_module(ctx):
+            return []
+        findings = []
+        # Names bound to a bytes value anywhere in the module; `+=` on
+        # one of them is the classic quadratic accumulator.  Names also
+        # bound to bytearray(...) are excluded: `+=` on a bytearray is
+        # an in-place extend, which is exactly the recommended fix.
+        byte_names = set()
+        bytearray_names = set()
+        for node in _walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                is_bytes = self._is_bytes_init(value)
+                is_bytearray = (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "bytearray"
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if is_bytes:
+                            byte_names.add(target.id)
+                        elif is_bytearray:
+                            bytearray_names.add(target.id)
+        byte_names -= bytearray_names
+        for node in _walk(ctx.tree):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                target = node.target
+                if isinstance(target, ast.Name) and target.id in byte_names:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "bytes `+=` accumulation on the packet hot "
+                            "path copies the buffer every step; build "
+                            "into a bytearray instead",
+                        )
+                    )
+            elif isinstance(node, ast.ClassDef) and self._is_frozen_dataclass(
+                node
+            ):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"frozen dataclass `{node.name}` in a hot-path "
+                        "module constructs via object.__setattr__; use "
+                        "a __slots__ class with explicit __init__",
+                    )
+                )
+        return findings

@@ -80,6 +80,10 @@ class BulkTransferApp:
     def run(self, timeout: float = 3600.0, max_events: int = 50_000_000) -> bool:
         """Convenience: start and run the simulator to completion."""
         self.start()
+        # The predicate runs once per simulated event: read the
+        # attribute directly rather than through the `complete`
+        # property (one call frame per event saved).
         return self.sim.run_until(
-            lambda: self.complete, timeout=timeout, max_events=max_events
+            lambda: self.completion_time is not None,
+            timeout=timeout, max_events=max_events,
         )

@@ -113,21 +113,26 @@ class MultipathQuicConnection(QuicConnection):
         induces some overhead, it enables faster usage of additional
         paths without facing head-of-line issues."
         """
-        duplicate_everywhere = getattr(self.scheduler, "duplicate_everywhere", False)
+        duplicate_everywhere = self.scheduler.duplicate_everywhere
         if not self.config.duplicate_on_unknown_rtt and not duplicate_everywhere:
             return
-        stream_frames: Tuple[StreamFrame, ...] = tuple(
-            f for f in packet.frames if isinstance(f, StreamFrame) and f.data
-        )
-        if not stream_frames:
-            return
+        # Filter paths first and extract the stream frames lazily: in
+        # steady state every path has an RTT estimate, so this runs as
+        # a cheap scan with no tuple built per data packet.
+        stream_frames: Optional[Tuple[StreamFrame, ...]] = None
         for other in self._usable_paths():
             if other.path_id == path.path_id:
                 continue
-            if not other.can_send_data():
-                continue
             if other.rtt_known and not duplicate_everywhere:
                 continue
+            if not other.can_send_data():
+                continue
+            if stream_frames is None:
+                stream_frames = tuple(
+                    f for f in packet.frames if isinstance(f, StreamFrame) and f.data
+                )
+                if not stream_frames:
+                    return
             dup = self._send_packet(other, stream_frames)
             other.duplicated_packets += 1
             self.stats.packets_duplicated += 1

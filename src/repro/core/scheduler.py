@@ -23,6 +23,10 @@ class Scheduler(ABC):
 
     name = "abstract"
 
+    #: When True the connection duplicates data onto every sendable
+    #: path, not just RTT-unknown ones (see RedundantScheduler).
+    duplicate_everywhere = False
+
     #: Optional telemetry hook ``fn(path)`` wired by the connection when
     #: a tracer is attached; fed by :meth:`choose` on every decision.
     telemetry: Optional[Callable[[PathState], None]] = None
@@ -102,13 +106,27 @@ class LowestRttScheduler(Scheduler):
     name = "lowest_rtt"
 
     def select_path(self, paths: List[PathState]) -> Optional[PathState]:
-        candidates = self.sendable(paths)
-        if not candidates:
-            return None
-        known = [p for p in candidates if p.rtt_known]
-        if known:
-            return min(known, key=lambda p: (p.rtt.smoothed, p.path_id))
-        return min(candidates, key=lambda p: p.path_id)
+        # Single fused pass: this runs once per data packet, so the
+        # two-listcomp-plus-min formulation was a measurable cost.
+        best: Optional[PathState] = None
+        best_rtt = 0.0
+        fallback: Optional[PathState] = None
+        for p in paths:
+            if not p.can_send_data():
+                continue
+            if p.rtt_known:
+                rtt = p.rtt.smoothed
+                if (
+                    best is None
+                    or rtt < best_rtt
+                    # Deterministic path-id tie-break, as in the old
+                    # (smoothed, path_id) sort key.
+                    or (rtt == best_rtt and p.path_id < best.path_id)  # repro: allow[float-equality]
+                ):
+                    best, best_rtt = p, rtt
+            elif fallback is None or p.path_id < fallback.path_id:
+                fallback = p
+        return best if best is not None else fallback
 
 
 class RoundRobinScheduler(Scheduler):

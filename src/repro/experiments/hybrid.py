@@ -1,0 +1,189 @@
+"""Hybrid-fidelity experiment: packet-level foreground, fluid background.
+
+The scaling bottleneck of packet-level simulation is cross-traffic:
+every background byte costs the same per-packet event cascade as a
+measured byte, even though the experiment only reads the background's
+*aggregate* effect on the bottleneck.  This module runs the same
+scenario — one measured MPQUIC download sharing a bottleneck with N
+background bulk transfers — at two fidelities:
+
+* ``"packet"``: every background transfer is a full single-path QUIC
+  connection over its own competitor host pair
+  (:class:`repro.netsim.bottleneck.SharedBottleneckTopology`);
+* ``"fluid"``: background transfers are
+  :class:`repro.netsim.fluid.FluidFlow` objects that reserve their
+  max-min share of the bottleneck analytically (a handful of events
+  per RTT instead of per packet), while the measured connection keeps
+  running the real per-packet protocol machinery against the remaining
+  capacity.
+
+``benchmarks/bench_engine.py`` uses the pair to report the
+fluid-vs-packet wall-clock speedup, and ``tests/test_fluid.py`` checks
+that the measured connection sees an equivalent bottleneck share under
+either fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.connection import MultipathQuicConnection
+from repro.netsim.bottleneck import SharedBottleneckTopology
+from repro.netsim.engine import Simulator
+from repro.netsim.fluid import FluidNetwork, background_transfer
+from repro.netsim.topology import PathConfig
+from repro.quic.config import QuicConfig
+from repro.quic.connection import QuicConnection
+
+#: Default bottleneck for the background-traffic scenario: 20 Mbps,
+#: 40 ms RTT, 100 ms of buffer (the fairness experiment's setting).
+DEFAULT_BOTTLENECK = PathConfig(
+    capacity_mbps=20.0, rtt_ms=40.0, queuing_delay_ms=100.0
+)
+
+
+@dataclass
+class HybridRunResult:
+    """Outcome of one background-traffic run at a given fidelity."""
+
+    fidelity: str
+    #: Seconds from the measured client's connect() to its last byte.
+    measured_transfer_time: float
+    measured_goodput_bps: float
+    #: Flow-completion times of background transfers that finished
+    #: before the measured transfer did (packet and fluid alike).
+    background_fcts: List[float] = field(default_factory=list)
+    sim_events: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.measured_transfer_time > 0.0
+
+
+def run_background_traffic(
+    fidelity: str = "packet",
+    bottleneck: PathConfig = DEFAULT_BOTTLENECK,
+    n_background: int = 4,
+    background_bytes: int = 2_000_000,
+    measured_bytes: int = 1_000_000,
+    seed: int = 1,
+    timeout: float = 120.0,
+) -> HybridRunResult:
+    """One measured MPQUIC download against N background bulk flows.
+
+    The measured connection always runs packet-level.  ``fidelity``
+    selects how the background is modelled; the run stops once the
+    measured transfer completes (background still in flight is normal —
+    it only exists to load the bottleneck).
+    """
+    if fidelity not in ("packet", "fluid"):
+        raise ValueError(f"unknown fidelity: {fidelity!r}")
+    sim = Simulator()
+    topo = SharedBottleneckTopology(
+        sim,
+        bottleneck,
+        with_competitor=False,
+        seed=seed,
+        n_competitors=n_background if fidelity == "packet" else 0,
+    )
+
+    mp_client = MultipathQuicConnection(sim, topo.client, "client", QuicConfig())
+    mp_server = MultipathQuicConnection(sim, topo.server, "server", QuicConfig())
+
+    received = {"measured": 0}
+    done = {"time": 0.0}
+
+    served = set()
+
+    def serve_measured(sid: int, data: bytes, fin: bool) -> None:
+        if sid not in served:
+            served.add(sid)
+            mp_server.send_stream_data(sid, b"x" * measured_bytes, fin=True)
+
+    def count_measured(sid: int, data: bytes, fin: bool) -> None:
+        received["measured"] += len(data)
+        if fin:
+            done["time"] = sim.now
+
+    mp_server.on_stream_data = serve_measured
+    mp_client.on_stream_data = count_measured
+    mp_client.on_established = lambda: mp_client.send_stream_data(
+        mp_client.open_stream(), b"GET", fin=True
+    )
+
+    background_fcts: List[float] = []
+
+    if fidelity == "packet":
+        # Real endpoint pairs: each background transfer pays the full
+        # per-packet cost on the shared bottleneck.
+        holders = []  # keep connections alive for the whole run
+        for i in range(n_background):
+            bg_client = QuicConnection(
+                sim, topo.competitor_clients[i], "client", QuicConfig()
+            )
+            bg_server = QuicConnection(
+                sim, topo.competitor_servers[i], "server", QuicConfig()
+            )
+
+            bg_served = set()
+
+            def serve_bg(sid, data, fin, server=bg_server, seen=bg_served):
+                if sid not in seen:
+                    seen.add(sid)
+                    server.send_stream_data(
+                        sid, b"x" * background_bytes, fin=True
+                    )
+
+            def count_bg(sid, data, fin):
+                if fin:
+                    background_fcts.append(sim.now)
+
+            bg_server.on_stream_data = serve_bg
+            bg_client.on_stream_data = count_bg
+            bg_client.on_established = (
+                lambda c=bg_client: c.send_stream_data(
+                    c.open_stream(), b"GET", fin=True
+                )
+            )
+            bg_client.connect()
+            holders.append((bg_client, bg_server))
+    else:
+        # Analytic background: fluid flows reserve bottleneck capacity,
+        # the measured connection serializes into what remains.
+        network = FluidNetwork(sim)
+        # The measured MPQUIC connection is ONE coupled (OLIA)
+        # connection, so it is entitled to one fair share of the
+        # bottleneck even though two subflows cross it.
+        network.set_packet_load(topo.bottleneck_down, 1)
+        rtt = bottleneck.rtt_ms / 1e3 + 2e-3  # + access links
+        bg_cfg = QuicConfig(fidelity="fluid")
+        for i in range(n_background):
+            flow = background_transfer(
+                network,
+                f"bg-{i}",
+                [topo.bottleneck_down],
+                background_bytes,
+                rtt,
+                config=bg_cfg,
+            )
+            flow.on_complete = (
+                lambda f=flow: background_fcts.append(f.completion_time)
+            )
+
+    mp_client.connect()
+    sim.run_until(lambda: done["time"] > 0.0, timeout=timeout)
+
+    transfer_time = done["time"]
+    goodput = (
+        received["measured"] * 8.0 / transfer_time
+        if transfer_time > 0.0
+        else 0.0
+    )
+    return HybridRunResult(
+        fidelity=fidelity,
+        measured_transfer_time=transfer_time,
+        measured_goodput_bps=goodput,
+        background_fcts=background_fcts,
+        sim_events=sim.events_processed,
+    )

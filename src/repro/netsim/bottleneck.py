@@ -75,14 +75,29 @@ class SharedBottleneckTopology:
         with_competitor: bool = True,
         seed: int = 0,
         access_rtt_ms: float = 2.0,
+        n_competitors: int = 0,
     ) -> None:
         self.sim = sim
         self.bottleneck_config = bottleneck
         self.client = Host("mp-client")
         self.server = Host("mp-server")
-        self.competitor_client = Host("sp-client")
-        self.competitor_server = Host("sp-server")
-        self.with_competitor = with_competitor
+        # ``n_competitors`` generalizes the original boolean: when given
+        # it wins, otherwise ``with_competitor`` maps to 0/1 pairs.
+        if n_competitors == 0 and with_competitor:
+            n_competitors = 1
+        self.n_competitors = n_competitors
+        self.with_competitor = n_competitors > 0
+        #: Single-homed competitor pairs crossing the same bottleneck;
+        #: pair ``i`` is addressed ``10.{9+i}.0.1 <-> 10.{9+i}.0.2``.
+        self.competitor_clients = [
+            Host(f"sp-client-{i}") for i in range(max(n_competitors, 1))
+        ]
+        self.competitor_servers = [
+            Host(f"sp-server-{i}") for i in range(max(n_competitors, 1))
+        ]
+        # Back-compat aliases for the original single competitor pair.
+        self.competitor_client = self.competitor_clients[0]
+        self.competitor_server = self.competitor_servers[0]
         rng = random.Random(seed)
 
         up_router = Router("router-up")
@@ -139,25 +154,29 @@ class SharedBottleneckTopology:
             )
             up_router.add_route(f"10.{i}.0.1", cli_down)
 
-        if with_competitor:
-            cc_iface = self.competitor_client.add_interface("10.9.0.1")
-            cs_iface = self.competitor_server.add_interface("10.9.0.2")
+        for i in range(n_competitors):
+            comp_client = self.competitor_clients[i]
+            comp_server = self.competitor_servers[i]
+            net = 9 + i
+            cc_iface = comp_client.add_interface(f"10.{net}.0.1")
+            cs_iface = comp_server.add_interface(f"10.{net}.0.2")
             up = access_link(
-                _stamp_and_forward(self.bottleneck_up), "access-comp-up"
+                _stamp_and_forward(self.bottleneck_up), f"access-comp-up-{i}"
             )
             cc_iface.attach(up)
             comp_srv_down = access_link(
-                _deliver_to(self.competitor_server, 0), "access-comp-srv"
+                _deliver_to(comp_server, 0), f"access-comp-srv-{i}"
             )
-            down_router.add_route("10.9.0.2", comp_srv_down)
+            down_router.add_route(f"10.{net}.0.2", comp_srv_down)
             srv_up = access_link(
-                _stamp_and_forward(self.bottleneck_down), "access-comp-srv-up"
+                _stamp_and_forward(self.bottleneck_down),
+                f"access-comp-srv-up-{i}",
             )
             cs_iface.attach(srv_up)
             comp_cli_down = access_link(
-                _deliver_to(self.competitor_client, 0), "access-comp-cli"
+                _deliver_to(comp_client, 0), f"access-comp-cli-{i}"
             )
-            up_router.add_route("10.9.0.1", comp_cli_down)
+            up_router.add_route(f"10.{net}.0.1", comp_cli_down)
 
 
 def _stamp_and_forward(bottleneck: Link) -> Callable[[Datagram], None]:

@@ -74,8 +74,25 @@ class Simulator:
         self.events_processed = 0
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Timer:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
-        return self.schedule_at(self.now + delay, fn, *args)
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Body mirrors :meth:`schedule_at`: this runs once per timer on
+        the packet hot path, so the extra delegation call is avoided.
+        """
+        time = self.now + delay
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        if _san.SANITIZE:
+            _san.check(
+                time == time,  # repro: allow[float-equality] intentional NaN probe
+                "timer scheduled at NaN simulated time",
+                now=self.now,
+            )
+        timer = Timer(time, fn, args, sim=self)
+        heapq.heappush(self._heap, (time, next(self._counter), timer))
+        if _metrics.METRICS:
+            _metrics.REGISTRY.inc("engine.timers_scheduled")
+        return timer
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
@@ -118,7 +135,8 @@ class Simulator:
                 entry[2]._popped = True
             else:
                 live.append(entry)
-        self._heap = live
+        # In-place so the run loops may hold a local alias to the heap.
+        self._heap[:] = live
         heapq.heapify(self._heap)
         self._cancelled = 0
         if _metrics.METRICS:
@@ -155,12 +173,14 @@ class Simulator:
         max_events: Optional[int],
     ) -> None:
         processed = 0
-        while self._heap:
-            time, _seq, timer = self._heap[0]
+        heap = self._heap  # compaction rebuilds it in place
+        heappop = heapq.heappop
+        while heap:
+            time, _seq, timer = heap[0]
             if until is not None and time > until:
                 self.now = until
                 return
-            heapq.heappop(self._heap)
+            heappop(heap)
             timer._popped = True
             if timer.cancelled:
                 self._cancelled -= 1
@@ -221,10 +241,12 @@ class Simulator:
         max_events: int,
     ) -> bool:
         processed = 0
+        heap = self._heap  # compaction rebuilds it in place
+        heappop = heapq.heappop
         while not predicate():
-            if not self._heap:
+            if not heap:
                 return False
-            time, _seq, timer = heapq.heappop(self._heap)
+            time, _seq, timer = heappop(heap)
             timer._popped = True
             if timer.cancelled:
                 self._cancelled -= 1

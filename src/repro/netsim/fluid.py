@@ -1,0 +1,535 @@
+"""Fluid-approximation flow engine (hybrid-fidelity simulation).
+
+Packet-level simulation costs two events per datagram; a 2 MB
+background transfer is ~3000 events that exist only to keep a
+bottleneck busy.  This module models such flows *analytically*: a
+:class:`FluidFlow` is a remaining-byte counter drained at a rate set
+by max-min bandwidth sharing, and the only simulator events it needs
+are the instants where rates change — a flow joining or leaving, a
+slow-start doubling, or a predicted completion.  Thousands of packet
+events collapse into a handful of rate updates (the classic fluid /
+hybrid approach of Liu et al., "Fluid models and solutions for
+large-scale IP networks").
+
+The two fidelities compose: each :class:`~repro.netsim.link.Link`
+carries a ``fluid_reserved_bps`` aggregate that shrinks the
+serialization capacity packet-level traffic sees, while the share
+computation counts the packet connections crossing a link
+(``set_packet_load``) so fluid flows only take their fair fraction.
+Measured connections stay packet-level — with full loss detection,
+scheduling and flow control — while background cross-traffic runs
+fluid, selected via ``QuicConfig.fidelity`` (see
+:func:`background_transfer`).
+
+Model summary, per flow:
+
+* **steady state** — max-min fair share of every traversed link's
+  fluid capacity (progressive filling, per-flow rate caps honoured);
+* **slow start** — the rate ramps from ``INITIAL_WINDOW`` segments per
+  RTT, doubling every RTT until it reaches the fair share (per-RTT
+  analytic update);
+* **random loss** — a Mathis-style ceiling ``mss/rtt * C/sqrt(p)``
+  caps the steady-state rate on lossy routes;
+* **completion** — predicted from ``remaining / rate`` and
+  re-scheduled whenever any share changes (predictive event
+  regeneration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.netsim.engine import Simulator, Timer
+from repro.netsim.link import Link
+from repro.obs.events import CAT_FLUID, Tracer
+
+if TYPE_CHECKING:  # layering: netsim must not import the quic package
+    from repro.quic.config import QuicConfig
+
+#: Slow-start ramp starts at this many segments per RTT (mirrors the
+#: packet-level initial congestion window).
+INITIAL_WINDOW_SEGMENTS = 10
+
+#: Mathis constant for the loss-limited throughput ceiling
+#: ``mss/rtt * C/sqrt(p)`` (C = sqrt(3/2) for delayed-ACK-free Reno).
+MATHIS_C = 1.22
+
+#: Empirically calibrated constant for the repo's default congestion
+#: controller ("cubic2", CUBIC with 2-connection emulation): the
+#: emulation is markedly more aggressive than Reno under random loss,
+#: and sqrt(2) * MATHIS_C matches the packet simulator's loss-limited
+#: goodput within ~10% over the 0.5-2% loss range (the idealized
+#: 2-Reno aggregate bound, 2 * MATHIS_C, overshoots because the link
+#: share clips the emulation's window peaks).
+MATHIS_C_CUBIC2 = MATHIS_C * math.sqrt(2.0)
+
+#: Ignore rate/deadline changes smaller than this relative amount when
+#: deciding whether to regenerate a completion event.
+_REL_EPS = 1e-9
+
+
+class FluidFlow:
+    """One analytically modelled flow over a fixed route of links."""
+
+    __slots__ = (
+        "name", "route", "size_bytes", "rtt", "mss", "loss_rate",
+        "mathis_c", "start_time", "started", "remaining_bytes",
+        "rate_bps", "ramp_bps", "ramping", "completed", "completion_time",
+        "on_complete", "_last_settle", "_completion_timer", "_ramp_timer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        route: Tuple[Link, ...],
+        size_bytes: int,
+        rtt: float,
+        mss: int,
+        loss_rate: float,
+        mathis_c: float = MATHIS_C,
+    ) -> None:
+        self.name = name
+        self.route = route
+        self.size_bytes = size_bytes
+        self.rtt = rtt
+        self.mss = mss
+        #: End-to-end random-loss probability of the route (drives the
+        #: Mathis ceiling; 0 = no loss cap).
+        self.loss_rate = loss_rate
+        #: Constant of the loss-limited ceiling; pick the value matching
+        #: the congestion controller the flow stands in for.
+        self.mathis_c = mathis_c
+        self.start_time = 0.0
+        self.started = False
+        self.remaining_bytes = float(size_bytes)
+        #: Current drain rate (what the link reservation sees).
+        self.rate_bps = 0.0
+        #: Slow-start ceiling; doubles every RTT while ``ramping``.
+        self.ramp_bps = 0.0
+        self.ramping = True
+        self.completed = False
+        self.completion_time: Optional[float] = None
+        self.on_complete: Optional[Callable[["FluidFlow"], None]] = None
+        self._last_settle = 0.0
+        self._completion_timer: Optional[Timer] = None
+        self._ramp_timer: Optional[Timer] = None
+
+    @property
+    def transferred_bytes(self) -> float:
+        """Bytes drained so far (settled state only)."""
+        return self.size_bytes - self.remaining_bytes
+
+    def steady_cap_bps(self) -> float:
+        """Loss-model (Mathis) ceiling, ignoring the slow-start ramp."""
+        if self.loss_rate > 0.0:
+            return (
+                self.mss * 8.0 / self.rtt
+                * self.mathis_c / math.sqrt(self.loss_rate)
+            )
+        return math.inf
+
+    def rate_cap_bps(self) -> float:
+        """Per-flow ceiling from slow start and the loss model."""
+        cap = self.steady_cap_bps()
+        if self.ramping and self.ramp_bps < cap:
+            cap = self.ramp_bps
+        return cap
+
+    def fct(self) -> float:
+        """Flow completion time (seconds from start to last byte)."""
+        if self.completion_time is None:
+            raise RuntimeError(f"flow {self.name!r} has not completed")
+        return self.completion_time - self.start_time
+
+
+class FluidNetwork:
+    """Coordinates fluid flows and their link-capacity accounting.
+
+    One instance per simulation; flows are added with :meth:`add_flow`
+    and everything else — share updates, slow-start ramping, completion
+    events, ``Link.fluid_reserved_bps`` maintenance — is event-driven.
+    """
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self.flows: List[FluidFlow] = []
+        #: Number of packet-level connections crossing each link; a
+        #: link with P packet connections and F fluid flows yields only
+        #: ``F/(F+P)`` of its rate to the fluid side, leaving the rest
+        #: to the packet simulation (which enforces its own share via
+        #: real queueing).
+        self._packet_load: Dict[Link, int] = {}
+        #: Links currently carrying a reservation (cleared on drain).
+        self._reserved_links: List[Link] = []
+        self.reallocations = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def set_packet_load(self, link: Link, connections: int) -> None:
+        """Declare how many packet-level connections cross ``link``."""
+        if connections < 0:
+            raise ValueError("connections must be non-negative")
+        self._packet_load[link] = connections
+
+    # -- flow lifecycle ----------------------------------------------------
+
+    def add_flow(
+        self,
+        name: str,
+        route: Sequence[Link],
+        size_bytes: int,
+        rtt: float,
+        mss: int = 1300,
+        start_in: float = 0.0,
+        on_complete: Optional[Callable[[FluidFlow], None]] = None,
+        mathis_c: float = MATHIS_C,
+    ) -> FluidFlow:
+        """Create a flow; it starts ``start_in`` seconds from now.
+
+        ``rtt`` is the flow's base round-trip time (drives the
+        slow-start ramp and the loss ceiling).  The route's end-to-end
+        loss probability is derived from the links' ``loss_rate``.
+        """
+        if not route:
+            raise ValueError("a fluid flow needs at least one link")
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if rtt <= 0:
+            raise ValueError("rtt must be positive")
+        survive = 1.0
+        for link in route:
+            survive *= 1.0 - link.loss_rate
+        flow = FluidFlow(
+            name, tuple(route), size_bytes, rtt, mss,
+            loss_rate=1.0 - survive, mathis_c=mathis_c,
+        )
+        flow.on_complete = on_complete
+        self.flows.append(flow)
+        if start_in <= 0.0:
+            self._start_flow(flow)
+        else:
+            self.sim.schedule(start_in, self._start_flow, flow)
+        return flow
+
+    def _start_flow(self, flow: FluidFlow) -> None:
+        now = self.sim.now
+        flow.started = True
+        flow.start_time = now
+        flow._last_settle = now
+        flow.ramp_bps = INITIAL_WINDOW_SEGMENTS * flow.mss * 8.0 / flow.rtt
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "network", CAT_FLUID, "flow_started", -1,
+                flow=flow.name, size_bytes=flow.size_bytes, rtt=flow.rtt,
+            )
+        self._reallocate()
+
+    # -- share computation -------------------------------------------------
+
+    def _active_flows(self) -> List[FluidFlow]:
+        return [f for f in self.flows if f.started and not f.completed]
+
+    def _fluid_capacity(self, link: Link, n_fluid: int) -> float:
+        """Capacity the fluid side may take on ``link``.
+
+        With P packet connections sharing the link, F fluid flows take
+        the fraction F/(F+P) — their aggregate fair share under the
+        equal-split assumption the packet side's congestion control
+        also converges to.
+        """
+        packet = self._packet_load.get(link, 0)
+        if packet <= 0:
+            return link.rate_bps
+        return link.rate_bps * n_fluid / (n_fluid + packet)
+
+    def _settle(self, now: float) -> None:
+        """Account bytes drained since the last rate change."""
+        for flow in self._active_flows():
+            dt = now - flow._last_settle
+            if dt > 0.0 and flow.rate_bps > 0.0:
+                flow.remaining_bytes -= flow.rate_bps / 8.0 * dt
+                if flow.remaining_bytes < 0.0:
+                    flow.remaining_bytes = 0.0
+            flow._last_settle = now
+
+    def _water_fill(
+        self,
+        flows: List[FluidFlow],
+        caps: Dict[Link, float],
+    ) -> Dict[FluidFlow, float]:
+        """Max-min progressive filling of ``flows`` into ``caps``."""
+        alloc: Dict[FluidFlow, float] = {}
+        unallocated = list(flows)
+        while unallocated:
+            # The tightest link bounds this round's equal share.
+            best_share = math.inf
+            best_link: Optional[Link] = None
+            for link, cap in caps.items():
+                users = sum(1 for f in unallocated if link in f.route)
+                if users == 0:
+                    continue
+                share = cap / users
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                # No remaining flow crosses a capacitated link.
+                for f in unallocated:
+                    alloc[f] = 0.0
+                break
+            settled = [f for f in unallocated if best_link in f.route]
+            for f in settled:
+                alloc[f] = best_share
+                for link in f.route:
+                    caps[link] = max(0.0, caps[link] - best_share)
+                unallocated.remove(f)
+        return alloc
+
+    def _reallocate(self) -> None:
+        """Recompute every flow's rate; regenerate predicted events.
+
+        This is the fluid engine's single update point, run whenever
+        the share structure changes (flow started, completed, ramp
+        doubled, or an explicit :meth:`invalidate`).
+        """
+        now = self.sim.now
+        self._settle(now)
+        active = self._active_flows()
+        self.reallocations += 1
+
+        caps: Dict[Link, float] = {}
+        n_active = len(active)
+        for flow in active:
+            for link in flow.route:
+                if link not in caps:
+                    caps[link] = self._fluid_capacity(link, n_active)
+
+        # Steady-state entitlement (loss cap only) decides whether a
+        # flow is still ramping: once the ramp ceiling reaches what the
+        # flow could sustain anyway, slow start is over for good
+        # (shares only shrink as flows join; if they grow later the
+        # ramp is already past the old bound).
+        steady = self._capped_fill(active, caps, FluidFlow.steady_cap_bps)
+        for flow in active:
+            if flow.ramping and flow.ramp_bps >= steady.get(flow, 0.0) * (1.0 - 1e-6):
+                flow.ramping = False
+                timer = flow._ramp_timer
+                if timer is not None:
+                    timer.cancel()
+                    flow._ramp_timer = None
+
+        # Actual rates honour the ramp ceilings too; slack from capped
+        # flows redistributes to the rest.
+        rates = self._capped_fill(active, caps, FluidFlow.rate_cap_bps)
+        self._apply_rates(active, rates, now)
+
+    def _capped_fill(
+        self,
+        active: List[FluidFlow],
+        caps: Dict[Link, float],
+        cap_fn: Callable[[FluidFlow], float],
+    ) -> Dict[FluidFlow, float]:
+        """Max-min filling with per-flow ceilings from ``cap_fn``.
+
+        Flows capped below their fair share release the slack to the
+        rest (iterative water-filling; terminates because every pass
+        fixes at least one capped flow).
+        """
+        working = dict(caps)
+        rates: Dict[FluidFlow, float] = {}
+        remaining = list(active)
+        while remaining:
+            alloc = self._water_fill(remaining, dict(working))
+            capped = [
+                f for f in remaining
+                if cap_fn(f) < alloc.get(f, 0.0) * (1.0 - _REL_EPS)
+            ]
+            if not capped:
+                rates.update(alloc)
+                break
+            for f in capped:
+                rate = cap_fn(f)
+                rates[f] = rate
+                for link in f.route:
+                    working[link] = max(0.0, working[link] - rate)
+                remaining.remove(f)
+        return rates
+
+    def _apply_rates(
+        self,
+        active: List[FluidFlow],
+        rates: Dict[FluidFlow, float],
+        now: float,
+    ) -> None:
+        # Update per-link reservations (packet traffic sees the rest).
+        for link in self._reserved_links:
+            link.fluid_reserved_bps = 0.0
+        reserved: List[Link] = []
+        seen = set()
+        for flow in active:
+            rate = rates.get(flow, 0.0)
+            flow.rate_bps = rate
+            for link in flow.route:
+                link_id = id(link)
+                if link_id not in seen:
+                    seen.add(link_id)
+                    reserved.append(link)
+                link.fluid_reserved_bps += rate
+        self._reserved_links = reserved
+
+        tracer = self.tracer
+        for flow in active:
+            rate = flow.rate_bps
+            if tracer is not None:
+                tracer.emit(
+                    now, "network", CAT_FLUID, "share_update", -1,
+                    flow=flow.name, rate_bps=rate,
+                    remaining_bytes=flow.remaining_bytes,
+                    ramping=flow.ramping,
+                )
+            # Predictive completion regeneration.
+            timer = flow._completion_timer
+            if rate > 0.0:
+                deadline = now + flow.remaining_bytes * 8.0 / rate
+                if (
+                    timer is None
+                    or timer.cancelled
+                    or abs(timer.time - deadline) > _REL_EPS * max(1.0, deadline)
+                ):
+                    if timer is not None:
+                        timer.cancel()
+                    flow._completion_timer = self.sim.schedule_at(
+                        deadline, self._on_flow_complete, flow
+                    )
+            elif timer is not None:
+                timer.cancel()
+                flow._completion_timer = None
+            # Slow-start doubling: one pending per-RTT event per flow.
+            if flow.ramping and (
+                flow._ramp_timer is None or flow._ramp_timer.cancelled
+            ):
+                flow._ramp_timer = self.sim.schedule(
+                    flow.rtt, self._on_ramp, flow
+                )
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_ramp(self, flow: FluidFlow) -> None:
+        flow._ramp_timer = None
+        if flow.completed or not flow.ramping:
+            return
+        flow.ramp_bps *= 2.0
+        self._reallocate()
+
+    def _on_flow_complete(self, flow: FluidFlow) -> None:
+        flow._completion_timer = None
+        if flow.completed:
+            return
+        now = self.sim.now
+        self._settle(now)
+        # Guard against a stale prediction (shares changed since).
+        if flow.remaining_bytes > max(1.0, flow.size_bytes * 1e-12):
+            self._reallocate()
+            return
+        flow.remaining_bytes = 0.0
+        flow.completed = True
+        flow.completion_time = now
+        flow.rate_bps = 0.0
+        timer = flow._ramp_timer
+        if timer is not None:
+            timer.cancel()
+            flow._ramp_timer = None
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "network", CAT_FLUID, "flow_completed", -1,
+                flow=flow.name, fct=flow.fct(),
+            )
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+        self._reallocate()
+
+    def invalidate(self) -> None:
+        """Re-derive shares after an external change (e.g. link rate)."""
+        self._reallocate()
+
+
+# -- convenience -----------------------------------------------------------
+
+
+class FluidTransferResult:
+    """Outcome of :func:`simulate_fluid_transfer`."""
+
+    __slots__ = ("transfer_time", "goodput_bps", "sim_events")
+
+    def __init__(self, transfer_time: float, goodput_bps: float, sim_events: int) -> None:
+        self.transfer_time = transfer_time
+        self.goodput_bps = goodput_bps
+        self.sim_events = sim_events
+
+
+def simulate_fluid_transfer(
+    rate_bps: float,
+    rtt: float,
+    file_size: int,
+    loss_rate: float = 0.0,
+    mss: int = 1300,
+    mathis_c: float = MATHIS_C_CUBIC2,
+) -> FluidTransferResult:
+    """Model one bulk download analytically; mirror of ``run_bulk``.
+
+    The reported time matches the packet-level definition (first
+    handshake packet to last delivered byte): the server starts
+    sending ~1.5 RTT after the client's CHLO (handshake + request),
+    and the final byte needs another half RTT to propagate.  The
+    default ``mathis_c`` matches ``run_bulk``'s default controller
+    (cubic2).
+    """
+    sim = Simulator()
+    link = Link(sim, rate_bps, rtt / 2.0, 10 * 1500, loss_rate=loss_rate)
+    network = FluidNetwork(sim)
+    flow = network.add_flow(
+        "bulk", [link], file_size, rtt, mss=mss, start_in=1.5 * rtt,
+        mathis_c=mathis_c,
+    )
+    sim.run()
+    if not flow.completed:
+        raise RuntimeError("fluid transfer never completed")
+    transfer_time = flow.completion_time + 0.5 * rtt  # type: ignore[operator]
+    return FluidTransferResult(
+        transfer_time=transfer_time,
+        goodput_bps=file_size * 8.0 / transfer_time,
+        sim_events=sim.events_processed,
+    )
+
+
+def background_transfer(
+    network: FluidNetwork,
+    name: str,
+    route: Sequence[Link],
+    size_bytes: int,
+    rtt: float,
+    config: Optional["QuicConfig"] = None,
+    start_in: float = 0.0,
+) -> FluidFlow:
+    """Start one background transfer at the fidelity the config asks.
+
+    The dispatch point for ``QuicConfig.fidelity``: with ``"fluid"``
+    (or no config) the transfer becomes a :class:`FluidFlow`; with
+    ``"packet"`` the caller should build real endpoints instead, and
+    this raises to catch the mismatch early.
+    """
+    if config is not None and config.fidelity != "fluid":
+        raise ValueError(
+            "background_transfer models fluid flows only; "
+            f"config.fidelity={config.fidelity!r} wants packet-level endpoints"
+        )
+    mss = config.mss if config is not None else 1300
+    # Match the loss model to the controller the flow stands in for.
+    cc = config.cc_algorithm if config is not None else "cubic2"
+    mathis_c = MATHIS_C_CUBIC2 if cc == "cubic2" else MATHIS_C
+    return network.add_flow(
+        name, route, size_bytes, rtt, mss=mss, start_in=start_in,
+        mathis_c=mathis_c,
+    )

@@ -135,6 +135,11 @@ class Link:
         self.stats = LinkStats()
         #: Administrative state; False drops everything at the NIC.
         self.up = True
+        #: Aggregate rate currently reserved by fluid-approximation
+        #: flows (:mod:`repro.netsim.fluid`); packet-level serialization
+        #: runs at ``rate_bps - fluid_reserved_bps``.  0.0 (the
+        #: default) keeps the packet hot path's arithmetic unchanged.
+        self.fluid_reserved_bps = 0.0
         #: Silent-drop mode: serialized datagrams never get delivered.
         self.blackhole = False
         self._queue: Deque[Datagram] = deque()
@@ -219,7 +224,7 @@ class Link:
             self._tx_remaining_bytes *= fraction
             self._tx_timer.cancel()
             self.rate_bps = rate_bps
-            delay = self._tx_remaining_bytes * 8.0 / rate_bps
+            delay = self._tx_remaining_bytes * 8.0 / self.effective_rate_bps()
             self._tx_start = now
             self._tx_end = now + delay
             self._tx_timer = self.sim.schedule(
@@ -272,34 +277,53 @@ class Link:
         """True while a datagram is being clocked onto the wire."""
         return self._busy
 
+    def effective_rate_bps(self) -> float:
+        """Serialization rate left after fluid reservations.
+
+        The floor (1% of the raw rate) keeps packet traffic trickling
+        even if the fluid side ever reserves the whole link, so the
+        packet simulation cannot divide by zero or stall forever.
+        """
+        rate = self.rate_bps - self.fluid_reserved_bps
+        if rate <= 0.0:
+            return 0.01 * self.rate_bps
+        return rate
+
     def transmission_delay(self, size: int) -> float:
         """Seconds needed to serialize ``size`` bytes at the link rate."""
-        return size * 8.0 / self.rate_bps
+        return size * 8.0 / self.effective_rate_bps()
 
     def _transmit(self, datagram: Datagram) -> None:
         self._busy = True
-        tx_delay = self.transmission_delay(datagram.size)
+        size = datagram.size
+        rate = self.rate_bps - self.fluid_reserved_bps
+        if rate <= 0.0:
+            rate = 0.01 * self.rate_bps
+        tx_delay = size * 8.0 / rate
+        sim = self.sim
+        now = sim.now
         self._tx_datagram = datagram
-        self._tx_remaining_bytes = float(datagram.size)
-        self._tx_start = self.sim.now
-        self._tx_end = self.sim.now + tx_delay
-        self._tx_timer = self.sim.schedule(
+        self._tx_remaining_bytes = float(size)
+        self._tx_start = now
+        self._tx_end = now + tx_delay
+        self._tx_timer = sim.schedule(
             tx_delay, self._serialization_done, datagram
         )
 
     def _serialization_done(self, datagram: Datagram) -> None:
         self._tx_timer = None
         self._tx_datagram = None
-        self.stats.datagrams_sent += 1
-        self.stats.bytes_sent += datagram.size
+        stats = self.stats
+        stats.datagrams_sent += 1
+        stats.bytes_sent += datagram.size
         if self.burst_loss is not None:
             lost = self.burst_loss.lose()
         else:
             lost = self.loss_rate > 0.0 and self.rng.random() < self.loss_rate
         if lost:
-            self.stats.random_losses += 1
+            stats.random_losses += 1
         elif self.blackhole:
-            self.stats.blackholed += 1
+            stats.blackholed += 1
         else:
             delay = self.prop_delay
             if self.jitter > 0.0:

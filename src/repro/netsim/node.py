@@ -8,25 +8,41 @@ address per (disjoint) path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.link import Link
 
 
-@dataclass
 class Datagram:
     """A UDP-datagram-like unit travelling over a link.
 
     ``payload`` is an opaque protocol object (a QUIC packet or a TCP
     segment); ``size`` is its wire size in bytes including all headers.
+
+    One is allocated per transmitted packet, so this is a ``__slots__``
+    class rather than a dataclass.
     """
 
-    payload: Any
-    size: int
-    src_addr: str = ""
-    dst_addr: str = ""
+    __slots__ = ("payload", "size", "src_addr", "dst_addr")
+
+    def __init__(
+        self,
+        payload: Any,
+        size: int,
+        src_addr: str = "",
+        dst_addr: str = "",
+    ) -> None:
+        self.payload = payload
+        self.size = size
+        self.src_addr = src_addr
+        self.dst_addr = dst_addr
+
+    def __repr__(self) -> str:
+        return (
+            f"Datagram(payload={self.payload!r}, size={self.size!r}, "
+            f"src_addr={self.src_addr!r}, dst_addr={self.dst_addr!r})"
+        )
 
 
 class Interface:

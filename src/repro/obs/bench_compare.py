@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.obs.bench_compare BASELINE.json CANDIDATE.json \
-        [--threshold 0.30] [--warn-only]
+        [--metric event_loop] [--threshold 0.30] [--warn-only]
 
 Extracts the headline events/sec from each record (top-level
 ``events_per_second``; falls back to ``serial.events_per_second`` for
@@ -16,6 +16,14 @@ engine records), prints the delta, and exits
   for hosts whose timings are too noisy to hard-fail on), and
 * ``2`` when either record is unreadable or carries no throughput
   number.
+
+``--metric NAME`` gates one sub-benchmark (``NAME.events_per_second``)
+instead of the headline, so CI can enforce the stable microbenches
+(``event_loop``, ``timer_churn``) while keeping noisier end-to-end
+numbers warn-only.  Parallel-derived metrics (anything under
+``parallel``) are skipped — exit 0 with an annotation — when either
+record was produced on a single-core host, where "speedup" only
+measures process-pool overhead.
 
 The default threshold is deliberately loose (30%): shared CI runners
 jitter by tens of percent, and the gate exists to catch structural
@@ -41,9 +49,14 @@ _EPS_PATHS = (
 )
 
 
-def extract_events_per_second(record: Dict[str, Any]) -> Optional[float]:
-    """The record's headline events/sec, or None when absent."""
-    for path in _EPS_PATHS:
+def extract_events_per_second(
+    record: Dict[str, Any], metric: Optional[str] = None
+) -> Optional[float]:
+    """The record's headline (or ``metric``'s) events/sec, or None."""
+    paths = (
+        ((metric, "events_per_second"),) if metric is not None else _EPS_PATHS
+    )
+    for path in paths:
         node: Any = record
         for key in path:
             if not isinstance(node, dict) or key not in node:
@@ -55,18 +68,46 @@ def extract_events_per_second(record: Dict[str, Any]) -> Optional[float]:
     return None
 
 
+def _cpu_count(record: Dict[str, Any]) -> Optional[int]:
+    host = record.get("host")
+    if isinstance(host, dict) and isinstance(host.get("cpu_count"), int):
+        return host["cpu_count"]
+    return None
+
+
 def compare(
     baseline: Dict[str, Any],
     candidate: Dict[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
+    metric: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Structured comparison; raises ValueError on missing numbers."""
-    base_eps = extract_events_per_second(baseline)
-    cand_eps = extract_events_per_second(candidate)
+    """Structured comparison; raises ValueError on missing numbers.
+
+    Parallel-derived metrics are meaningless on single-core hosts
+    (they time process-pool overhead); for those the result carries a
+    ``skipped`` reason instead of regression math.
+    """
+    if metric is not None and "parallel" in metric:
+        cores = [
+            c for c in (_cpu_count(baseline), _cpu_count(candidate))
+            if c is not None
+        ]
+        if cores and min(cores) <= 1:
+            return {
+                "skipped": (
+                    f"metric {metric!r} compares parallel timings but a "
+                    "record came from a single-core host; speedup there "
+                    "measures pool overhead, not parallelism"
+                ),
+                "regression": False,
+            }
+    base_eps = extract_events_per_second(baseline, metric)
+    cand_eps = extract_events_per_second(candidate, metric)
+    where = f" under {metric!r}" if metric is not None else ""
     if base_eps is None:
-        raise ValueError("baseline record carries no events/sec")
+        raise ValueError(f"baseline record carries no events/sec{where}")
     if cand_eps is None:
-        raise ValueError("candidate record carries no events/sec")
+        raise ValueError(f"candidate record carries no events/sec{where}")
     change = (cand_eps - base_eps) / base_eps
     return {
         "baseline_events_per_second": base_eps,
@@ -100,18 +141,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--warn-only", action="store_true",
         help="report a regression but exit 0 (noisy hosts)",
     )
+    parser.add_argument(
+        "--metric", default=None,
+        help="gate METRIC.events_per_second instead of the headline "
+        "(e.g. event_loop, timer_churn, mpquic_transfer)",
+    )
     args = parser.parse_args(argv)
 
     try:
         result = compare(
-            _load(args.baseline), _load(args.candidate), args.threshold
+            _load(args.baseline), _load(args.candidate), args.threshold,
+            metric=args.metric,
         )
     except (OSError, json.JSONDecodeError, ValueError) as exc:
         print(f"bench_compare: {exc}", file=sys.stderr)
         return 2
 
+    if "skipped" in result:
+        print(f"SKIPPED: {result['skipped']}")
+        return 0
+
     pct = result["change"] * 100.0
     direction = "faster" if result["change"] >= 0 else "slower"
+    if args.metric is not None:
+        print(f"metric:    {args.metric}.events_per_second")
     print(
         f"baseline:  {result['baseline_events_per_second']:>12.0f} events/s"
     )

@@ -47,6 +47,11 @@ CAT_CONNECTION = "connection"
 #: (``metrics:counter``, ``metrics:wall_time``, ...).  Emitted with
 #: ``path_id == -1``: metrics describe the runtime, not one path.
 CAT_METRICS = "metrics"
+#: Fluid-approximation engine events (``fluid:flow_started``,
+#: ``fluid:share_update``, ``fluid:flow_completed``) from
+#: :mod:`repro.netsim.fluid`.  Emitted with ``host == "network"`` and
+#: ``path_id == -1``: fluid flows are background load, not paths.
+CAT_FLUID = "fluid"
 
 CATEGORIES = (
     CAT_TRANSPORT,
@@ -58,6 +63,7 @@ CATEGORIES = (
     CAT_NETWORK,
     CAT_CONNECTION,
     CAT_METRICS,
+    CAT_FLUID,
 )
 
 #: Translation of the legacy ``PacketTrace`` event names used by the

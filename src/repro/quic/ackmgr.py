@@ -23,6 +23,11 @@ ACK_EVERY_N = 2
 class AckManager:
     """Accumulates received packet numbers and decides when to ACK."""
 
+    __slots__ = (
+        "path_id", "received", "largest_received", "largest_received_time",
+        "_unacked_eliciting", "_ack_pending", "_reordering_seen",
+    )
+
     def __init__(self, path_id: int) -> None:
         self.path_id = path_id
         self.received = RangeSet()
@@ -34,17 +39,24 @@ class AckManager:
 
     def on_packet_received(self, packet_number: int, now: float, ack_eliciting: bool) -> None:
         """Record an arriving packet."""
-        duplicate = packet_number in self.received
-        self.received.add_value(packet_number)
+        received = self.received
+        largest = self.largest_received
+        # Anything above the largest seen so far cannot be a duplicate;
+        # skip the membership bisect on the dominant in-order arrival.
+        duplicate = packet_number <= largest and packet_number in received
+        received.add_value(packet_number)
         # Hard bound on receiver state: ACK frames carry at most
         # MAX_ACK_RANGES ranges, so ranges below that window can never
         # be reported again — drop the lowest ones.  The sender's
         # retransmission machinery covers anything forgotten here.
-        while len(self.received) > MAX_ACK_RANGES:
-            lowest_start, lowest_stop = next(iter(self.received))
-            self.received.remove(lowest_start, lowest_stop)
-        if packet_number > self.largest_received:
-            if packet_number != self.largest_received + 1:
+        # (Peeks the bounds list directly: this runs per packet and the
+        # bound is almost never hit.)
+        if len(received._bounds) > 2 * MAX_ACK_RANGES:
+            while len(received) > MAX_ACK_RANGES:
+                lowest_start, lowest_stop = next(iter(received))
+                received.remove(lowest_start, lowest_stop)
+        if packet_number > largest:
+            if packet_number != largest + 1:
                 self._reordering_seen = True  # gap: ack promptly
             self.largest_received = packet_number
             self.largest_received_time = now
@@ -94,11 +106,11 @@ class AckManager:
             self._unacked_eliciting = 0
             self._ack_pending = False
             self._reordering_seen = False
-        return AckFrame(
-            path_id=self.path_id,
-            largest_acked=self.largest_received,
-            ack_delay=ack_delay,
-            ranges=ranges,
+        return AckFrame.acquire(
+            self.path_id,
+            self.largest_received,
+            ack_delay,
+            ranges,
         )
 
     def commit_ack(self) -> None:

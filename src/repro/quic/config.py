@@ -39,6 +39,15 @@ class QuicConfig:
     #: peer — e.g. video playback or a slow disk.
     app_consume_rate_bps: float = 0.0
 
+    #: Simulation fidelity for this connection's traffic.  ``"packet"``
+    #: (the default) runs the full per-packet protocol machinery;
+    #: ``"fluid"`` marks the connection as background load to be
+    #: modelled analytically by :mod:`repro.netsim.fluid` — orders of
+    #: magnitude fewer simulator events, suitable for cross-traffic
+    #: whose only job is to occupy a bottleneck while the *measured*
+    #: connections stay packet-level.
+    fidelity: str = "packet"
+
     #: Multipath switch: a False value yields plain single-path QUIC.
     enable_multipath: bool = False
     #: Single-path QUIC only: on a potentially-failed path, migrate the

@@ -13,7 +13,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.cc import make_controller
 from repro.cc.base import CongestionController
@@ -133,6 +133,16 @@ class PathState:
     remain connection-level.
     """
 
+    __slots__ = (
+        "path_id", "interface_index", "rtt", "recovery", "ack_mgr", "cc",
+        "next_packet_number", "active", "liveness", "probe_timer",
+        "probe_interval", "probes_sent", "probe_seq", "last_challenge",
+        "abandoned_at", "recovery_exit_pn", "tlp_count", "last_send_time",
+        "last_receive_time", "rto_timer", "loss_timer", "ack_timer",
+        "packets_sent", "bytes_sent", "packets_received", "bytes_received",
+        "duplicated_packets", "stream_bytes_retransmitted", "reinjected_bytes",
+    )
+
     def __init__(
         self,
         path_id: int,
@@ -202,8 +212,13 @@ class PathState:
         return pn
 
     def can_send_data(self) -> bool:
-        """Congestion-window room for one more data packet?"""
-        return self.cc.can_send(self.recovery.bytes_in_flight)
+        """Congestion-window room for one more data packet?
+
+        Inlines ``cc.can_send``: this is probed per path on every send
+        opportunity.
+        """
+        cc = self.cc
+        return self.recovery.bytes_in_flight + cc.mss <= cc.cwnd_bytes
 
 
 @dataclass
@@ -277,6 +292,12 @@ class QuicConnection:
         self._drain_close_echoed = False
 
         self.paths: Dict[int, PathState] = {}
+        #: Cached ``_active_paths``/``_usable_paths`` results; path
+        #: membership and liveness change orders of magnitude less
+        #: often than the per-packet scheduler reads them.  Invalidated
+        #: by ``_invalidate_path_cache`` on create/liveness/abandon.
+        self._active_cache: Optional[List[PathState]] = None
+        self._usable_cache: Optional[List[PathState]] = None
         #: Enforces the paper's nonce-uniqueness rule: the Path ID is
         #: part of the nonce, and packet numbers never repeat per path.
         self._nonce = PathAwareNonce()
@@ -298,9 +319,18 @@ class QuicConnection:
         self._conn_recv_sum = 0  # sum of per-stream highest offsets seen
         self._stream_recv_highest: Dict[int, int] = {}
         self._stream_rr_index = 0  # round-robin cursor over send streams
+        #: Per-packet constants hoisted out of the send loops: frame
+        #: budget after the public header, and the multipath flag the
+        #: header size depends on.  ``max_packet_size`` is fixed for the
+        #: connection's lifetime, so these never go stale.
+        self._multipath = cfg.enable_multipath
+        self._frame_budget = cfg.max_packet_size - wire.public_header_size(True)
 
-        # Control frames waiting to go out, per path id.
+        # Control frames waiting to go out, per path id.  The dirty
+        # flag lets the per-packet flush skip the queues entirely in
+        # the (dominant) case where nothing is waiting.
         self._pending_control: Dict[int, List[Frame]] = {}
+        self._control_dirty = False
         # Handshake state.
         self._handshake_sent = False
         self._handshake_acked = False
@@ -323,6 +353,7 @@ class QuicConnection:
     def _create_path(self, path_id: int, interface_index: int) -> PathState:
         path = PathState(path_id, interface_index, self._make_cc(path_id), self.config)
         self.paths[path_id] = path
+        self._invalidate_path_cache()
         self._pending_control.setdefault(path_id, [])
         if self._obs is not None:
             self._obs.emit(
@@ -530,6 +561,7 @@ class QuicConnection:
                 path_id=path.path_id, old=old.value, new=new.value,
             )
         path.liveness = new
+        self._invalidate_path_cache()
         if self._obs is not None:
             self._obs.emit(
                 self.sim.now, self.host.name, CAT_PATH,
@@ -696,6 +728,7 @@ class QuicConnection:
             reason=reason, probes_sent=path.probes_sent,
         )
         path.active = False
+        self._invalidate_path_cache()
         path.abandoned_at = self.sim.now
         for timer in (
             path.rto_timer, path.loss_timer, path.ack_timer, path.probe_timer
@@ -877,7 +910,12 @@ class QuicConnection:
             self._on_draining_datagram(datagram)
             return
         packet: Packet = datagram.payload
-        path = self._ensure_path(packet.path_id, interface_index)
+        # Inlined _ensure_path: the path exists for every packet after
+        # the first on it.
+        path = self.paths.get(packet.path_id)
+        if path is None:
+            path = self._create_path(packet.path_id, interface_index)
+            self._on_new_remote_path(path)
         if path.interface_index != interface_index:
             # The peer's address changed (connection migration or NAT
             # rebinding).  Thanks to the explicit Path ID, path state —
@@ -890,13 +928,18 @@ class QuicConnection:
                     detail=f"iface={interface_index}",
                 )
         now = self.sim.now
+        size = datagram.size
         path.last_receive_time = now
         path.packets_received += 1
-        path.bytes_received += datagram.size
-        self.stats.packets_received += 1
-        self.stats.bytes_received += datagram.size
+        path.bytes_received += size
+        stats = self.stats
+        stats.packets_received += 1
+        stats.bytes_received += size
         self._last_activity = now
-        self._arm_idle_timer()
+        if self._idle_timer is None:
+            # Usually already armed; _on_idle_timer re-derives the
+            # deadline from _last_activity when it fires.
+            self._arm_idle_timer()
         # Note: receiving a packet alone does NOT recover a potentially
         # failed path — stray one-way traffic says nothing about the
         # return direction.  Recovery requires a fresh ACK of data sent
@@ -905,7 +948,7 @@ class QuicConnection:
         if self.trace is not None:
             self.trace.log(
                 now, self.host.name, "recv", path.path_id,
-                packet.packet_number, datagram.size,
+                packet.packet_number, size,
             )
         path.ack_mgr.on_packet_received(
             packet.packet_number, now, packet.is_ack_eliciting
@@ -913,6 +956,11 @@ class QuicConnection:
         try:
             for frame in packet.frames:
                 self._dispatch_frame(frame, path)
+                if frame.poolable:
+                    # Drop the in-flight pool reference the sender took
+                    # for this transmission: the frame has now been
+                    # observed by its receiver.
+                    frame.release()
         except FlowControlError as exc:
             # A peer violating its advertised limits is a protocol
             # error: close the connection instead of crashing the host.
@@ -990,18 +1038,21 @@ class QuicConnection:
         self.sim.schedule(interval, self._on_keepalive)
 
     def _on_stream_frame(self, frame: StreamFrame) -> None:
-        stream = self._get_recv_stream(frame.stream_id)
-        stream_window = self._stream_recv_windows[frame.stream_id]
-        new_highest = max(
-            self._stream_recv_highest[frame.stream_id],
-            frame.offset + len(frame.data),
-        )
-        delta = new_highest - self._stream_recv_highest[frame.stream_id]
+        stream_id = frame.stream_id
+        # Inlined _get_recv_stream hit path: the stream exists for
+        # every frame after the first.
+        stream = self._recv_streams.get(stream_id)
+        if stream is None:
+            stream = self._get_recv_stream(stream_id)
+        stream_window = self._stream_recv_windows[stream_id]
+        highest = self._stream_recv_highest[stream_id]
+        end = frame.offset + len(frame.data)
+        new_highest = end if end > highest else highest
         stream_window.on_data_received(new_highest)
-        if delta:
-            self._conn_recv_sum += delta
+        if new_highest > highest:
+            self._conn_recv_sum += new_highest - highest
             self._conn_recv_window.on_data_received(self._conn_recv_sum)
-            self._stream_recv_highest[frame.stream_id] = new_highest
+            self._stream_recv_highest[stream_id] = new_highest
         ready = stream.on_frame(frame)
         fin_now = stream.is_complete
         if ready or fin_now:
@@ -1148,6 +1199,10 @@ class QuicConnection:
                     stream.on_frame_acked(frame)
             elif isinstance(frame, HandshakeFrame):
                 self._handshake_acked = True
+            if frame.poolable:
+                # The recovery registration for this transmission is
+                # resolved; release its pool reference.
+                frame.release()
 
     def _handle_lost_packets(self, path: PathState, lost: List[SentPacket]) -> None:
         self.stats.packets_lost += len(lost)
@@ -1194,6 +1249,12 @@ class QuicConnection:
                 target = self._first_usable_path() or from_path
                 self._queue_control(target.path_id, frame)
             # ACK and PING frames are never retransmitted.
+            if frame.poolable:
+                # Every caller hands over frames of a *popped* recovery
+                # entry (lost, drained or RTO-fired), so its pool
+                # reference resolves here.  Stream data was copied into
+                # the stream's retransmission ranges above, not kept.
+                frame.release()
 
     # ------------------------------------------------------------------
     # Send path
@@ -1209,9 +1270,19 @@ class QuicConnection:
                 return
             path_id = target.path_id
         self._pending_control.setdefault(path_id, []).append(frame)
+        self._control_dirty = True
+
+    def _invalidate_path_cache(self) -> None:
+        """Drop the cached path lists after a membership/liveness change."""
+        self._active_cache = None
+        self._usable_cache = None
 
     def _active_paths(self) -> List[PathState]:
-        return [p for p in self.paths.values() if p.active]
+        cached = self._active_cache
+        if cached is None:
+            cached = [p for p in self.paths.values() if p.active]
+            self._active_cache = cached
+        return cached
 
     def _usable_paths(self) -> List[PathState]:
         """Active paths, preferring fully-live ones.
@@ -1222,15 +1293,22 @@ class QuicConnection:
         false alarm into a stall.  PROBING paths have confirmed
         silence (a probe has already gone unanswered) and ABANDONED
         paths are retired, so neither ever carries fresh data.
+
+        The returned list is cached (and therefore shared): callers
+        must treat it as read-only.
         """
+        cached = self._usable_cache
+        if cached is not None:
+            return cached
         active = self._active_paths()
         good = [p for p in active if p.liveness is PathLiveness.ACTIVE]
-        if good:
-            return good
-        return [
-            p for p in active
-            if p.liveness is PathLiveness.POTENTIALLY_FAILED
-        ]
+        if not good:
+            good = [
+                p for p in active
+                if p.liveness is PathLiveness.POTENTIALLY_FAILED
+            ]
+        self._usable_cache = good
+        return good
 
     def _first_usable_path(self) -> Optional[PathState]:
         paths = self._usable_paths()
@@ -1264,24 +1342,31 @@ class QuicConnection:
         Control/ACK packets are tiny; QUIC does not block ACKs on
         congestion control.
         """
-        for path in list(self.paths.values()):
-            pending = self._pending_control.get(path.path_id, [])
-            while pending:
-                frames: List[Frame] = []
-                budget = self.config.max_packet_size - wire.public_header_size(True)
-                target = path if path.active else (self._first_usable_path() or path)
-                budget -= 64  # reserve room to piggyback an ACK
-                while pending and pending[0].wire_size() <= budget:
-                    frame = pending.pop(0)
-                    frames.append(frame)
-                    budget -= frame.wire_size()
-                if not frames:
-                    break  # oversized control frame; should not happen
-                ack = self._pending_ack_frame(target)
-                if ack is not None and ack.wire_size() <= budget + 64:
-                    frames.insert(0, ack)
-                self._send_packet(target, tuple(frames))
-        for path in list(self.paths.values()):
+        # Iterating self.paths directly is safe: packet delivery runs
+        # via scheduled timers, so _send_packet never creates paths
+        # reentrantly.  Per-packet constants are hoisted (_frame_budget).
+        paths = self.paths
+        if self._control_dirty:
+            self._control_dirty = False
+            pending_control = self._pending_control
+            for path in paths.values():
+                pending = pending_control.get(path.path_id)
+                while pending:
+                    frames: List[Frame] = []
+                    # reserve room to piggyback an ACK
+                    budget = self._frame_budget - 64
+                    target = path if path.active else (self._first_usable_path() or path)
+                    while pending and pending[0].wire_size() <= budget:
+                        frame = pending.pop(0)
+                        frames.append(frame)
+                        budget -= frame.wire_size()
+                    if not frames:
+                        break  # oversized control frame; should not happen
+                    ack = self._pending_ack_frame(target)
+                    if ack is not None and ack.wire_size() <= budget + 64:
+                        frames.insert(0, ack)
+                    self._send_packet(target, tuple(frames))
+        for path in paths.values():
             if path.ack_mgr.should_ack_now():
                 target = path if (path.active and not path.potentially_failed) else (
                     self._first_usable_path() or path
@@ -1302,6 +1387,20 @@ class QuicConnection:
         return None
 
     def _send_data_packets(self) -> None:
+        # Fast exit: _flush_control_and_acks already drained the
+        # pending-control queues, so a data packet can only come from a
+        # stream with bytes (or a FIN) left to send — skip path
+        # selection and frame assembly entirely otherwise.  The 1 << 62
+        # budget asks "could this stream ever send" while ignoring
+        # flow-control windows, so window-blocked streams still enter
+        # the loop and get their blocked event recorded.
+        if not (self.established or self.role == "server"):
+            return
+        for stream in self._send_streams.values():
+            if stream.has_data_to_send(1 << 62):
+                break
+        else:
+            return
         while True:
             path = self._select_data_path()
             if path is None:
@@ -1330,10 +1429,9 @@ class QuicConnection:
         the connection and per-stream flow-control windows.
         """
         frames: List[Frame] = []
-        budget = self.config.max_packet_size - wire.public_header_size(True)
         ack_reserve = 64
-        budget -= ack_reserve
-        pending = self._pending_control.get(path.path_id, [])
+        budget = self._frame_budget - ack_reserve
+        pending = self._pending_control.get(path.path_id)
         while pending and pending[0].wire_size() <= budget:
             frame = pending.pop(0)
             frames.append(frame)
@@ -1343,20 +1441,30 @@ class QuicConnection:
             # Round-robin across streams so concurrent downloads share
             # the connection instead of the oldest stream monopolising
             # it (per-object fairness, as in HTTP/2 default weights).
-            stream_ids = list(self._send_streams)
-            if stream_ids:
-                self._stream_rr_index %= len(stream_ids)
-                stream_ids = (
-                    stream_ids[self._stream_rr_index:]
-                    + stream_ids[: self._stream_rr_index]
-                )
-                self._stream_rr_index += 1
+            send_streams = self._send_streams
+            n_streams = len(send_streams)
+            stream_ids: Iterable[int]
+            if n_streams > 1:
+                ids = list(send_streams)
+                idx = self._stream_rr_index % n_streams
+                stream_ids = ids[idx:] + ids[:idx]
+                self._stream_rr_index = idx + 1
+            else:
+                # Single stream (the dominant case): rotation is a
+                # no-op, so iterate the dict keys directly — but keep
+                # the cursor exactly where the general path would
+                # leave it.
+                stream_ids = send_streams
+                if n_streams:
+                    self._stream_rr_index = 1
+            conn_window = self._conn_send_window
+            stats = self.stats
             for stream_id in stream_ids:
-                stream = self._send_streams[stream_id]
+                stream = send_streams[stream_id]
                 if budget < 32:
                     break
                 window = self._stream_send_windows[stream_id]
-                conn_budget = self._conn_send_window.available
+                conn_budget = conn_window.available
                 flow_budget = min(window.available, conn_budget)
                 if not stream.has_data_to_send(flow_budget):
                     if flow_budget == 0 and stream.has_data_to_send(1 << 62):
@@ -1372,11 +1480,11 @@ class QuicConnection:
                 frame, new_bytes = result
                 if new_bytes:
                     window.consume(new_bytes)
-                    self._conn_send_window.consume(new_bytes)
-                    self.stats.stream_bytes_sent += new_bytes
+                    conn_window.consume(new_bytes)
+                    stats.stream_bytes_sent += new_bytes
                 else:
-                    self.stats.stream_bytes_retransmitted += len(frame.data)
-                    self.stats.frames_retransmitted += 1
+                    stats.stream_bytes_retransmitted += len(frame.data)
+                    stats.frames_retransmitted += 1
                     path.stream_bytes_retransmitted += len(frame.data)
                     if self._obs is not None:
                         self._obs.emit(
@@ -1390,10 +1498,13 @@ class QuicConnection:
                 budget -= frame.wire_size()
         if not frames:
             return [], 0
-        # Piggyback a pending ACK for this path on the data packet.
-        ack = self._pending_ack_frame(path)
-        if ack is not None and ack.wire_size() <= budget + ack_reserve:
-            frames.insert(0, ack)
+        # Piggyback a pending ACK for this path on the data packet
+        # (inlined _pending_ack_frame: this runs once per data packet).
+        ack_mgr = path.ack_mgr
+        if ack_mgr.ack_pending:
+            ack = ack_mgr.build_ack(self.sim.now)
+            if ack is not None and ack.wire_size() <= budget + ack_reserve:
+                frames.insert(0, ack)
         return frames, new_bytes_total
 
     def _note_flow_blocked(
@@ -1423,12 +1534,14 @@ class QuicConnection:
 
     def _send_packet(self, path: PathState, frames: Tuple[Frame, ...]) -> Packet:
         """Emit one packet on a path and register it with recovery."""
+        pn = path.next_packet_number
+        path.next_packet_number = pn + 1
         packet = Packet(
             path_id=path.path_id,
-            packet_number=path.take_packet_number(),
+            packet_number=pn,
             frames=frames,
             connection_id=self.connection_id,
-            multipath=self.config.enable_multipath,
+            multipath=self._multipath,
         )
         # Every transmission (including retransmitted data, which gets a
         # fresh packet number) must map to a unique AEAD nonce (§3).
@@ -1443,19 +1556,34 @@ class QuicConnection:
                 path_id=path.path_id,
                 packet_number=packet.packet_number,
             )
+        # One pool reference per transmission: the datagram (and the
+        # receiver dispatching it) observe these frames asynchronously.
+        # Dropped datagrams never release — the frame then simply falls
+        # to the garbage collector instead of the pool.
+        for frame in frames:
+            if frame.poolable:
+                frame.retain()
         size = packet.wire_size + UDP_IP_OVERHEAD
         datagram = Datagram(payload=packet, size=size)
         now = self.sim.now
         path.last_send_time = now
         path.packets_sent += 1
         path.bytes_sent += size
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += size
+        stats = self.stats
+        stats.packets_sent += 1
+        stats.bytes_sent += size
         if packet.is_ack_eliciting:
             path.recovery.on_packet_sent(
                 packet.packet_number, frames, size, now, ack_eliciting=True
             )
-            self._rearm_rto(path)
+            # Sending only pushes the RTO deadline *later* (it advanced
+            # time_of_last_eliciting), so an already-armed wakeup is
+            # still conservative: the fire handler re-derives the
+            # deadline from recovery state and re-arms as needed.  Only
+            # arm from scratch when no live timer exists.
+            timer = path.rto_timer
+            if timer is None or timer.cancelled:
+                self._rearm_rto(path)
         if _metrics.METRICS:
             _metrics.REGISTRY.inc("quic.packets_sent")
         if self.trace is not None:
@@ -1463,7 +1591,8 @@ class QuicConnection:
                 now, self.host.name, "send", path.path_id,
                 packet.packet_number, size,
             )
-        self.host.send(datagram, path.interface_index)
+        # Direct interface dispatch (Host.send is a pure forwarder).
+        self.host.interfaces[path.interface_index].send(datagram)
         return packet
 
     # ------------------------------------------------------------------
@@ -1491,46 +1620,76 @@ class QuicConnection:
             )
             self._send_packet(target, (ack,))
 
-    def _rearm_rto(self, path: PathState) -> None:
-        """Arm the retransmission timer.
+    def _rto_deadline(self, path: PathState) -> float:
+        """Current retransmission deadline for ``path``.
 
         While fewer than two tail loss probes have gone unanswered and
-        an RTT estimate exists, the timer fires earlier (~2 smoothed
-        RTTs, as in gQUIC's TLP) and re-sends the newest packet instead
-        of collapsing the window.
+        an RTT estimate exists, the deadline lands earlier (~2 smoothed
+        RTTs, as in gQUIC's TLP) so a probe goes out instead of a
+        window collapse.
         """
-        if path.rto_timer is not None:
-            path.rto_timer.cancel()
-            path.rto_timer = None
-        if self.closed or not path.recovery.has_eliciting_in_flight():
-            return
         timeout = path.recovery.rto_timeout(
             self.config.min_rto, self.config.max_rto, self.config.initial_rto
         )
         if path.tlp_count < 2 and path.rtt.has_sample:
             timeout = min(timeout, max(2.0 * path.rtt.smoothed, 0.01))
-        deadline = max(
+        return max(
             path.recovery.time_of_last_eliciting + timeout, self.sim.now
         )
+
+    def _rearm_rto(self, path: PathState) -> None:
+        """Arm the retransmission timer (deadline-check-on-fire).
+
+        The armed timer is a *wakeup*, not the deadline itself: every
+        ACK and every transmission used to cancel + reschedule it, a
+        pair of heap operations per packet.  Instead the timer is left
+        alone whenever the deadline only moved later — ``_on_rto``
+        recomputes the true deadline when it fires and re-arms if it
+        woke early.  Only a deadline earlier than the armed wakeup
+        forces a reschedule, so the common case is one comparison and
+        zero heap traffic.
+        """
+        if self.closed or not path.recovery.has_eliciting_in_flight():
+            # Leave any armed timer in place: it re-checks on fire and
+            # no-ops, which is cheaper than cancelling per ACK.
+            return
+        deadline = self._rto_deadline(path)
+        timer = path.rto_timer
+        if timer is not None and not timer.cancelled:
+            if timer.time <= deadline:
+                return
+            timer.cancel()
         path.rto_timer = self.sim.schedule_at(deadline, self._on_rto, path)
 
     def _rearm_loss_timer(self, path: PathState) -> None:
-        if path.loss_timer is not None:
-            path.loss_timer.cancel()
-            path.loss_timer = None
         next_time = path.recovery.next_loss_time(self.sim.now)
-        if next_time is not None and not self.closed:
-            # Small offset so the >= comparison in loss detection is
-            # guaranteed to hold when the timer fires.
-            path.loss_timer = self.sim.schedule_at(
-                max(next_time + 1e-6, self.sim.now), self._on_loss_timer, path
-            )
+        if next_time is None or self.closed:
+            # Leave any armed timer; it re-checks on fire and no-ops.
+            return
+        # Small offset so the >= comparison in loss detection is
+        # guaranteed to hold when the timer fires.
+        wake = max(next_time + 1e-6, self.sim.now)
+        timer = path.loss_timer
+        if timer is not None and not timer.cancelled:
+            if timer.time <= wake:
+                return
+            timer.cancel()
+        path.loss_timer = self.sim.schedule_at(wake, self._on_loss_timer, path)
 
     def _on_loss_timer(self, path: PathState) -> None:
         path.loss_timer = None
         if self.closed:
             return
-        lost = path.recovery.detect_losses_now(self.sim.now)
+        now = self.sim.now
+        next_time = path.recovery.next_loss_time(now)
+        if next_time is not None and now < next_time - 1e-9:
+            # Early wakeup: the earliest possible time-threshold loss
+            # moved later since arming (the suspect packets were acked).
+            path.loss_timer = self.sim.schedule_at(
+                max(next_time + 1e-6, now), self._on_loss_timer, path
+            )
+            return
+        lost = path.recovery.detect_losses_now(now)
         if lost:
             self._handle_lost_packets(path, lost)
         self._rearm_loss_timer(path)
@@ -1541,6 +1700,14 @@ class QuicConnection:
         if self.closed or not path.recovery.has_eliciting_in_flight():
             return
         now = self.sim.now
+        deadline = self._rto_deadline(path)
+        if now < deadline - 1e-9:
+            # Early wakeup: the deadline moved later since this timer
+            # was armed (new transmissions or fresh ACKs).
+            path.rto_timer = self.sim.schedule_at(
+                deadline, self._on_rto, path
+            )
+            return
         if path.tlp_count < 2 and path.rtt.has_sample:
             self._send_tail_loss_probe(path)
             self._rearm_rto(path)

@@ -21,6 +21,11 @@ class FlowControlError(Exception):
 class ReceiveWindow:
     """Receive-side window for one stream or the whole connection."""
 
+    __slots__ = (
+        "window_size", "max_window", "autotune", "bytes_consumed",
+        "highest_received", "advertised_limit", "_last_update_time",
+    )
+
     def __init__(
         self,
         initial_window: int,
@@ -80,6 +85,8 @@ class ReceiveWindow:
 class SendWindow:
     """Send-side view of the peer's advertised limit."""
 
+    __slots__ = ("limit", "bytes_sent", "blocked_events")
+
     def __init__(self, initial_limit: int) -> None:
         self.limit = initial_limit
         self.bytes_sent = 0
@@ -95,7 +102,8 @@ class SendWindow:
     @property
     def available(self) -> int:
         """Bytes that may still be sent under the current limit."""
-        return max(0, self.limit - self.bytes_sent)
+        d = self.limit - self.bytes_sent
+        return d if d > 0 else 0
 
     def consume(self, n: int) -> None:
         """Account ``n`` freshly sent bytes (not retransmissions)."""

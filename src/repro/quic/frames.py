@@ -6,57 +6,190 @@ the packets carrying them, a multipath sender may rebind the frames of
 a lost packet onto any path — the flexibility MPQUIC's scheduler
 exploits (paper §3, *Packet Scheduling*).
 
-Wire sizes follow :mod:`repro.quic.wire`; each frame knows its encoded
-size so the simulator can account for bandwidth without serializing
-every packet.
+Wire sizes follow :mod:`repro.quic.wire`; each frame caches its encoded
+size at construction so the simulator can account for bandwidth without
+serializing — or even re-measuring — every packet.
+
+Frames are ``__slots__`` classes rather than frozen dataclasses: a
+transfer churns through one StreamFrame and a fraction of an AckFrame
+per packet, and ``object.__setattr__``-based frozen construction
+dominated the send-loop profile.  The two high-churn frame types are
+additionally *pooled*: :meth:`StreamFrame.acquire` /
+:meth:`AckFrame.acquire` reuse recycled instances, and the transport
+releases its references once a frame can no longer be observed (its
+packet was delivered and every recovery registration resolved).  The
+refcount protocol is deliberately conservative: a frame that is never
+released is simply garbage-collected (safe), while an unbalanced extra
+``release()`` on a zero-ref frame is ignored rather than recycling an
+object someone may still hold — e.g. frames hand-built by tests and
+injected straight into a connection.
+
+Value semantics (``__eq__``/``__hash__``/``__repr__`` over the declared
+``_fields``) are preserved exactly as the frozen dataclasses had them;
+the hypothesis wire round-trip corpora and the reassembly layer rely on
+frame equality and hashability.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, ClassVar, List, Tuple
 
 from repro.quic import wire
+
+_varint_size = wire.varint_size
 
 #: Maximum number of ACK ranges one ACK frame may carry (paper §4.1:
 #: "the ACK frame ... can acknowledge up to 256 packet number ranges").
 MAX_ACK_RANGES = 256
 
+#: Upper bound on recycled instances kept per pooled frame class.
+POOL_CAP = 4096
 
-class Frame:
-    """Base class; concrete frames are frozen dataclasses."""
+
+class _Value:
+    """Dataclass-like value semantics for ``__slots__`` classes.
+
+    Subclasses declare ``_fields``; equality, hashing and repr follow
+    the frozen-dataclass contract: equal only to instances of the same
+    class with equal field tuples, hash over the field tuple.
+    """
+
+    __slots__ = ()
+
+    _fields: ClassVar[Tuple[str, ...]] = ()
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name) for name in self._fields
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.__class__,) + tuple(getattr(self, name) for name in self._fields)
+        )
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{name}={getattr(self, name)!r}" for name in self._fields)
+        return f"{self.__class__.__name__}({args})"
+
+
+class Frame(_Value):
+    """Base class; concrete frames are ``__slots__`` value classes."""
+
+    __slots__ = ()
 
     #: Frames that must be retransmitted when their packet is lost.
     retransmittable = True
 
+    #: Frame types managed by the object pool (see module docstring).
+    poolable = False
+
     def wire_size(self) -> int:
         raise NotImplementedError
 
+    def retain(self) -> None:
+        """Pooling no-op; overridden by pooled frame types."""
 
-@dataclass(frozen=True)
-class StreamFrame(Frame):
+    def release(self) -> None:
+        """Pooling no-op; overridden by pooled frame types."""
+
+
+class _PooledFrame(Frame):
+    """Refcounted, recyclable frame base.
+
+    ``retain()`` marks one outstanding observer (a recovery
+    registration or an in-flight datagram); ``release()`` drops one and
+    recycles the instance onto the class free list when the count hits
+    zero.  Releasing a frame that was never retained is a no-op — the
+    frame may be externally owned — so leaks are possible but
+    use-after-recycle is not.
+    """
+
+    __slots__ = ("_refs",)
+
+    poolable = True
+
+    _refs: int
+    _free: ClassVar[List[Any]] = []
+
+    def retain(self) -> None:
+        self._refs += 1
+
+    def release(self) -> None:
+        refs = self._refs
+        if refs <= 0:
+            return
+        refs -= 1
+        self._refs = refs
+        if refs == 0:
+            free = self._free
+            if len(free) < POOL_CAP:
+                self._recycle()
+                free.append(self)
+
+    def _recycle(self) -> None:
+        """Drop large payload references before parking on the free list."""
+        raise NotImplementedError
+
+    @property
+    def pool_refs(self) -> int:
+        """Outstanding retain count (observability / tests)."""
+        return self._refs
+
+
+class StreamFrame(_PooledFrame):
     """Carries ``data`` of stream ``stream_id`` starting at ``offset``."""
+
+    __slots__ = ("stream_id", "offset", "data", "fin", "_ws")
+
+    _fields = ("stream_id", "offset", "data", "fin")
+    _free: ClassVar[List["StreamFrame"]] = []
 
     stream_id: int
     offset: int
     data: bytes
-    fin: bool = False
+    fin: bool
+    _ws: int
+
+    def __init__(
+        self, stream_id: int, offset: int, data: bytes, fin: bool = False
+    ) -> None:
+        self._init(stream_id, offset, data, fin)
+
+    def _init(self, stream_id: int, offset: int, data: bytes, fin: bool) -> None:
+        self.stream_id = stream_id
+        self.offset = offset
+        self.data = data
+        self.fin = fin
+        self._refs = 0
+        # type byte + varint stream id + varint offset + 16-bit length
+        self._ws = 3 + _varint_size(stream_id) + _varint_size(offset) + len(data)
+
+    @classmethod
+    def acquire(
+        cls, stream_id: int, offset: int, data: bytes, fin: bool = False
+    ) -> "StreamFrame":
+        """Pool-aware constructor: reuse a recycled instance if any."""
+        free = cls._free
+        if free:
+            frame = free.pop()
+            frame._init(stream_id, offset, data, fin)
+            return frame
+        return cls(stream_id, offset, data, fin)
+
+    def _recycle(self) -> None:
+        self.data = b""
 
     def wire_size(self) -> int:
-        return (
-            1  # type byte
-            + wire.varint_size(self.stream_id)
-            + wire.varint_size(self.offset)
-            + 2  # explicit 16-bit length
-            + len(self.data)
-        )
+        return self._ws
 
     def __len__(self) -> int:
         return len(self.data)
 
 
-@dataclass(frozen=True)
-class AckFrame(Frame):
+class AckFrame(_PooledFrame):
     """Acknowledges packet numbers received on one path.
 
     ``ranges`` are half-open ``[start, stop)`` intervals sorted in
@@ -70,36 +203,75 @@ class AckFrame(Frame):
     MPQUIC lets the ACK for one path travel on any other path (§3).
     """
 
+    __slots__ = ("path_id", "largest_acked", "ack_delay", "ranges", "_ws")
+
+    retransmittable = False
+    _fields = ("path_id", "largest_acked", "ack_delay", "ranges")
+    _free: ClassVar[List["AckFrame"]] = []
+
     path_id: int
     largest_acked: int
     ack_delay: float
     ranges: Tuple[Tuple[int, int], ...]
+    _ws: int
 
-    retransmittable = False
+    def __init__(
+        self,
+        path_id: int,
+        largest_acked: int,
+        ack_delay: float,
+        ranges: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        self._init(path_id, largest_acked, ack_delay, ranges)
 
-    def __post_init__(self) -> None:
-        if len(self.ranges) > MAX_ACK_RANGES:
+    def _init(
+        self,
+        path_id: int,
+        largest_acked: int,
+        ack_delay: float,
+        ranges: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        if len(ranges) > MAX_ACK_RANGES:
             raise ValueError(
-                f"ACK frame limited to {MAX_ACK_RANGES} ranges, got {len(self.ranges)}"
+                f"ACK frame limited to {MAX_ACK_RANGES} ranges, got {len(ranges)}"
             )
+        self.path_id = path_id
+        self.largest_acked = largest_acked
+        self.ack_delay = ack_delay
+        self.ranges = ranges
+        self._refs = 0
+        # type + path id + varint largest + 16-bit delay + 16-bit count
+        size = 6 + _varint_size(largest_acked)
+        for start, stop in ranges:
+            size += _varint_size(stop - start) + _varint_size(start)
+        self._ws = size
+
+    @classmethod
+    def acquire(
+        cls,
+        path_id: int,
+        largest_acked: int,
+        ack_delay: float,
+        ranges: Tuple[Tuple[int, int], ...],
+    ) -> "AckFrame":
+        """Pool-aware constructor: reuse a recycled instance if any."""
+        free = cls._free
+        if free:
+            frame = free.pop()
+            frame._init(path_id, largest_acked, ack_delay, ranges)
+            return frame
+        return cls(path_id, largest_acked, ack_delay, ranges)
+
+    def _recycle(self) -> None:
+        self.ranges = ()
 
     def wire_size(self) -> int:
-        size = (
-            1  # type
-            + 1  # path id
-            + wire.varint_size(self.largest_acked)
-            + 2  # ack delay (microseconds, float16-like)
-            + 2  # range count
-        )
-        for start, stop in self.ranges:
-            size += wire.varint_size(stop - start) + wire.varint_size(start)
-        return size
+        return self._ws
 
     def acked_packet_count(self) -> int:
         return sum(stop - start for start, stop in self.ranges)
 
 
-@dataclass(frozen=True)
 class WindowUpdateFrame(Frame):
     """Advertises a new flow-control limit.
 
@@ -108,22 +280,38 @@ class WindowUpdateFrame(Frame):
     path stalls (paper §3, *Packet Scheduling*).
     """
 
+    __slots__ = ("stream_id", "byte_offset", "_ws")
+
+    _fields = ("stream_id", "byte_offset")
+
     stream_id: int
     byte_offset: int
+    _ws: int
+
+    def __init__(self, stream_id: int, byte_offset: int) -> None:
+        self.stream_id = stream_id
+        self.byte_offset = byte_offset
+        self._ws = 9 + _varint_size(stream_id)
 
     def wire_size(self) -> int:
-        return 1 + wire.varint_size(self.stream_id) + 8
+        return self._ws
 
 
-@dataclass(frozen=True)
-class PathInfo:
+class PathInfo(_Value):
     """Per-path statistics carried by a PATHS frame."""
+
+    __slots__ = ("path_id", "rtt_us")
+
+    _fields = ("path_id", "rtt_us")
 
     path_id: int
     rtt_us: int
 
+    def __init__(self, path_id: int, rtt_us: int) -> None:
+        self.path_id = path_id
+        self.rtt_us = rtt_us
 
-@dataclass(frozen=True)
+
 class PathsFrame(Frame):
     """Shares the sender's view of its active (and failed) paths.
 
@@ -133,14 +321,25 @@ class PathsFrame(Frame):
     (paper §3 *Path Management* and §4.3).
     """
 
+    __slots__ = ("active", "failed", "_ws")
+
+    _fields = ("active", "failed")
+
     active: Tuple[PathInfo, ...]
-    failed: Tuple[int, ...] = ()
+    failed: Tuple[int, ...]
+    _ws: int
+
+    def __init__(
+        self, active: Tuple[PathInfo, ...], failed: Tuple[int, ...] = ()
+    ) -> None:
+        self.active = active
+        self.failed = failed
+        self._ws = 1 + 1 + len(active) * (1 + 4) + 1 + len(failed)
 
     def wire_size(self) -> int:
-        return 1 + 1 + len(self.active) * (1 + 4) + 1 + len(self.failed)
+        return self._ws
 
 
-@dataclass(frozen=True)
 class AddAddressFrame(Frame):
     """Advertises one address owned by the sending host.
 
@@ -148,17 +347,25 @@ class AddAddressFrame(Frame):
     MPTCP's cleartext ADD_ADDR (paper §3, *Path Management*).
     """
 
+    __slots__ = ("address", "_ws")
+
+    _fields = ("address",)
+
     address: str
+    _ws: int
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self._ws = 1 + 1 + len(address.encode())
 
     def wire_size(self) -> int:
-        return 1 + 1 + len(self.address.encode())
+        return self._ws
 
 
 #: Wire size of a PATH_CHALLENGE / PATH_RESPONSE token, bytes.
 PATH_TOKEN_SIZE = 8
 
 
-@dataclass(frozen=True)
 class PathChallengeFrame(Frame):
     """Probes liveness of one path (RFC 9000 §8.2 style).
 
@@ -171,49 +378,56 @@ class PathChallengeFrame(Frame):
     dead.
     """
 
-    data: bytes
+    __slots__ = ("data",)
 
     retransmittable = False
+    _fields = ("data",)
 
-    def __post_init__(self) -> None:
-        if len(self.data) != PATH_TOKEN_SIZE:
+    data: bytes
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) != PATH_TOKEN_SIZE:
             raise ValueError(
                 f"path challenge token must be {PATH_TOKEN_SIZE} bytes, "
-                f"got {len(self.data)}"
+                f"got {len(data)}"
             )
+        self.data = data
 
     def wire_size(self) -> int:
         return 1 + PATH_TOKEN_SIZE
 
 
-@dataclass(frozen=True)
 class PathResponseFrame(Frame):
     """Echoes a PATH_CHALLENGE token, validating the path it rode in on."""
 
-    data: bytes
+    __slots__ = ("data",)
 
     retransmittable = False
+    _fields = ("data",)
 
-    def __post_init__(self) -> None:
-        if len(self.data) != PATH_TOKEN_SIZE:
+    data: bytes
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) != PATH_TOKEN_SIZE:
             raise ValueError(
                 f"path response token must be {PATH_TOKEN_SIZE} bytes, "
-                f"got {len(self.data)}"
+                f"got {len(data)}"
             )
+        self.data = data
 
     def wire_size(self) -> int:
         return 1 + PATH_TOKEN_SIZE
 
 
-@dataclass(frozen=True)
 class PingFrame(Frame):
     """Solicits an ACK; used to probe a path."""
+
+    __slots__ = ()
 
     def wire_size(self) -> int:
         return 1
 
 
-@dataclass(frozen=True)
 class HandshakeFrame(Frame):
     """Crypto handshake message (QUIC crypto, 1-RTT).
 
@@ -221,14 +435,21 @@ class HandshakeFrame(Frame):
     ``length`` models the size of the real crypto payload.
     """
 
+    __slots__ = ("kind", "length")
+
+    _fields = ("kind", "length")
+
     kind: str
-    length: int = 0
+    length: int
+
+    def __init__(self, kind: str, length: int = 0) -> None:
+        self.kind = kind
+        self.length = length
 
     def wire_size(self) -> int:
         return 1 + 2 + self.length
 
 
-@dataclass(frozen=True)
 class ConnectionCloseFrame(Frame):
     """Terminates the connection.
 
@@ -237,10 +458,17 @@ class ConnectionCloseFrame(Frame):
     RFC 9000 §10.2's closing/draining behaviour.
     """
 
-    error_code: int = 0
-    reason: str = ""
+    __slots__ = ("error_code", "reason")
 
     retransmittable = False
+    _fields = ("error_code", "reason")
+
+    error_code: int
+    reason: str
+
+    def __init__(self, error_code: int = 0, reason: str = "") -> None:
+        self.error_code = error_code
+        self.reason = reason
 
     def wire_size(self) -> int:
         return 1 + 4 + 2 + len(self.reason.encode())

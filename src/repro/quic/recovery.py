@@ -17,15 +17,32 @@ from repro.quic.rtt import RttEstimator
 from repro.util import sanitize as _san
 
 
-@dataclass
 class SentPacket:
     """Bookkeeping for one in-flight packet."""
 
-    packet_number: int
-    frames: Tuple[Frame, ...]
-    size: int
-    time_sent: float
-    ack_eliciting: bool
+    __slots__ = ("packet_number", "frames", "size", "time_sent", "ack_eliciting")
+
+    def __init__(
+        self,
+        packet_number: int,
+        frames: Tuple[Frame, ...],
+        size: int,
+        time_sent: float,
+        ack_eliciting: bool,
+    ) -> None:
+        self.packet_number = packet_number
+        self.frames = frames
+        self.size = size
+        self.time_sent = time_sent
+        self.ack_eliciting = ack_eliciting
+
+    def __repr__(self) -> str:
+        return (
+            f"SentPacket(packet_number={self.packet_number!r}, "
+            f"frames={self.frames!r}, size={self.size!r}, "
+            f"time_sent={self.time_sent!r}, "
+            f"ack_eliciting={self.ack_eliciting!r})"
+        )
 
 
 @dataclass
@@ -40,6 +57,13 @@ class AckResult:
 
 class LossRecovery:
     """Sender-side recovery state for a single path."""
+
+    __slots__ = (
+        "rtt", "packet_threshold", "time_fraction", "sent", "largest_acked",
+        "largest_sent", "_floor", "bytes_in_flight", "eliciting_in_flight",
+        "consecutive_rtos", "time_of_last_eliciting", "packets_lost_total",
+        "packets_acked_total", "rto_count", "on_packets_lost",
+    )
 
     def __init__(
         self,
@@ -57,6 +81,10 @@ class LossRecovery:
         #: lets ACK-range processing skip history in O(1).
         self._floor = 0
         self.bytes_in_flight = 0
+        #: Count of ack-eliciting packets in ``sent``; kept in lockstep
+        #: so the per-packet ``has_eliciting_in_flight()`` timer checks
+        #: are O(1) instead of scanning the in-flight table.
+        self.eliciting_in_flight = 0
         self.consecutive_rtos = 0
         self.time_of_last_eliciting = 0.0
         #: Statistics.
@@ -81,12 +109,19 @@ class LossRecovery:
                 packet_number=packet_number,
                 largest_sent=self.largest_sent,
             )
+        # One pool reference per recovery registration: the frames stay
+        # reachable until this entry resolves (acked, lost or drained),
+        # at which point the connection releases them.
+        for frame in frames:
+            if frame.poolable:
+                frame.retain()
         sp = SentPacket(packet_number, frames, size, now, ack_eliciting)
         self.sent[packet_number] = sp
         if packet_number > self.largest_sent:
             self.largest_sent = packet_number
         if ack_eliciting:
             self.bytes_in_flight += size
+            self.eliciting_in_flight += 1
             self.time_of_last_eliciting = now
 
     # -- ack processing --------------------------------------------------------
@@ -118,6 +153,7 @@ class LossRecovery:
                     newly_acked.append(sp)
                     if sp.ack_eliciting:
                         self.bytes_in_flight -= sp.size
+                        self.eliciting_in_flight -= 1
                         acked_bytes += sp.size
                     if pn == ack.largest_acked:
                         rtt_sample = now - sp.time_sent
@@ -169,6 +205,7 @@ class LossRecovery:
             del self.sent[sp.packet_number]
             if sp.ack_eliciting:
                 self.bytes_in_flight -= sp.size
+                self.eliciting_in_flight -= 1
         if lost and self.on_packets_lost is not None:
             self.on_packets_lost(lost)
         return lost
@@ -177,11 +214,16 @@ class LossRecovery:
         """Earliest instant a time-threshold loss could be declared."""
         if self.largest_acked < 0:
             return None
-        loss_delay = self._loss_delay()
+        # Computed lazily: in the dominant no-reordering case the first
+        # in-flight packet number is already >= largest_acked and the
+        # loop exits without needing the delay at all.
+        loss_delay: Optional[float] = None
         candidate: Optional[float] = None
         for pn, sp in self.sent.items():
             if pn >= self.largest_acked:
                 break
+            if loss_delay is None:
+                loss_delay = self._loss_delay()
             t = sp.time_sent + loss_delay
             if candidate is None or t < candidate:
                 candidate = t
@@ -205,7 +247,7 @@ class LossRecovery:
 
     def has_eliciting_in_flight(self) -> bool:
         """True while any ack-eliciting packet awaits acknowledgment."""
-        return any(sp.ack_eliciting for sp in self.sent.values())
+        return self.eliciting_in_flight > 0
 
     def drain_in_flight(self) -> List[SentPacket]:
         """Hand back every ack-eliciting in-flight packet *without*
@@ -224,6 +266,7 @@ class LossRecovery:
             if sp.ack_eliciting:
                 del self.sent[pn]
                 self.bytes_in_flight -= sp.size
+                self.eliciting_in_flight -= 1
                 drained.append(sp)
         return drained
 
@@ -247,6 +290,7 @@ class LossRecovery:
             if sp.ack_eliciting:
                 del self.sent[pn]
                 self.bytes_in_flight -= sp.size
+                self.eliciting_in_flight -= 1
                 lost.append(sp)
         self.packets_lost_total += len(lost)
         if lost and self.on_packets_lost is not None:

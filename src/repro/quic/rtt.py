@@ -18,6 +18,11 @@ from typing import Callable, Optional
 class RttEstimator:
     """RFC 6298-style smoothed RTT with optional ack-delay correction."""
 
+    __slots__ = (
+        "use_ack_delay", "latest", "min_rtt", "smoothed", "variance",
+        "_has_sample", "samples_taken", "on_sample",
+    )
+
     ALPHA = 0.125
     BETA = 0.25
 

@@ -24,6 +24,11 @@ class SendStream:
     another path are not retransmitted again.
     """
 
+    __slots__ = (
+        "stream_id", "_buffer", "fin_offset", "_next_new_offset",
+        "_retransmit", "_acked", "_fin_sent", "_fin_acked",
+    )
+
     def __init__(self, stream_id: int) -> None:
         self.stream_id = stream_id
         self._buffer = bytearray()
@@ -53,11 +58,19 @@ class SendStream:
         ``flow_budget`` limits *new* data only; retransmissions are
         always allowed (their offsets were within past limits).
         """
-        if self._retransmit:
+        # Peeks RangeSet internals / inlines _fin_pending: this is the
+        # per-packet "anything left?" probe on every send opportunity.
+        if self._retransmit._bounds:
             return True
-        if self._next_new_offset < len(self._buffer) and flow_budget > 0:
+        next_new = self._next_new_offset
+        if next_new < len(self._buffer) and flow_budget > 0:
             return True
-        return self._fin_pending()
+        fin_offset = self.fin_offset
+        return (
+            fin_offset is not None
+            and not self._fin_sent
+            and next_new >= fin_offset
+        )
 
     def _fin_pending(self) -> bool:
         return (
@@ -76,13 +89,13 @@ class SendStream:
         """
         if max_bytes <= 0:
             return None
-        if self._retransmit:
+        if self._retransmit._bounds:
             start, stop = next(iter(self._retransmit))
             stop = min(stop, start + max_bytes)
             self._retransmit.remove(start, stop)
             data = bytes(self._buffer[start:stop])
             fin = self.fin_offset is not None and stop == self.fin_offset
-            return StreamFrame(self.stream_id, start, data, fin), 0
+            return StreamFrame.acquire(self.stream_id, start, data, fin), 0
         available = len(self._buffer) - self._next_new_offset
         if available > 0 and flow_budget > 0:
             length = min(available, max_bytes, flow_budget)
@@ -92,10 +105,12 @@ class SendStream:
             fin = self._fin_pending()
             if fin:
                 self._fin_sent = True
-            return StreamFrame(self.stream_id, start, data, fin), length
+            return StreamFrame.acquire(self.stream_id, start, data, fin), length
         if self._fin_pending():
             self._fin_sent = True
-            return StreamFrame(self.stream_id, self._next_new_offset, b"", True), 0
+            return StreamFrame.acquire(
+                self.stream_id, self._next_new_offset, b"", True
+            ), 0
         return None
 
     def on_frame_acked(self, frame: StreamFrame) -> None:
@@ -145,6 +160,8 @@ class SendStream:
 
 class RecvStream:
     """Incoming half of a stream: reassembly plus consumption tracking."""
+
+    __slots__ = ("stream_id", "reassembler", "fin_received")
 
     def __init__(self, stream_id: int) -> None:
         self.stream_id = stream_id

@@ -78,14 +78,27 @@ def varint_size(value: int) -> int:
 
 def encode_varint(value: int) -> bytes:
     """Encode an unsigned integer as a QUIC varint."""
+    out = bytearray()
+    encode_varint_into(out, value)
+    return bytes(out)
+
+
+def encode_varint_into(out: bytearray, value: int) -> None:
+    """Append the QUIC varint encoding of ``value`` to ``out``.
+
+    The append-into form is the one the packet encoder uses: one
+    growing ``bytearray`` per packet instead of a ``bytes`` object per
+    field glued together with ``+=``.
+    """
     size = varint_size(value)
     if size == 1:
-        return struct.pack(">B", value)
-    if size == 2:
-        return struct.pack(">H", value | 0x4000)
-    if size == 4:
-        return struct.pack(">I", value | 0x80000000)
-    return struct.pack(">Q", value | 0xC000000000000000)
+        out.append(value)
+    elif size == 2:
+        out += struct.pack(">H", value | 0x4000)
+    elif size == 4:
+        out += struct.pack(">I", value | 0x80000000)
+    else:
+        out += struct.pack(">Q", value | 0xC000000000000000)
 
 
 def decode_varint(buf: bytes, pos: int) -> Tuple[int, int]:
@@ -115,7 +128,11 @@ def public_header_size(multipath: bool) -> int:
 
 
 def encode_packet(packet: "Packet") -> bytes:
-    """Serialize a packet: public header followed by its frames."""
+    """Serialize a packet: public header followed by its frames.
+
+    All fields and frames append into one ``bytearray`` — no
+    intermediate per-frame ``bytes`` objects.
+    """
     flags = FLAG_MULTIPATH if packet.multipath else 0x00
     out = bytearray()
     out.append(flags)
@@ -124,7 +141,7 @@ def encode_packet(packet: "Packet") -> bytes:
         out.append(packet.path_id)
     out += struct.pack(">I", packet.packet_number)
     for frame in packet.frames:
-        out += encode_frame(frame)
+        encode_frame_into(out, frame)
     if _metrics.METRICS:
         _metrics.REGISTRY.inc("wire.packets_encoded")
         _metrics.REGISTRY.observe("wire.encoded_packet_bytes", len(out))
@@ -171,60 +188,78 @@ def decode_packet(buf: bytes) -> "Packet":
 
 def encode_frame(frame: "Frame") -> bytes:
     """Serialize a single frame."""
+    out = bytearray()
+    encode_frame_into(out, frame)
+    return bytes(out)
+
+
+def encode_frame_into(out: bytearray, frame: "Frame") -> None:
+    """Append the wire encoding of ``frame`` to ``out``."""
     from repro.quic import frames as f
 
     if isinstance(frame, f.StreamFrame):
-        out = bytearray([TYPE_STREAM | (0x80 if frame.fin else 0x00)])
-        out += encode_varint(frame.stream_id)
-        out += encode_varint(frame.offset)
+        out.append(TYPE_STREAM | (0x80 if frame.fin else 0x00))
+        encode_varint_into(out, frame.stream_id)
+        encode_varint_into(out, frame.offset)
         out += struct.pack(">H", len(frame.data))
         out += frame.data
-        return bytes(out)
+        return
     if isinstance(frame, f.AckFrame):
-        out = bytearray([TYPE_ACK, frame.path_id])
-        out += encode_varint(frame.largest_acked)
+        out.append(TYPE_ACK)
+        out.append(frame.path_id)
+        encode_varint_into(out, frame.largest_acked)
         # round(), not int(): an ack delay that is exactly a multiple of
         # 8 us must survive the encode/decode round trip even when the
         # float product lands a hair below the integer.
         out += struct.pack(">H", min(0xFFFF, round(frame.ack_delay * 1e6) >> 3))
         out += struct.pack(">H", len(frame.ranges))
         for start, stop in frame.ranges:
-            out += encode_varint(stop - start)
-            out += encode_varint(start)
-        return bytes(out)
+            encode_varint_into(out, stop - start)
+            encode_varint_into(out, start)
+        return
     if isinstance(frame, f.WindowUpdateFrame):
-        return (
-            bytes([TYPE_WINDOW_UPDATE])
-            + encode_varint(frame.stream_id)
-            + struct.pack(">Q", frame.byte_offset)
-        )
+        out.append(TYPE_WINDOW_UPDATE)
+        encode_varint_into(out, frame.stream_id)
+        out += struct.pack(">Q", frame.byte_offset)
+        return
     if isinstance(frame, f.PingFrame):
-        return bytes([TYPE_PING])
+        out.append(TYPE_PING)
+        return
     if isinstance(frame, f.HandshakeFrame):
         kind = 0 if frame.kind == "CHLO" else 1
-        return bytes([TYPE_HANDSHAKE]) + struct.pack(">BB", kind, 0) + b"\x00" * frame.length
+        out.append(TYPE_HANDSHAKE)
+        out += struct.pack(">BB", kind, 0)
+        out += b"\x00" * frame.length
+        return
     if isinstance(frame, f.ConnectionCloseFrame):
         reason = frame.reason.encode()
-        return (
-            bytes([TYPE_CONNECTION_CLOSE])
-            + struct.pack(">IH", frame.error_code, len(reason))
-            + reason
-        )
+        out.append(TYPE_CONNECTION_CLOSE)
+        out += struct.pack(">IH", frame.error_code, len(reason))
+        out += reason
+        return
     if isinstance(frame, f.AddAddressFrame):
         addr = frame.address.encode()
-        return bytes([TYPE_ADD_ADDRESS, len(addr)]) + addr
+        out.append(TYPE_ADD_ADDRESS)
+        out.append(len(addr))
+        out += addr
+        return
     if isinstance(frame, f.PathsFrame):
-        out = bytearray([TYPE_PATHS, len(frame.active)])
+        out.append(TYPE_PATHS)
+        out.append(len(frame.active))
         for info in frame.active:
             out.append(info.path_id)
             out += struct.pack(">I", info.rtt_us)
         out.append(len(frame.failed))
         out += bytes(frame.failed)
-        return bytes(out)
+        return
     if isinstance(frame, f.PathChallengeFrame):
-        return bytes([TYPE_PATH_CHALLENGE]) + frame.data
+        out.append(TYPE_PATH_CHALLENGE)
+        out += frame.data
+        return
     if isinstance(frame, f.PathResponseFrame):
-        return bytes([TYPE_PATH_RESPONSE]) + frame.data
+        out.append(TYPE_PATH_RESPONSE)
+        out += frame.data
+        return
     raise TypeError(f"cannot encode frame {frame!r}")
 
 

@@ -31,6 +31,21 @@ class RangeSet:
         if stop <= start:
             return
         b = self._bounds
+        # Fast path for the dominant in-order pattern (ACK ranges and
+        # stream reassembly almost always grow at the top end).
+        if b:
+            last = b[-1]
+            if start > last:  # disjoint new range at the end
+                b.append(start)
+                b.append(stop)
+                return
+            if start == last:  # touches the last range: extend it
+                b[-1] = stop
+                return
+        else:
+            b.append(start)
+            b.append(stop)
+            return
         # Index of first bound > start and >= stop respectively.
         lo = bisect.bisect_right(b, start)
         hi = bisect.bisect_left(b, stop)
@@ -151,8 +166,8 @@ class RangeSet:
         first and cap the number of ranges they carry; TCP SACK blocks
         behave similarly with a much smaller cap.
         """
-        ranges = list(self)
-        ranges.reverse()
+        b = self._bounds
+        ranges = [(b[i], b[i + 1]) for i in range(len(b) - 2, -1, -2)]
         if limit:
             ranges = ranges[:limit]
         return ranges

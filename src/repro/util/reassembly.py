@@ -26,6 +26,11 @@ class Reassembler:
     the sort dominated receive-side profiles under heavy reordering.
     """
 
+    __slots__ = (
+        "_received", "_chunks", "_offsets", "_read_offset",
+        "_final_size", "_upper",
+    )
+
     def __init__(self) -> None:
         self._received = RangeSet()
         self._chunks: Dict[int, bytes] = {}
@@ -35,6 +40,10 @@ class Reassembler:
         self._offsets: List[int] = []
         self._read_offset = 0
         self._final_size: Optional[int] = None
+        #: One past the highest received offset; mirrors
+        #: ``self._received.max + 1`` without the property walk on the
+        #: per-chunk hot path (``_received`` only ever grows).
+        self._upper = 0
 
     @property
     def read_offset(self) -> int:
@@ -54,7 +63,7 @@ class Reassembler:
     @property
     def highest_offset(self) -> int:
         """One past the highest byte offset seen (flow-control relevant)."""
-        return self._received.max + 1 if self._received else 0
+        return self._upper
 
     def set_final_size(self, size: int) -> None:
         """Record the total stream size signalled by a FIN marker."""
@@ -78,6 +87,16 @@ class Reassembler:
         if offset < self._read_offset:
             data = data[self._read_offset - offset:]
             offset = self._read_offset
+        # Fast path: the chunk lies entirely above everything received
+        # so far (the dominant in-order case) — no trimming, no copy.
+        if offset >= self._upper:
+            self._chunks[offset] = data
+            heapq.heappush(self._offsets, offset)
+            self._received.add(offset, end)
+            self._upper = end
+            if _metrics.METRICS:
+                _metrics.REGISTRY.inc("reassembly.chunks_inserted")
+            return
         # Trim against already-received spans so stored chunks are disjoint.
         pieces: List[Tuple[int, bytes]] = []
         cursor = offset
@@ -97,6 +116,11 @@ class Reassembler:
             self._chunks[piece_offset] = piece
             heapq.heappush(self._offsets, piece_offset)
             self._received.add(piece_offset, piece_offset + len(piece))
+        # The whole of [offset, stop) is now covered (pieces filled the
+        # gaps; the rest was received before), so the upper bound is
+        # simply the chunk end.
+        if stop > self._upper:
+            self._upper = stop
         if _metrics.METRICS:
             _metrics.REGISTRY.inc("reassembly.chunks_inserted")
 
@@ -120,6 +144,10 @@ class Reassembler:
             self._read_offset = end
         if _metrics.METRICS and out:
             _metrics.REGISTRY.inc("reassembly.deliveries")
+        if len(out) == 1:
+            # Dominant in-order case: one chunk became ready — hand it
+            # back as-is instead of paying a join copy.
+            return out[0]
         return b"".join(out)
 
     def pending_ranges(self, limit: int = 0) -> List[Tuple[int, int]]:

@@ -38,6 +38,7 @@ EXPECTED_RULES = {
     "obs-category",
     "dict-mutation",
     "perf-timing",
+    "hot-path",
 }
 
 
@@ -327,6 +328,68 @@ class TestDictMutationRule:
             for key in list(table):
                 del table[key]
         """)
+        assert findings == []
+
+
+class TestHotPathRule:
+    """Per-packet allocation patterns in the hot-path modules."""
+
+    BYTES_ACCUM = """
+        def encode(frames):
+            out = b""
+            for frame in frames:
+                out += frame.encode()
+            return out
+    """
+
+    def test_bytes_accumulation_flagged_in_hot_module(self):
+        findings = check(self.BYTES_ACCUM, rel_path="repro/quic/wire.py")
+        assert rule_ids(findings) == {"hot-path"}
+
+    def test_same_code_clean_outside_hot_modules(self):
+        findings = check(self.BYTES_ACCUM, rel_path="repro/apps/report.py")
+        assert findings == []
+
+    def test_bytearray_accumulation_is_clean(self):
+        # `+=` on a bytearray is an in-place extend — the recommended
+        # fix, so the rule must not flag it.
+        findings = check("""
+            def encode(frames):
+                out = bytearray()
+                for frame in frames:
+                    out += frame.encode()
+                return bytes(out)
+        """, rel_path="repro/quic/wire.py")
+        assert findings == []
+
+    def test_frozen_dataclass_flagged_in_hot_module(self):
+        findings = check("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class PingFrame:
+                token: int
+        """, rel_path="repro/quic/frames.py")
+        assert rule_ids(findings) == {"hot-path"}
+
+    def test_unfrozen_dataclass_is_clean(self):
+        findings = check("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Tally:
+                count: int = 0
+        """, rel_path="repro/quic/frames.py")
+        assert findings == []
+
+    def test_allow_marker_suppresses(self):
+        findings = check("""
+            def encode(frames):
+                out = b""
+                for frame in frames:
+                    out += frame.encode()  # repro: allow[hot-path]
+                return out
+        """, rel_path="repro/quic/packet.py")
         assert findings == []
 
 

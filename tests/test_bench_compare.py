@@ -71,6 +71,40 @@ class TestCompare:
         with pytest.raises(ValueError, match="candidate"):
             bench_compare.compare(_record(1), {})
 
+    def test_metric_selects_sub_benchmark(self):
+        base = {"events_per_second": 1, "timer_churn": {"events_per_second": 1000}}
+        cand = {"events_per_second": 1, "timer_churn": {"events_per_second": 500}}
+        result = bench_compare.compare(base, cand, metric="timer_churn")
+        assert result["regression"]
+        # The headline comparison would have seen no change at all.
+        assert not bench_compare.compare(base, cand)["regression"]
+
+    def test_metric_missing_raises(self):
+        with pytest.raises(ValueError, match="event_loop"):
+            bench_compare.compare(
+                _record(1000), _record(1000), metric="event_loop"
+            )
+
+    def test_parallel_metric_skipped_on_single_core_host(self):
+        # A 1-core host's "parallel speedup" times pool overhead; the
+        # gate must refuse to do regression math on it.
+        base = {
+            "host": {"cpu_count": 1},
+            "parallel": {"events_per_second": 1000},
+        }
+        cand = {
+            "host": {"cpu_count": 4},
+            "parallel": {"events_per_second": 100},
+        }
+        result = bench_compare.compare(base, cand, metric="parallel")
+        assert "skipped" in result
+        assert not result["regression"]
+        # Multi-core on both sides: the comparison proceeds normally.
+        base["host"]["cpu_count"] = 4
+        result = bench_compare.compare(base, cand, metric="parallel")
+        assert "skipped" not in result
+        assert result["regression"]
+
 
 class TestCli:
     def test_ok_exit_zero(self, tmp_path, capsys):
@@ -103,6 +137,28 @@ class TestCli:
         cand = _write(tmp_path, "cand.json", _record(100))
         assert bench_compare.main([str(bad), cand]) == 2
         assert bench_compare.main([cand, str(bad)]) == 2
+
+    def test_metric_flag(self, tmp_path, capsys):
+        base = _write(
+            tmp_path, "base.json",
+            {"event_loop": {"events_per_second": 1000}},
+        )
+        cand = _write(
+            tmp_path, "cand.json",
+            {"event_loop": {"events_per_second": 100}},
+        )
+        assert bench_compare.main([base, cand, "--metric", "event_loop"]) == 1
+        assert "event_loop" in capsys.readouterr().out
+
+    def test_parallel_skip_exits_zero(self, tmp_path, capsys):
+        record = {
+            "host": {"cpu_count": 1},
+            "parallel": {"events_per_second": 1000},
+        }
+        base = _write(tmp_path, "base.json", record)
+        cand = _write(tmp_path, "cand.json", record)
+        assert bench_compare.main([base, cand, "--metric", "parallel"]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
 
     def test_non_object_record_exit_two(self, tmp_path):
         arr = tmp_path / "arr.json"
