@@ -176,6 +176,45 @@ def bench_fluid_vs_packet(repeat: int) -> dict:
     }
 
 
+def bench_workload(repeat: int) -> dict:
+    """Open-loop smoke workload: 100 mice-and-elephants arrivals, fluid
+    background with every 10th flow measured packet-level (the
+    ``smoke`` preset of :mod:`repro.experiments.scenarios`).
+
+    The headline is simulator events per wall second for the hybrid
+    open-loop harness — a different mix than the bulk-transfer bench
+    (connection churn, pool recycling, fluid reallocation under
+    arrival pressure).
+    """
+    from repro.experiments.scenarios import WORKLOAD_PRESETS
+    from repro.experiments.workload import run_workload
+
+    preset = WORKLOAD_PRESETS["smoke"]
+
+    def run() -> int:
+        result = run_workload(
+            preset.spec, protocol="quic", bottleneck=preset.bottleneck
+        )
+        if not result.completed:
+            raise RuntimeError("workload benchmark did not complete")
+        run.result = result
+        return int(result.details.get("sim_events", 0))
+
+    run.result = None
+    seconds, events = _best_of(run, repeat)
+    result = run.result
+    return {
+        "preset": preset.name,
+        "events": events,
+        "wall_seconds": round(seconds, 6),
+        "events_per_second": round(events / seconds) if seconds > 0 else None,
+        "flows": result.n_flows,
+        "peak_concurrent": result.peak_concurrent,
+        "p99_fct": round(result.p99_fct, 4),
+        "jain_goodput": round(result.jain_goodput, 4),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -214,6 +253,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({fluid['packet']['wall_seconds']}s packet -> "
         f"{fluid['hybrid']['wall_seconds']}s hybrid)"
     )
+    workload = bench_workload(args.repeat)
+    print(
+        f"workload:    {workload['events_per_second']:>9} events/s "
+        f"({workload['flows']} flows, peak {workload['peak_concurrent']})"
+    )
     overhead = (
         round(on["wall_seconds"] / off["wall_seconds"], 3)
         if off["wall_seconds"] > 0 else None
@@ -240,6 +284,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "mpquic_transfer_metrics_on": on,
         # Hybrid-fidelity: analytic (fluid) background vs all-packet.
         "fluid_background": fluid,
+        # Open-loop traffic harness (smoke preset, hybrid fidelity).
+        "workload": workload,
         # Wall-time factor of running instrumented (1.0 = free,
         # 1.25 = a 25% observability tax when REPRO_METRICS=1).
         "metrics_overhead_ratio": overhead,

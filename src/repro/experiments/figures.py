@@ -29,7 +29,12 @@ from repro.experiments.metrics import (
     fraction_greater_than,
     median,
 )
-from repro.experiments.parallel import SweepCell, execute_cells, execute_class_sweep
+from repro.experiments.parallel import (
+    SweepCell,
+    execute_cells,
+    execute_class_sweep,
+    plan_workload_sweep,
+)
 from repro.experiments.report import ascii_box, ascii_cdf, table, timeline
 from repro.experiments.runner import (
     BulkRunResult,
@@ -411,6 +416,65 @@ def ablation_window_updates(config: SweepConfig = SweepConfig()) -> Dict[str, fl
     return results
 
 
+def workload_study(config: SweepConfig = SweepConfig()) -> Dict[str, List]:
+    """Open-loop traffic study: tail FCT and fairness under load.
+
+    Sweeps the offered load (arrival rate) for a fixed mice-and-
+    elephants workload across the protocol matrix, every cell a
+    hybrid-fidelity :func:`repro.experiments.workload.run_workload`
+    through the parallel engine (so cells cache and crash-isolate like
+    any sweep).  Prints tail FCT percentiles, Jain's fairness over
+    per-flow goodput and bottleneck queue occupancy per (rate,
+    protocol) cell.
+    """
+    from repro.experiments.scenarios import WORKLOAD_BOTTLENECK
+    from repro.experiments.workload import WorkloadSpec
+
+    rates = (50.0, 100.0, 200.0)
+    protocols = ("quic", "mpquic")
+    specs = [
+        WorkloadSpec(
+            n_flows=max(40, config.scenarios * 4),
+            arrival="poisson",
+            arrival_rate=rate,
+            size_dist="pareto",
+            mean_size=min(config.small_file_size, 100_000),
+            fidelity="fluid",
+            n_pairs=8,
+            measure_every=10,
+            seed=config.seed,
+        )
+        for rate in rates
+    ]
+    cells = plan_workload_sweep(specs, WORKLOAD_BOTTLENECK, protocols=protocols)
+    results = execute_cells(cells)
+    rows = []
+    data: Dict[str, List] = {"rate": [], "protocol": [], "results": []}
+    for cell, result in zip(cells, results):
+        rate = cell.workload.arrival_rate if cell.workload else 0.0
+        data["rate"].append(rate)
+        data["protocol"].append(cell.protocol)
+        data["results"].append(result)
+        rows.append((
+            f"{rate:g}",
+            cell.protocol,
+            f"{result.completed_flows}/{result.n_flows}",
+            f"{result.peak_concurrent}",
+            f"{result.p50_fct * 1e3:.0f}",
+            f"{result.p99_fct * 1e3:.0f}",
+            f"{result.p999_fct * 1e3:.0f}",
+            f"{result.jain_goodput:.3f}",
+            f"{result.queue_p99_bytes / 1e3:.0f}",
+        ))
+    print("== Open-loop workload study (mice-and-elephants) ==")
+    print(table(
+        ["rate (fl/s)", "protocol", "done", "peak", "p50 (ms)",
+         "p99 (ms)", "p999 (ms)", "Jain", "queue p99 (KB)"],
+        rows,
+    ))
+    return data
+
+
 FIGURES = {
     "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
     "fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10,
@@ -419,6 +483,7 @@ FIGURES = {
     "ablation-scheduler": ablation_scheduler,
     "ablation-cc": ablation_congestion_control,
     "ablation-wupdate": ablation_window_updates,
+    "workload": workload_study,
 }
 
 

@@ -15,10 +15,18 @@ goodputs single-path protocols actually achieved on each path::
 
 0 means "no better than the best single path", 1 means "the sum of the
 paths", negative values mean multipath *hurt*.
+
+The workload harness (:mod:`repro.experiments.workload`) adds two more:
+:func:`jain_index` for fairness over per-flow goodputs, and
+:class:`QuantileSketch`, a bounded-memory streaming quantile summary
+(Greenwald-Khanna) for tail flow-completion times — p999 over tens of
+thousands of flows without keeping them all.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Iterable, List, Sequence, Tuple
 
 
@@ -66,6 +74,184 @@ def median(values: Iterable[float]) -> float:
     if n % 2 == 1:
         return data[mid]
     return (data[mid - 1] + data[mid]) / 2.0
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every flow gets the same allocation, ``1/n`` when one flow
+    takes everything.  Undefined (raises) on an empty sequence; a
+    sequence of all-zero allocations counts as perfectly fair (every
+    flow got the same nothing).
+    """
+    total = 0.0
+    total_sq = 0.0
+    n = 0
+    for v in values:
+        total += v
+        total_sq += v * v
+        n += 1
+    if n == 0:
+        raise ValueError("jain_index of empty sequence")
+    if total_sq <= 0.0:
+        return 1.0
+    return (total * total) / (n * total_sq)
+
+
+class QuantileSketch:
+    """Bounded-memory streaming quantiles (Greenwald-Khanna, GK01).
+
+    Maintains a sorted summary of ``[value, g, delta]`` entries: ``g``
+    is the gap in minimum rank to the previous entry and ``delta`` the
+    extra rank uncertainty, with the GK invariant
+    ``g + delta <= 2 * eps * n`` maintained by compression.  Any
+    quantile is answered within ``~eps * n`` rank error from O((1/eps)
+    * log(eps * n)) entries — a few hundred for millions of inserts at
+    the default ``eps`` — which is what lets the workload harness
+    report p999 FCT over arbitrarily many flows without storing them.
+
+    Inserts are buffered and merged in sorted batches (the classic
+    practical variant), so amortised insert cost is the buffer sort
+    plus a linear merge per flush.  Queries interpolate between the
+    entries' midpoint rank estimates ``rmin + delta/2``.  Because GK
+    rank error translates to huge *value* error in a heavy tail (the
+    gap between p999 and the maximum can be orders of magnitude), the
+    sketch also keeps the largest :data:`TOP_K` observations exactly
+    and answers extreme-tail queries (and everything, while ``n <=
+    TOP_K``) from that sidecar — still O(1) memory.
+    """
+
+    #: Rank-error bound.  0.001 keeps p999 meaningful at 10k+ samples
+    #: while the summary stays a few hundred entries.
+    DEFAULT_EPS = 0.001
+
+    #: Exact top-of-distribution sidecar size: tail quantiles whose
+    #: rank falls within the largest TOP_K observations are exact (for
+    #: p999 that covers every run below ~256k flows).
+    TOP_K = 256
+
+    __slots__ = ("eps", "n", "_entries", "_buffer", "_buffer_cap", "_top")
+
+    def __init__(self, eps: float = DEFAULT_EPS) -> None:
+        if not 0.0 < eps < 0.5:
+            raise ValueError("eps must be in (0, 0.5)")
+        self.eps = eps
+        self.n = 0
+        #: Sorted summary entries ``[value, g, delta]``.
+        self._entries: List[List[float]] = []
+        self._buffer: List[float] = []
+        self._buffer_cap = max(16, int(1.0 / (2.0 * eps)))
+        #: Min-heap of the largest TOP_K values seen.
+        self._top: List[float] = []
+
+    def __len__(self) -> int:
+        """Stored summary entries (memory observability, not ``n``)."""
+        return len(self._entries) + len(self._buffer) + len(self._top)
+
+    def insert(self, value: float) -> None:
+        self._buffer.append(value)
+        self.n += 1
+        if len(self._top) < self.TOP_K:
+            heapq.heappush(self._top, value)
+        elif value > self._top[0]:
+            heapq.heapreplace(self._top, value)
+        if len(self._buffer) >= self._buffer_cap:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        incoming = sorted(self._buffer)
+        self._buffer = []
+        delta_cap = max(0, math.floor(2.0 * self.eps * self.n) - 1)
+        merged: List[List[float]] = []
+        entries = self._entries
+        i = j = 0
+        while i < len(entries) or j < len(incoming):
+            if j >= len(incoming) or (
+                i < len(entries) and entries[i][0] <= incoming[j]
+            ):
+                merged.append(entries[i])
+                i += 1
+            else:
+                v = incoming[j]
+                j += 1
+                # New tuples carry g=1; interior ones get the delta
+                # allowance, the observed extremes stay exact.
+                if not merged or (i >= len(entries) and j >= len(incoming)):
+                    delta = 0
+                else:
+                    delta = delta_cap
+                merged.append([v, 1, delta])
+        self._entries = merged
+        self._compress()
+
+    def _compress(self) -> None:
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        threshold = math.floor(2.0 * self.eps * self.n)
+        # Merge right-to-left so g accumulates into the survivor while
+        # the band invariant g_i + g_{i+1} + delta_{i+1} <= threshold
+        # holds; the first and last entries are never merged away.
+        out = [entries[-1]]
+        for k in range(len(entries) - 2, 0, -1):
+            cur = entries[k]
+            nxt = out[-1]
+            if cur[1] + nxt[1] + nxt[2] <= threshold:
+                nxt[1] += cur[1]
+            else:
+                out.append(cur)
+        out.append(entries[0])
+        out.reverse()
+        self._entries = out
+
+    def query(self, q: float) -> float:
+        """The value at quantile ``q`` (within ``~eps*n`` rank error)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.n == 0:
+            raise ValueError("query on empty sketch")
+        self._flush()
+        target = 1.0 + q * (self.n - 1)
+        # Exact answer from the top-K sidecar when the target rank
+        # falls inside it (always, while n <= TOP_K).
+        floor_rank = self.n - len(self._top)
+        if target >= floor_rank + 1:
+            top = sorted(self._top)
+            pos = target - floor_rank  # 1-based within the sidecar
+            lo = int(pos) - 1
+            hi = min(lo + 1, len(top) - 1)
+            frac = pos - int(pos)
+            return top[lo] + frac * (top[hi] - top[lo])
+        entries = self._entries
+        target = 1.0 + q * (self.n - 1)
+        prev_est = None
+        prev_value = entries[0][0]
+        rmin = 0.0
+        for value, g, delta in entries:
+            rmin += g
+            est = rmin + delta / 2.0
+            if prev_est is not None and est < prev_est:
+                est = prev_est  # keep the estimate monotone
+            if est >= target:
+                if prev_est is None or est == prev_est:
+                    return value
+                frac = (target - prev_est) / (est - prev_est)
+                return prev_value + frac * (value - prev_value)
+            prev_est, prev_value = est, value
+        return entries[-1][0]
+
+    # Convenience accessors for the workload harness's headline stats.
+
+    def p50(self) -> float:
+        return self.query(0.50)
+
+    def p99(self) -> float:
+        return self.query(0.99)
+
+    def p999(self) -> float:
+        return self.query(0.999)
 
 
 def quartiles(values: Iterable[float]) -> Tuple[float, float, float]:

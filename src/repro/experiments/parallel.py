@@ -69,17 +69,27 @@ from repro.experiments.runner import (
     BulkRunResult,
     run_bulk,
 )
+from repro.experiments.workload import (
+    WorkloadRunResult,
+    WorkloadSpec,
+    run_workload,
+)
 from repro.netsim.faults import FaultTimeline
 from repro.netsim.topology import PathConfig
 from repro.quic.config import QuicConfig
 from repro.tcp.config import TcpConfig
+
+#: A cell's result: closed-loop bulk transfer or open-loop workload.
+CellResult = Any
 
 #: Bump when the cached result schema or the simulation semantics
 #: change, invalidating every previously stored result.
 #: v2: fault timelines became part of a cell's identity.
 #: v3: path-liveness probing and lifetime limits entered QuicConfig and
 #:     the transport's failure reaction (reinjection) changed semantics.
-RESULTS_FORMAT_VERSION = 3
+#: v4: open-loop workload cells (a ``workload`` axis on SweepCell,
+#:     kind-tagged result records).
+RESULTS_FORMAT_VERSION = 4
 
 #: Default retry attempts for a crashed or raising cell (on top of the
 #: first attempt); override per call or via ``REPRO_RETRIES``.
@@ -122,6 +132,12 @@ class SweepCell:
     #: cell's identity, so the same static scenario under different
     #: fault timelines never collides in the cache.
     timeline: Optional[FaultTimeline] = None
+    #: Open-loop workload axis: when set, the cell runs
+    #: :func:`repro.experiments.workload.run_workload` over
+    #: ``paths[0]`` instead of a closed-loop bulk transfer
+    #: (``file_size``/``repetitions``/``initial_interface`` are then
+    #: inert; the spec carries its own seed and flow plan).
+    workload: Optional[WorkloadSpec] = None
 
     def key_material(self) -> Dict:
         """The canonical dict whose hash addresses this cell's result."""
@@ -139,6 +155,7 @@ class SweepCell:
             "timeline": (
                 self.timeline.key_material() if self.timeline else None
             ),
+            "workload": asdict(self.workload) if self.workload else None,
         }
 
     def cache_key(self) -> str:
@@ -180,6 +197,40 @@ def plan_class_sweep(
     return cells
 
 
+def plan_workload_sweep(
+    specs: Sequence[WorkloadSpec],
+    bottleneck: PathConfig,
+    protocols: Sequence[str] = SWEEP_PROTOCOLS,
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+    timeout: float = 600.0,
+) -> List[SweepCell]:
+    """Decompose an open-loop workload study into cells.
+
+    Spec-major, then protocol — so each workload's flow plan (identical
+    across protocols by construction, the specs carry the seeds) is
+    replayed against every protocol before the next spec runs.
+    """
+    cells: List[SweepCell] = []
+    for spec in specs:
+        for protocol in protocols:
+            cells.append(
+                SweepCell(
+                    paths=(bottleneck,),
+                    protocol=protocol,
+                    initial_interface=0,
+                    file_size=spec.mean_size,
+                    repetitions=1,
+                    base_seed=spec.seed,
+                    timeout=timeout,
+                    quic_config=quic_config,
+                    tcp_config=tcp_config,
+                    workload=spec,
+                )
+            )
+    return cells
+
+
 def _chaos_crash_requested(cell: SweepCell) -> bool:
     """CI fault-drill hook: should this cell simulate a worker crash?
 
@@ -204,12 +255,21 @@ def _chaos_crash_requested(cell: SweepCell) -> bool:
     return True
 
 
-def run_cell(cell: SweepCell) -> BulkRunResult:
+def run_cell(cell: SweepCell) -> CellResult:
     """Execute one cell — the worker entry point (must be picklable)."""
     if _chaos_crash_requested(cell):
         if os.environ.get("REPRO_CHAOS_MODE") == "raise":
             raise RuntimeError("chaos drill: simulated cell failure")
         os._exit(17)  # hard death, as a real worker crash would be
+    if cell.workload is not None:
+        return run_workload(
+            cell.workload,
+            protocol=cell.protocol,
+            bottleneck=cell.paths[0],
+            quic_config=cell.quic_config,
+            tcp_config=cell.tcp_config,
+            timeout=cell.timeout,
+        )
     return run_bulk(
         cell.protocol,
         cell.paths,
@@ -224,7 +284,7 @@ def run_cell(cell: SweepCell) -> BulkRunResult:
     )
 
 
-def _run_cell_timed(cell: SweepCell) -> Tuple[BulkRunResult, float, int]:
+def _run_cell_timed(cell: SweepCell) -> Tuple[CellResult, float, int]:
     """Worker entry with telemetry: ``(result, wall_seconds, worker_pid)``.
 
     Timing wraps only the cell's own execution, so pool scheduling and
@@ -241,8 +301,17 @@ def _run_cell_timed(cell: SweepCell) -> Tuple[BulkRunResult, float, int]:
 # Result (de)serialisation
 # ----------------------------------------------------------------------
 
-def result_to_dict(result: BulkRunResult) -> Dict:
-    """JSON-serialisable form of a result (traces are not cached)."""
+def result_to_dict(result: CellResult) -> Dict:
+    """JSON-serialisable form of a result (traces are not cached).
+
+    Workload results are kind-tagged so a cache entry deserialises to
+    the type that produced it; untagged records are bulk results (the
+    pre-v4 shape).
+    """
+    if isinstance(result, WorkloadRunResult):
+        data = asdict(result)
+        data["kind"] = "workload"
+        return data
     return {
         "protocol": result.protocol,
         "initial_interface": result.initial_interface,
@@ -258,7 +327,10 @@ def result_to_dict(result: BulkRunResult) -> Dict:
     }
 
 
-def result_from_dict(data: Dict) -> BulkRunResult:
+def result_from_dict(data: Dict) -> CellResult:
+    if data.get("kind") == "workload":
+        payload = {k: v for k, v in data.items() if k != "kind"}
+        return WorkloadRunResult(**payload)
     return BulkRunResult(
         protocol=data["protocol"],
         initial_interface=data["initial_interface"],
@@ -296,7 +368,7 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, cell: SweepCell) -> Optional[BulkRunResult]:
+    def get(self, cell: SweepCell) -> Optional[CellResult]:
         path = self._path(cell.cache_key())
         try:
             with open(path) as fh:
@@ -307,7 +379,7 @@ class ResultCache:
         self.hits += 1
         return result_from_dict(data["result"])
 
-    def put(self, cell: SweepCell, result: BulkRunResult) -> None:
+    def put(self, cell: SweepCell, result: CellResult) -> None:
         key = cell.cache_key()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -604,7 +676,7 @@ def execute_cells(
     stats: Optional[SweepStats] = None,
     retries: Optional[int] = None,
     telemetry: Optional[SweepTelemetry] = "auto",  # type: ignore[assignment]
-) -> List[Optional[BulkRunResult]]:
+) -> List[Optional[CellResult]]:
     """Run every cell, returning results aligned with ``cells``.
 
     Cached cells are served from disk; the rest are executed — in a
@@ -641,7 +713,7 @@ def execute_cells(
     quarantined: List[Dict] = []
 
     try:
-        results: List[Optional[BulkRunResult]] = [None] * len(cells)
+        results: List[Optional[CellResult]] = [None] * len(cells)
         missing: List[int] = []
         for i, cell in enumerate(cells):
             cached = cache.get(cell) if cache is not None else None
@@ -660,7 +732,7 @@ def execute_cells(
             errors: Dict[int, List[str]] = {}
 
             def on_success(
-                i: int, result: BulkRunResult, wall: float, pid: int
+                i: int, result: CellResult, wall: float, pid: int
             ) -> None:
                 results[i] = result
                 # Persist immediately: an interrupted sweep resumes from
@@ -745,7 +817,7 @@ def execute_cells(
 
 
 #: Per-cell success callback: ``(index, result, wall_seconds, worker_pid)``.
-OnSuccess = Callable[[int, BulkRunResult, float, int], None]
+OnSuccess = Callable[[int, CellResult, float, int], None]
 
 
 def _run_round(

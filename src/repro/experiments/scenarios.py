@@ -130,3 +130,109 @@ def wifi_to_lte_family(
     return [
         wifi_to_lte_handover(t, failure_mode, file_size) for t in failure_times
     ]
+
+
+# ----------------------------------------------------------------------
+# Open-loop workload presets
+# ----------------------------------------------------------------------
+
+#: Bottleneck shared by the workload presets: 20 Mbps, 30 ms RTT,
+#: 50 ms of buffer — an open-loop storm contends hard, a lone short
+#: flow is access-limited.
+WORKLOAD_BOTTLENECK = PathConfig(
+    capacity_mbps=20.0, rtt_ms=30.0, queuing_delay_ms=50.0
+)
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """A named open-loop workload: the spec plus its bottleneck.
+
+    The protocol stays a free axis (CLI flag / sweep dimension), so
+    one preset replays the identical flow plan against every protocol.
+    """
+
+    name: str
+    spec: "WorkloadSpec"
+    bottleneck: PathConfig
+    description: str = ""
+
+
+def _workload_presets() -> "Dict[str, WorkloadPreset]":
+    # Imported lazily: workload.py's CLI imports this module, and a
+    # module-level import back into workload would be circular.
+    from repro.experiments.workload import WorkloadSpec
+
+    return {
+        "smoke": WorkloadPreset(
+            name="smoke",
+            spec=WorkloadSpec(
+                n_flows=100, arrival="poisson", arrival_rate=100.0,
+                size_dist="pareto", mean_size=50_000,
+                fidelity="fluid", n_pairs=4, measure_every=10, seed=7,
+            ),
+            bottleneck=WORKLOAD_BOTTLENECK,
+            description=(
+                "CI-budget cell: 100 flows, fluid background, every "
+                "10th arrival measured packet-level"
+            ),
+        ),
+        "storm": WorkloadPreset(
+            name="storm",
+            spec=WorkloadSpec(
+                n_flows=600, arrival="poisson", arrival_rate=400.0,
+                size_dist="pareto", mean_size=200_000,
+                fidelity="fluid", n_pairs=8, measure_every=0, seed=11,
+            ),
+            bottleneck=WORKLOAD_BOTTLENECK,
+            description=(
+                "headline: offered load ~30x the bottleneck, so "
+                "hundreds of mice-and-elephants are concurrently in "
+                "service (peak >= 500)"
+            ),
+        ),
+        "fairness": WorkloadPreset(
+            name="fairness",
+            spec=WorkloadSpec(
+                n_flows=32, arrival="deterministic", arrival_rate=200.0,
+                size_dist="fixed", mean_size=200_000,
+                fidelity="packet", n_pairs=32, seed=3,
+            ),
+            bottleneck=WORKLOAD_BOTTLENECK,
+            description=(
+                "same-RTT fixed-size packet-level flows; Jain over "
+                "goodput should approach 1"
+            ),
+        ),
+    }
+
+
+class _PresetCatalogue:
+    """Mapping-like lazy view over the preset table."""
+
+    def __init__(self) -> None:
+        self._table: "Dict[str, WorkloadPreset]" = {}
+
+    def _load(self) -> "Dict[str, WorkloadPreset]":
+        if not self._table:
+            self._table = _workload_presets()
+        return self._table
+
+    def __getitem__(self, name: str) -> WorkloadPreset:
+        return self._load()[name]
+
+    def __iter__(self):
+        return iter(self._load())
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def keys(self):
+        return self._load().keys()
+
+    def items(self):
+        return self._load().items()
+
+
+#: The named workloads the CLI, CI smoke cell and docs refer to.
+WORKLOAD_PRESETS = _PresetCatalogue()

@@ -1,0 +1,594 @@
+"""Open-loop traffic generation at scale.
+
+Closed-loop experiments (one bulk transfer per protocol, §4.1's WSP
+sweeps) answer "how fast is one connection"; a deployment question the
+paper's large-scale curiosity points at — §4.2 studies *thousands* of
+real network scenarios — is how a protocol behaves when flows keep
+*arriving* regardless of whether earlier ones finished.  This module
+provides that open-loop harness:
+
+* **arrival processes** — deterministic, Poisson and heavy-tailed
+  (lognormal) interarrivals, all seeded and hash-seed independent;
+* **flow-size distributions** — fixed, uniform and Pareto
+  ("mice and elephants": most flows tiny, most *bytes* in a few
+  elephants);
+* a **traffic matrix** — N client/server pairs recycled through
+  :class:`repro.netsim.bottleneck.ManyFlowTopology`, every flow
+  crossing ONE shared bottleneck;
+* :func:`run_workload` — the driver: launches one connection per
+  arrival (packet-level through a
+  :class:`repro.apps.shortflow.HostPairPool`, or fluid via
+  :func:`repro.netsim.fluid.background_transfer` dispatched on
+  ``QuicConfig.fidelity``), and folds per-flow completion times into
+  bounded-memory aggregates — a
+  :class:`repro.experiments.metrics.QuantileSketch` for tail FCT and
+  streaming accumulators for Jain's fairness index — so a
+  thousand-flow run costs O(pool + sketch) memory, not O(flows).
+
+Seeding contract: every random stream (arrivals, sizes, topology) is
+derived from ``WorkloadSpec.seed`` via :func:`derive_seed` (SHA-256,
+so identical under any ``PYTHONHASHSEED``).  Equal specs produce
+bit-identical flow plans; different seeds produce disjoint ones.
+
+The sweep engine embeds a :class:`WorkloadSpec` into
+:class:`repro.experiments.parallel.SweepCell`, making workload cells
+cacheable and crash-isolated like every other cell.  See
+``docs/workloads.md`` for the catalogue and guidance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import random
+from collections import deque
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.apps.shortflow import HostPairPool, ShortFlow, make_endpoints
+from repro.experiments.metrics import QuantileSketch
+from repro.netsim.bottleneck import ManyFlowTopology
+from repro.netsim.engine import Simulator
+from repro.netsim.fluid import FluidNetwork, background_transfer
+from repro.netsim.topology import PathConfig
+from repro.obs.events import CAT_WORKLOAD, Tracer
+from repro.quic.config import QuicConfig
+from repro.tcp.config import TcpConfig
+
+ARRIVALS = ("deterministic", "poisson", "lognormal")
+SIZE_DISTS = ("fixed", "uniform", "pareto")
+FIDELITIES = ("packet", "fluid")
+
+#: Default bottleneck of the workload scenarios: 20 Mbps, 30 ms RTT,
+#: 50 ms of buffer — small enough that an open-loop storm actually
+#: contends, large enough that a lone short flow is access-limited.
+DEFAULT_BOTTLENECK = PathConfig(
+    capacity_mbps=20.0, rtt_ms=30.0, queuing_delay_ms=50.0
+)
+
+#: Cap on the per-flow record list kept in ``details`` for plotting;
+#: aggregates (sketch, Jain, totals) always cover every flow.
+MAX_FLOW_RECORDS = 1024
+
+#: Queue-occupancy sampling period (simulated seconds).  Samples feed
+#: a bounded sketch and running mean/max, so a long run costs events,
+#: not memory.
+QUEUE_SAMPLE_INTERVAL = 0.01
+
+
+def derive_seed(base: int, stream: str) -> int:
+    """A 64-bit seed for one named random stream of a workload.
+
+    SHA-256 based, NOT ``hash()`` based: Python string hashing is
+    randomized per process (PYTHONHASHSEED), and workload plans must be
+    bit-identical across runs, hosts and hash seeds for sweep-cache
+    addressing to work.
+    """
+    digest = hashlib.sha256(f"{base}:{stream}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+def interarrival_times(
+    arrival: str, rate: float, n: int, seed: int, cv: float = 4.0
+) -> List[float]:
+    """``n`` interarrival gaps (seconds) with mean ``1/rate``.
+
+    * ``deterministic`` — a fixed ``1/rate`` spacing (CV 0);
+    * ``poisson`` — exponential gaps (CV 1), the classic open-loop
+      arrival model;
+    * ``lognormal`` — heavy-tailed, *bursty* gaps with coefficient of
+      variation ``cv`` (> 1 means flash crowds separated by lulls).
+    """
+    if arrival not in ARRIVALS:
+        raise ValueError(f"unknown arrival process {arrival!r}; pick from {ARRIVALS}")
+    if rate <= 0.0:
+        raise ValueError("arrival rate must be positive")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    mean = 1.0 / rate
+    if arrival == "deterministic":
+        return [mean] * n
+    rng = random.Random(derive_seed(seed, f"arrival:{arrival}"))
+    if arrival == "poisson":
+        return [rng.expovariate(rate) for _ in range(n)]
+    # Lognormal with E[X] = mean and CV = cv:
+    #   sigma^2 = ln(1 + cv^2),  mu = ln(mean) - sigma^2 / 2.
+    if cv <= 0.0:
+        raise ValueError("lognormal cv must be positive")
+    sigma_sq = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma_sq / 2.0
+    sigma = math.sqrt(sigma_sq)
+    return [rng.lognormvariate(mu, sigma) for _ in range(n)]
+
+
+def flow_sizes(
+    size_dist: str,
+    mean: int,
+    n: int,
+    seed: int,
+    spread: float = 0.5,
+    pareto_alpha: float = 1.3,
+    cap_factor: float = 100.0,
+) -> List[int]:
+    """``n`` flow sizes (bytes) with mean ``~mean``.
+
+    * ``fixed`` — every flow exactly ``mean`` bytes;
+    * ``uniform`` — uniform on ``[mean*(1-spread), mean*(1+spread)]``;
+    * ``pareto`` — the mice-and-elephants shape: scale chosen so the
+      *uncapped* mean is ``mean`` (``x_m = mean * (alpha-1)/alpha``),
+      samples capped at ``mean * cap_factor`` so one astronomically
+      unlucky elephant cannot dominate a run's duration.
+    """
+    if size_dist not in SIZE_DISTS:
+        raise ValueError(f"unknown size distribution {size_dist!r}; pick from {SIZE_DISTS}")
+    if mean <= 0:
+        raise ValueError("mean flow size must be positive")
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if size_dist == "fixed":
+        return [mean] * n
+    rng = random.Random(derive_seed(seed, f"size:{size_dist}"))
+    if size_dist == "uniform":
+        if not 0.0 <= spread < 1.0:
+            raise ValueError("uniform spread must be in [0, 1)")
+        lo = mean * (1.0 - spread)
+        hi = mean * (1.0 + spread)
+        return [max(1, int(rng.uniform(lo, hi))) for _ in range(n)]
+    if pareto_alpha <= 1.0:
+        raise ValueError("pareto alpha must exceed 1 (finite mean)")
+    x_m = mean * (pareto_alpha - 1.0) / pareto_alpha
+    cap = mean * cap_factor
+    out = []
+    for _ in range(n):
+        u = rng.random()
+        # Inverse-CDF sample; 1-u is uniform too but guards u == 0.
+        value = x_m / (1.0 - u) ** (1.0 / pareto_alpha)
+        out.append(max(1, int(min(value, cap))))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Specification
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything defining one open-loop workload (protocol-agnostic).
+
+    Frozen and scalar-only so it can ride inside a frozen
+    :class:`repro.experiments.parallel.SweepCell` and hash into its
+    cache key.  The protocol and bottleneck come from the cell (or the
+    :func:`run_workload` caller), not the spec: one workload is meant
+    to be replayed identically against every protocol under test.
+    """
+
+    n_flows: int
+    arrival: str = "poisson"
+    #: Mean arrival rate (flows per second of simulated time).
+    arrival_rate: float = 50.0
+    #: Coefficient of variation for ``lognormal`` arrivals.
+    arrival_cv: float = 4.0
+    size_dist: str = "pareto"
+    mean_size: int = 100_000
+    #: Half-width fraction for ``uniform`` sizes.
+    size_spread: float = 0.5
+    pareto_alpha: float = 1.3
+    size_cap_factor: float = 100.0
+    #: ``"packet"``: every flow is a real connection through the pair
+    #: pool (arrivals beyond the pool FIFO-queue, their wait counting
+    #: into FCT).  ``"fluid"``: flows are analytic reservations except
+    #: every ``measure_every``-th, which runs packet-level when a pair
+    #: is free — hybrid fidelity at workload scale.
+    fidelity: str = "fluid"
+    #: Packet-level pool size (bounds packet concurrency and memory).
+    n_pairs: int = 16
+    #: In fluid fidelity, run every k-th arrival packet-level
+    #: (0 = none: pure fluid).
+    measure_every: int = 0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(f"unknown fidelity {self.fidelity!r}; pick from {FIDELITIES}")
+        if self.n_pairs <= 0:
+            raise ValueError("n_pairs must be positive")
+        if self.measure_every < 0:
+            raise ValueError("measure_every must be non-negative")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.size_dist not in SIZE_DISTS:
+            raise ValueError(f"unknown size distribution {self.size_dist!r}")
+
+    def plan(self) -> List[Tuple[float, int]]:
+        """The deterministic flow plan: ``[(arrival_time, size), ...]``."""
+        gaps = interarrival_times(
+            self.arrival, self.arrival_rate, self.n_flows, self.seed,
+            cv=self.arrival_cv,
+        )
+        sizes = flow_sizes(
+            self.size_dist, self.mean_size, self.n_flows, self.seed,
+            spread=self.size_spread, pareto_alpha=self.pareto_alpha,
+            cap_factor=self.size_cap_factor,
+        )
+        plan = []
+        t = 0.0
+        for gap, size in zip(gaps, sizes):
+            t += gap
+            plan.append((t, size))
+        return plan
+
+
+@dataclass
+class WorkloadRunResult:
+    """Aggregated outcome of one open-loop run."""
+
+    protocol: str
+    fidelity: str
+    n_flows: int
+    completed_flows: int
+    packet_flows: int
+    fluid_flows: int
+    #: Most flows simultaneously in service at any instant.
+    peak_concurrent: int
+    #: Simulated seconds from first arrival to last completion.
+    duration: float
+    mean_fct: float
+    p50_fct: float
+    p99_fct: float
+    p999_fct: float
+    #: Jain's index over per-flow goodput (size*8/FCT).
+    jain_goodput: float
+    total_bytes: int
+    queue_mean_bytes: float
+    queue_max_bytes: int
+    queue_p99_bytes: float
+    #: Stored sketch size — the bounded-memory evidence.
+    sketch_entries: int
+    completed: bool
+    #: ``sim_events`` plus a capped per-flow sample for plotting.
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+class _WorkloadState:
+    """Mutable bookkeeping of one :func:`run_workload` execution."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.completed = 0
+        self.packet_flows = 0
+        self.fluid_flows = 0
+        self.concurrent = 0
+        self.peak_concurrent = 0
+        self.arrived = 0
+        self.total_bytes = 0
+        self.fct_sketch = QuantileSketch()
+        self.fct_sum = 0.0
+        # Streaming Jain accumulators over per-flow goodput.
+        self.goodput_sum = 0.0
+        self.goodput_sq_sum = 0.0
+        self.first_arrival: Optional[float] = None
+        self.last_completion = 0.0
+        self.records: List[Dict[str, Any]] = []
+        #: (arrival_time, size, flow_index) FIFO awaiting a free pair
+        #: (packet fidelity only).
+        self.backlog: Deque[Tuple[float, int, int]] = deque()
+
+    def flow_started(self, mode: str) -> None:
+        if mode == "packet":
+            self.packet_flows += 1
+        else:
+            self.fluid_flows += 1
+        self.concurrent += 1
+        if self.concurrent > self.peak_concurrent:
+            self.peak_concurrent = self.concurrent
+
+    def flow_completed(
+        self, index: int, arrival: float, size: int, fct: float, mode: str
+    ) -> None:
+        self.concurrent -= 1
+        self.completed += 1
+        self.total_bytes += size
+        self.fct_sketch.insert(fct)
+        self.fct_sum += fct
+        goodput = size * 8.0 / fct if fct > 0.0 else 0.0
+        self.goodput_sum += goodput
+        self.goodput_sq_sum += goodput * goodput
+        if self.last_completion < arrival + fct:
+            self.last_completion = arrival + fct
+        if len(self.records) < MAX_FLOW_RECORDS:
+            self.records.append(
+                {"flow": index, "arrival": arrival, "size": size,
+                 "fct": fct, "mode": mode}
+            )
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    protocol: str = "quic",
+    bottleneck: PathConfig = DEFAULT_BOTTLENECK,
+    quic_config: Optional[QuicConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+    tracer: Optional[Tracer] = None,
+    timeout: float = 600.0,
+) -> WorkloadRunResult:
+    """Run one open-loop workload against one protocol and bottleneck.
+
+    Every arrival becomes a flow; FCT is measured from *arrival* (so a
+    packet flow queueing for a free pair, or a fluid flow's modelled
+    handshake, counts against it — the open-loop convention).  The
+    fluid FCT mirrors :func:`repro.netsim.fluid.simulate_fluid_transfer`:
+    service starts 1.5 RTT after arrival (handshake + request) and the
+    last byte needs another half RTT to propagate.
+
+    Returns aggregates only — tail quantiles come from a bounded
+    sketch, fairness from streaming sums — so memory is O(pool +
+    sketch) regardless of ``spec.n_flows``.
+    """
+    if protocol not in ("tcp", "mptcp", "quic", "mpquic"):
+        raise ValueError(f"unknown protocol {protocol!r}")
+    sim = Simulator()
+    interfaces = 2 if protocol in ("mpquic", "mptcp") else 1
+    topo = ManyFlowTopology(
+        sim, bottleneck, n_pairs=spec.n_pairs,
+        interfaces_per_pair=interfaces,
+        seed=derive_seed(spec.seed, "topology") % 2**32,
+    )
+    state = _WorkloadState(spec)
+    plan = spec.plan()
+    state.first_arrival = plan[0][0]
+
+    rtt = bottleneck.rtt_ms / 1e3 + 2e-3  # + access links, as hybrid does
+    pool = HostPairPool(
+        sim, [topo.pair(i) for i in range(spec.n_pairs)],
+        drain_delay=3.0 * rtt,
+    )
+
+    network: Optional[FluidNetwork] = None
+    fluid_config: Optional[QuicConfig] = None
+    if spec.fidelity == "fluid":
+        network = FluidNetwork(sim, tracer)
+        fluid_config = replace(quic_config or QuicConfig(), fidelity="fluid")
+
+    # Packet connections crossing the data-direction bottleneck (the
+    # servers' responses traverse ``bottleneck_down``); the fluid side
+    # yields F/(F+P) of the link to them.
+    packet_active = [0]
+
+    def set_packet_share(delta: int) -> None:
+        packet_active[0] += delta
+        if network is not None:
+            network.set_packet_load(topo.bottleneck_down, packet_active[0])
+
+    def emit(name: str, **data: Any) -> None:
+        if tracer is not None:
+            tracer.emit(sim.now, "workload", CAT_WORKLOAD, name, -1, **data)
+
+    def launch_packet(arrival: float, size: int, index: int, pair: int) -> None:
+        client_host, server_host = pool.pairs[pair]
+        client, server = make_endpoints(
+            protocol, sim, client_host, server_host,
+            quic_config=quic_config, tcp_config=tcp_config,
+            trace=tracer, connection_id=index + 1,
+        )
+
+        def on_done(flow: ShortFlow) -> None:
+            flow.close()
+            pool.release(pair)
+            set_packet_share(-1)
+            fct = sim.now - arrival
+            state.flow_completed(index, arrival, size, fct, "packet")
+            emit("flow_completed", flow=index, mode="packet", fct=fct,
+                 size=size)
+
+        short = ShortFlow(sim, client, server, size, on_complete=on_done)
+        state.flow_started("packet")
+        set_packet_share(+1)
+        emit("flow_started", flow=index, mode="packet", size=size,
+             waited=sim.now - arrival)
+        short.start()
+
+    def launch_fluid(arrival: float, size: int, index: int) -> None:
+        assert network is not None and fluid_config is not None
+
+        def on_done(flow: Any) -> None:
+            fct = (flow.completion_time + 0.5 * rtt) - arrival
+            state.flow_completed(index, arrival, size, fct, "fluid")
+            emit("flow_completed", flow=index, mode="fluid", fct=fct,
+                 size=size)
+
+        state.flow_started("fluid")
+        emit("flow_started", flow=index, mode="fluid", size=size, waited=0.0)
+        flow = background_transfer(
+            network, f"wl-{index}", [topo.bottleneck_down], size, rtt,
+            config=fluid_config, start_in=1.5 * rtt,
+        )
+        flow.on_complete = on_done
+
+    def drain_backlog() -> None:
+        while state.backlog and pool.available:
+            arrival, size, index = state.backlog.popleft()
+            pair = pool.acquire()
+            assert pair is not None
+            launch_packet(arrival, size, index, pair)
+
+    pool.on_available = drain_backlog
+
+    def arrive(arrival: float, size: int, index: int) -> None:
+        state.arrived += 1
+        emit("flow_arrival", flow=index, size=size)
+        if spec.fidelity == "packet":
+            pair = pool.acquire()
+            if pair is None:
+                state.backlog.append((arrival, size, index))
+            else:
+                launch_packet(arrival, size, index, pair)
+            return
+        # Hybrid: every measure_every-th arrival runs packet-level when
+        # a pair is free; everything else (and overflow) goes fluid.
+        want_packet = (
+            spec.measure_every > 0 and index % spec.measure_every == 0
+        )
+        if want_packet:
+            pair = pool.acquire()
+            if pair is not None:
+                launch_packet(arrival, size, index, pair)
+                return
+        launch_fluid(arrival, size, index)
+
+    for index, (arrival_time, size) in enumerate(plan):
+        sim.schedule(arrival_time, arrive, arrival_time, size, index)
+
+    # Bounded-memory queue-occupancy telemetry at the bottleneck.
+    queue_sketch = QuantileSketch(eps=0.005)
+    queue_stats = {"sum": 0.0, "count": 0, "max": 0}
+
+    def sample_queue() -> None:
+        if state.completed >= spec.n_flows:
+            return
+        occupancy = topo.bottleneck_down.queued_bytes
+        queue_sketch.insert(float(occupancy))
+        queue_stats["sum"] += occupancy
+        queue_stats["count"] += 1
+        if occupancy > queue_stats["max"]:
+            queue_stats["max"] = occupancy
+        sim.schedule(QUEUE_SAMPLE_INTERVAL, sample_queue)
+
+    sim.schedule(state.first_arrival, sample_queue)
+
+    sim.run_until(lambda: state.completed >= spec.n_flows, timeout=timeout)
+
+    finished = state.completed >= spec.n_flows
+    n_done = state.completed
+    duration = (
+        state.last_completion - state.first_arrival if n_done else 0.0
+    )
+    n_q = queue_stats["count"]
+    jain = 0.0
+    if n_done and state.goodput_sq_sum > 0.0:
+        jain = (state.goodput_sum * state.goodput_sum) / (
+            n_done * state.goodput_sq_sum
+        )
+    elif n_done:
+        jain = 1.0
+    result = WorkloadRunResult(
+        protocol=protocol,
+        fidelity=spec.fidelity,
+        n_flows=spec.n_flows,
+        completed_flows=n_done,
+        packet_flows=state.packet_flows,
+        fluid_flows=state.fluid_flows,
+        peak_concurrent=state.peak_concurrent,
+        duration=duration,
+        mean_fct=state.fct_sum / n_done if n_done else 0.0,
+        p50_fct=state.fct_sketch.p50() if n_done else 0.0,
+        p99_fct=state.fct_sketch.p99() if n_done else 0.0,
+        p999_fct=state.fct_sketch.p999() if n_done else 0.0,
+        jain_goodput=jain,
+        total_bytes=state.total_bytes,
+        queue_mean_bytes=queue_stats["sum"] / n_q if n_q else 0.0,
+        queue_max_bytes=queue_stats["max"],
+        queue_p99_bytes=queue_sketch.p99() if n_q else 0.0,
+        sketch_entries=len(state.fct_sketch),
+        completed=finished,
+        details={
+            "sim_events": sim.events_processed,
+            "flows": state.records,
+            "backlog_left": len(state.backlog),
+            "spec": asdict(spec),
+        },
+    )
+    emit("run_summary", completed=n_done, peak_concurrent=state.peak_concurrent)
+    return result
+
+
+def result_summary(result: WorkloadRunResult) -> Dict[str, Any]:
+    """JSON-friendly summary (the CLI artifact / CI gate input)."""
+    data = asdict(result)
+    data["details"] = {
+        k: v for k, v in result.details.items() if k != "flows"
+    }
+    return data
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.experiments.workload --preset storm``."""
+    from repro.experiments.scenarios import WORKLOAD_PRESETS
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--preset", choices=sorted(WORKLOAD_PRESETS), default="storm",
+        help="workload scenario to run (default: storm, the >=500 "
+        "concurrent-flows headline)",
+    )
+    parser.add_argument("--protocol", default="quic",
+                        choices=("tcp", "mptcp", "quic", "mpquic"))
+    parser.add_argument("--output", default=None,
+                        help="write the JSON summary here")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    preset = WORKLOAD_PRESETS[args.preset]
+    result = run_workload(
+        preset.spec, protocol=args.protocol, bottleneck=preset.bottleneck,
+        timeout=args.timeout,
+    )
+    print(
+        f"{args.preset}/{args.protocol} [{result.fidelity}]: "
+        f"{result.completed_flows}/{result.n_flows} flows, "
+        f"peak {result.peak_concurrent} concurrent, "
+        f"duration {result.duration:.2f}s"
+    )
+    print(
+        f"  FCT p50/p99/p999: {result.p50_fct * 1e3:.1f} / "
+        f"{result.p99_fct * 1e3:.1f} / {result.p999_fct * 1e3:.1f} ms, "
+        f"mean {result.mean_fct * 1e3:.1f} ms"
+    )
+    print(
+        f"  Jain(goodput) {result.jain_goodput:.4f}, "
+        f"queue mean/p99/max {result.queue_mean_bytes / 1e3:.1f} / "
+        f"{result.queue_p99_bytes / 1e3:.1f} / "
+        f"{result.queue_max_bytes / 1e3:.1f} KB, "
+        f"sketch {result.sketch_entries} entries, "
+        f"{result.details['sim_events']} events"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result_summary(result), fh, indent=2, sort_keys=True)
+        print(f"  summary -> {args.output}")
+    return 0 if result.completed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,13 @@ of Fig. 2 cannot express.  This module provides:
   destination address;
 * :class:`SharedBottleneckTopology`: a multihomed client whose two
   paths both traverse ONE bottleneck link, plus an optional competing
-  single-homed host pair crossing the same bottleneck.
+  single-homed host pair crossing the same bottleneck;
+* :class:`ManyFlowTopology`: N independent client/server pairs (single-
+  or multihomed) whose traffic all funnels through one bottleneck —
+  the substrate of the open-loop workload harness
+  (:mod:`repro.experiments.workload`), where measured packet-level
+  flows run over these pairs while fluid background flows reserve the
+  same bottleneck analytically.
 
 Layout (downstream direction mirrored)::
 
@@ -23,7 +29,7 @@ Layout (downstream direction mirrored)::
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
@@ -177,6 +183,105 @@ class SharedBottleneckTopology:
                 _deliver_to(comp_client, 0), f"access-comp-cli-{i}"
             )
             up_router.add_route(f"10.{net}.0.1", comp_cli_down)
+
+
+class ManyFlowTopology:
+    """N client/server pairs sharing ONE bottleneck link.
+
+    Pair ``i`` is addressed ``10.{i}.{j}.1 <-> 10.{i}.{j}.2`` on
+    interface ``j``; with ``interfaces_per_pair=2`` every pair is
+    multihomed (both interfaces crossing the same bottleneck, as the
+    multipath pair of :class:`SharedBottleneckTopology` does), which is
+    what MPQUIC/MPTCP measured flows need.  Access links are
+    ``ACCESS_FACTOR`` times faster than the bottleneck so queueing
+    happens at the bottleneck only.
+
+    The pair count bounds *packet-level* concurrency; open-loop
+    workloads keep it modest (a pool that short flows recycle through)
+    and model the rest of the offered load as fluid flows over
+    :attr:`bottleneck_down`.
+    """
+
+    ACCESS_FACTOR = 10.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bottleneck: PathConfig,
+        n_pairs: int,
+        interfaces_per_pair: int = 1,
+        seed: int = 0,
+        access_rtt_ms: float = 2.0,
+    ) -> None:
+        if n_pairs <= 0:
+            raise ValueError("n_pairs must be positive")
+        if interfaces_per_pair not in (1, 2):
+            raise ValueError("interfaces_per_pair must be 1 or 2")
+        self.sim = sim
+        self.bottleneck_config = bottleneck
+        self.n_pairs = n_pairs
+        self.interfaces_per_pair = interfaces_per_pair
+        rng = random.Random(seed)
+
+        up_router = Router("router-up")
+        down_router = Router("router-down")
+        queue = max(
+            int(bottleneck.rate_bps / 8.0 * bottleneck.queuing_delay_ms / 1e3),
+            MIN_QUEUE_PACKETS * MTU,
+        )
+        self.bottleneck_up = Link(
+            sim, bottleneck.rate_bps, bottleneck.one_way_delay, queue,
+            loss_rate=bottleneck.loss_rate,
+            rng=random.Random(rng.getrandbits(32)),
+            sink=down_router.receive, name="bottleneck-up",
+        )
+        self.bottleneck_down = Link(
+            sim, bottleneck.rate_bps, bottleneck.one_way_delay, queue,
+            loss_rate=bottleneck.loss_rate,
+            rng=random.Random(rng.getrandbits(32)),
+            sink=up_router.receive, name="bottleneck-down",
+        )
+        self.up_router = up_router
+        self.down_router = down_router
+
+        access_rate = bottleneck.rate_bps * self.ACCESS_FACTOR
+        access_delay = access_rtt_ms / 2.0 / 1e3
+        access_queue = MIN_QUEUE_PACKETS * MTU * 4
+
+        def access_link(sink: Callable[[Datagram], None], name: str) -> Link:
+            return Link(
+                sim, access_rate, access_delay, access_queue,
+                rng=random.Random(rng.getrandbits(32)), sink=sink, name=name,
+            )
+
+        self.clients = [Host(f"wl-client-{i}") for i in range(n_pairs)]
+        self.servers = [Host(f"wl-server-{i}") for i in range(n_pairs)]
+        for i in range(n_pairs):
+            client = self.clients[i]
+            server = self.servers[i]
+            for j in range(interfaces_per_pair):
+                c_iface = client.add_interface(f"10.{i}.{j}.1")
+                s_iface = server.add_interface(f"10.{i}.{j}.2")
+                c_iface.attach(access_link(
+                    _stamp_and_forward(self.bottleneck_up),
+                    f"access-up-{i}.{j}",
+                ))
+                down_router.add_route(
+                    f"10.{i}.{j}.2",
+                    access_link(_deliver_to(server, j), f"access-srv-{i}.{j}"),
+                )
+                s_iface.attach(access_link(
+                    _stamp_and_forward(self.bottleneck_down),
+                    f"access-srv-up-{i}.{j}",
+                ))
+                up_router.add_route(
+                    f"10.{i}.{j}.1",
+                    access_link(_deliver_to(client, j), f"access-cli-{i}.{j}"),
+                )
+
+    def pair(self, index: int) -> Tuple[Host, Host]:
+        """The (client, server) hosts of pair ``index``."""
+        return self.clients[index], self.servers[index]
 
 
 def _stamp_and_forward(bottleneck: Link) -> Callable[[Datagram], None]:

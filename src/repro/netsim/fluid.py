@@ -155,6 +155,11 @@ class FluidNetwork:
         self.sim = sim
         self.tracer = tracer
         self.flows: List[FluidFlow] = []
+        #: Started-but-not-completed flows, maintained incrementally so
+        #: reallocation cost scales with the *concurrent* flow count,
+        #: not with every flow the network ever carried (open-loop
+        #: workloads add thousands of short flows over a run).
+        self._active: List[FluidFlow] = []
         #: Number of packet-level connections crossing each link; a
         #: link with P packet connections and F fluid flows yields only
         #: ``F/(F+P)`` of its rate to the fluid side, leaving the rest
@@ -168,10 +173,22 @@ class FluidNetwork:
     # -- configuration -----------------------------------------------------
 
     def set_packet_load(self, link: Link, connections: int) -> None:
-        """Declare how many packet-level connections cross ``link``."""
+        """Declare how many packet-level connections cross ``link``.
+
+        Reallocates immediately when the load actually changed and
+        fluid flows are active: under open-loop churn, packet flows
+        join and leave between fluid events, and a stale packet count
+        would leave the fluid side holding a reservation it is no
+        longer entitled to (or starving itself) until the next
+        unrelated reallocation.
+        """
         if connections < 0:
             raise ValueError("connections must be non-negative")
+        if self._packet_load.get(link, 0) == connections:
+            return
         self._packet_load[link] = connections
+        if self._active:
+            self._reallocate()
 
     # -- flow lifecycle ----------------------------------------------------
 
@@ -218,6 +235,7 @@ class FluidNetwork:
         flow.started = True
         flow.start_time = now
         flow._last_settle = now
+        self._active.append(flow)
         flow.ramp_bps = INITIAL_WINDOW_SEGMENTS * flow.mss * 8.0 / flow.rtt
         if self.tracer is not None:
             self.tracer.emit(
@@ -229,7 +247,7 @@ class FluidNetwork:
     # -- share computation -------------------------------------------------
 
     def _active_flows(self) -> List[FluidFlow]:
-        return [f for f in self.flows if f.started and not f.completed]
+        return self._active
 
     def _fluid_capacity(self, link: Link, n_fluid: int) -> float:
         """Capacity the fluid side may take on ``link``.
@@ -279,12 +297,19 @@ class FluidNetwork:
                 for f in unallocated:
                     alloc[f] = 0.0
                 break
-            settled = [f for f in unallocated if best_link in f.route]
-            for f in settled:
-                alloc[f] = best_share
-                for link in f.route:
-                    caps[link] = max(0.0, caps[link] - best_share)
-                unallocated.remove(f)
+            # Settle every flow over the tightest link in one pass;
+            # rebuilding the survivor list keeps a round linear in the
+            # flow count (list.remove() per settled flow was quadratic
+            # and dominated high-concurrency open-loop runs).
+            survivors: List[FluidFlow] = []
+            for f in unallocated:
+                if best_link in f.route:
+                    alloc[f] = best_share
+                    for link in f.route:
+                        caps[link] = max(0.0, caps[link] - best_share)
+                else:
+                    survivors.append(f)
+            unallocated = survivors
         return alloc
 
     def _reallocate(self) -> None:
@@ -336,7 +361,17 @@ class FluidNetwork:
         Flows capped below their fair share release the slack to the
         rest (iterative water-filling; terminates because every pass
         fixes at least one capped flow).
+
+        The single-bottleneck shape — every flow crossing one and the
+        same capacitated link — is the workload harness's hot case with
+        hundreds of concurrent flows, so it takes an O(n log n) sorted
+        fill instead of the generic iteration (which is quadratic when
+        per-flow ceilings are heterogeneous, as they are during slow
+        start).
         """
+        if len(caps) == 1 and all(len(f.route) == 1 for f in active):
+            (capacity,) = caps.values()
+            return self._capped_fill_single(active, capacity, cap_fn)
         working = dict(caps)
         rates: Dict[FluidFlow, float] = {}
         remaining = list(active)
@@ -349,12 +384,41 @@ class FluidNetwork:
             if not capped:
                 rates.update(alloc)
                 break
+            capped_ids = {id(f) for f in capped}
             for f in capped:
                 rate = cap_fn(f)
                 rates[f] = rate
                 for link in f.route:
                     working[link] = max(0.0, working[link] - rate)
-                remaining.remove(f)
+            remaining = [f for f in remaining if id(f) not in capped_ids]
+        return rates
+
+    @staticmethod
+    def _capped_fill_single(
+        active: List[FluidFlow],
+        capacity: float,
+        cap_fn: Callable[[FluidFlow], float],
+    ) -> Dict[FluidFlow, float]:
+        """Capped max-min on ONE shared link: sorted progressive fill.
+
+        Visiting flows by ascending ceiling, a flow whose ceiling is
+        below the equal share of the still-unserved set is capped there
+        and its slack stays in the pool; the rest split the remainder
+        evenly.  Identical to the generic fixed-point, in one pass.
+        """
+        order = sorted(
+            ((cap_fn(f), i, f) for i, f in enumerate(active)),
+            key=lambda item: (item[0], item[1]),
+        )
+        rates: Dict[FluidFlow, float] = {}
+        remaining = capacity
+        left = len(order)
+        for ceiling, _i, flow in order:
+            share = remaining / left
+            rate = ceiling if ceiling < share * (1.0 - _REL_EPS) else share
+            rates[flow] = rate
+            remaining = max(0.0, remaining - rate)
+            left -= 1
         return rates
 
     def _apply_rates(
@@ -437,6 +501,7 @@ class FluidNetwork:
         flow.completed = True
         flow.completion_time = now
         flow.rate_bps = 0.0
+        self._active.remove(flow)
         timer = flow._ramp_timer
         if timer is not None:
             timer.cancel()

@@ -52,6 +52,12 @@ CAT_METRICS = "metrics"
 #: :mod:`repro.netsim.fluid`.  Emitted with ``host == "network"`` and
 #: ``path_id == -1``: fluid flows are background load, not paths.
 CAT_FLUID = "fluid"
+#: Open-loop workload harness events (``workload:flow_arrival``,
+#: ``workload:flow_started``, ``workload:flow_completed``) from
+#: :mod:`repro.experiments.workload`.  Emitted with ``host ==
+#: "workload"`` and ``path_id == -1``: they describe the offered load,
+#: not any one connection's paths.
+CAT_WORKLOAD = "workload"
 
 CATEGORIES = (
     CAT_TRANSPORT,
@@ -64,6 +70,7 @@ CATEGORIES = (
     CAT_CONNECTION,
     CAT_METRICS,
     CAT_FLUID,
+    CAT_WORKLOAD,
 )
 
 #: Translation of the legacy ``PacketTrace`` event names used by the

@@ -255,3 +255,76 @@ class TestFluidInvariants:
         # the link capacity on their own.
         for ev in tracer.events_of("fluid", "share_update"):
             assert 0.0 <= ev.data["rate_bps"] <= CAPACITY * (1.0 + 1e-6)
+
+    #: Open-loop churn: flows arriving over time, packet-side load
+    #: flapping between events, and completions spawning follow-up
+    #: flows (the workload harness's exact access pattern).
+    open_loop_specs = st.lists(
+        st.tuples(
+            st.integers(min_value=5_000, max_value=1_000_000),  # size
+            st.floats(min_value=0.0, max_value=1.5),  # start offset
+            st.floats(min_value=0.01, max_value=0.08),  # rtt
+            st.booleans(),  # spawn a follow-up flow on completion
+        ),
+        min_size=1,
+        max_size=8,
+    )
+    packet_churn = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=3.0),  # when
+            st.integers(min_value=0, max_value=5),  # packet connections
+        ),
+        min_size=0,
+        max_size=6,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=open_loop_specs, churn=packet_churn)
+    def test_reservation_released_under_open_loop_churn(self, specs, churn):
+        """``fluid_reserved_bps`` returns to exactly 0 after arbitrary
+        arrival/completion interleavings with packet-load flapping —
+        the leak the open-loop workload harness would hit first."""
+        sim = Simulator()
+        link = Link(sim, CAPACITY, 0.010, 150_000)
+        network = FluidNetwork(sim)
+        completed = []
+
+        def make_on_complete(i, size, rtt, spawn):
+            def on_complete(flow):
+                completed.append(flow)
+                if spawn:
+                    follow = network.add_flow(
+                        f"spawn{i}", [link], max(5_000, size // 2), rtt
+                    )
+                    follow.on_complete = completed.append
+            return on_complete
+
+        for i, (size, start, rtt, spawn) in enumerate(specs):
+            network.add_flow(
+                f"open{i}", [link], size, rtt, start_in=start,
+                on_complete=make_on_complete(i, size, rtt, spawn),
+            )
+        for when, load in churn:
+            sim.schedule(when, network.set_packet_load, link, load)
+
+        probes = []
+
+        def probe():
+            probes.append(link.fluid_reserved_bps)
+
+        t = 0.0317
+        while t < 8.0:
+            sim.schedule(t, probe)
+            t += 0.0317
+        sim.run()
+
+        expected = len(specs) + sum(1 for (_, _, _, s) in specs if s)
+        assert len(completed) == expected
+        for flow in completed:
+            assert flow.completed
+            assert flow.remaining_bytes == pytest.approx(0.0, abs=1.0)
+        # The invariant under churn: never over capacity in flight...
+        for reserved in probes:
+            assert -1e-6 <= reserved <= CAPACITY * (1.0 + 1e-6)
+        # ...and exactly zero once the open-loop run drains.
+        assert link.fluid_reserved_bps == 0.0

@@ -1,0 +1,257 @@
+"""Open-loop workload harness: fairness, fidelity equivalence, sweep
+integration.
+
+The regression anchors:
+
+* **fairness** — N same-RTT single-path QUIC flows through one
+  bottleneck must share it with Jain index >= 0.95 over per-flow
+  goodput, in BOTH fidelity modes (packet-level congestion control and
+  the fluid max-min allocator are different mechanisms claiming the
+  same equilibrium);
+* **fidelity equivalence** — the fluid mean FCT of a workload tracks
+  the packet-level mean within the tolerance band the fluid engine
+  already owns in ``tests/test_fluid.py`` (30% in its loosest regime);
+* **sweep integration** — workload cells are cache-addressed by their
+  spec, serialise kind-tagged, and replay from cache bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.parallel import (
+    SweepCell,
+    plan_workload_sweep,
+    result_from_dict,
+    result_to_dict,
+    run_cell,
+)
+from repro.experiments.workload import (
+    DEFAULT_BOTTLENECK,
+    WorkloadRunResult,
+    WorkloadSpec,
+    run_workload,
+)
+from repro.netsim.topology import PathConfig
+from repro.obs.events import Tracer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Same-RTT fairness scenario: enough pairs that no flow ever waits,
+#: deterministic near-simultaneous arrivals, fixed sizes.
+FAIR_SPEC = WorkloadSpec(
+    n_flows=16,
+    arrival="deterministic",
+    arrival_rate=400.0,
+    size_dist="fixed",
+    mean_size=200_000,
+    fidelity="packet",
+    n_pairs=16,
+    seed=3,
+)
+
+
+class TestFairness:
+    @pytest.mark.parametrize("fidelity", ["packet", "fluid"])
+    def test_same_rtt_flows_share_fairly(self, fidelity):
+        spec = replace(FAIR_SPEC, fidelity=fidelity)
+        result = run_workload(spec, protocol="quic")
+        assert result.completed
+        assert result.completed_flows == spec.n_flows
+        assert result.jain_goodput >= 0.95, (
+            f"{fidelity}: Jain {result.jain_goodput:.4f}"
+        )
+
+    def test_fluid_mean_fct_tracks_packet(self):
+        # Same tolerance class as tests/test_fluid.py's loosest
+        # equivalence case (0.30): different mechanisms, same claimed
+        # equilibrium.
+        packet = run_workload(FAIR_SPEC, protocol="quic")
+        fluid = run_workload(
+            replace(FAIR_SPEC, fidelity="fluid"), protocol="quic"
+        )
+        assert packet.completed and fluid.completed
+        assert fluid.mean_fct == pytest.approx(packet.mean_fct, rel=0.30)
+
+    def test_tail_orders_sanely(self):
+        result = run_workload(
+            replace(FAIR_SPEC, fidelity="fluid"), protocol="quic"
+        )
+        assert 0.0 < result.p50_fct <= result.p99_fct <= result.p999_fct
+        assert result.p999_fct <= result.duration + 1e-9
+
+
+class TestHarness:
+    def test_packet_pool_backlog_still_completes_everything(self):
+        # More offered flows than pairs: arrivals queue for a pair and
+        # the wait counts into FCT, but nothing is lost.
+        spec = WorkloadSpec(
+            n_flows=12, arrival="poisson", arrival_rate=200.0,
+            size_dist="fixed", mean_size=50_000,
+            fidelity="packet", n_pairs=3, seed=5,
+        )
+        result = run_workload(spec, protocol="quic")
+        assert result.completed
+        assert result.completed_flows == 12
+        assert result.peak_concurrent <= 3
+        assert result.details["backlog_left"] == 0
+
+    def test_hybrid_mixes_measured_and_fluid_flows(self):
+        spec = WorkloadSpec(
+            n_flows=30, arrival="poisson", arrival_rate=100.0,
+            size_dist="fixed", mean_size=50_000,
+            fidelity="fluid", n_pairs=4, measure_every=5, seed=9,
+        )
+        tracer = Tracer()
+        result = run_workload(spec, protocol="quic", tracer=tracer)
+        assert result.completed
+        assert result.packet_flows > 0 and result.fluid_flows > 0
+        assert result.packet_flows + result.fluid_flows == 30
+        # The workload event stream narrates every flow's life.
+        arrivals = tracer.events_of("workload", "flow_arrival")
+        completions = tracer.events_of("workload", "flow_completed")
+        assert len(arrivals) == 30
+        assert len(completions) == 30
+        assert all(ev.host == "workload" for ev in arrivals)
+
+    def test_memory_stays_bounded_at_scale(self):
+        # Hundreds of concurrent fluid flows: aggregates must stay
+        # sketch-sized and the per-flow record list capped.
+        spec = WorkloadSpec(
+            n_flows=400, arrival="poisson", arrival_rate=500.0,
+            size_dist="pareto", mean_size=100_000,
+            fidelity="fluid", n_pairs=4, measure_every=0, seed=11,
+        )
+        result = run_workload(spec, protocol="quic")
+        assert result.completed
+        assert result.peak_concurrent >= 200
+        assert result.sketch_entries < 2500
+        assert len(result.details["flows"]) <= 1024
+
+    def test_fluid_reservation_fully_released(self):
+        # Leak-proofing under open-loop churn, observed end to end:
+        # after every flow completes no capacity stays reserved.
+        from repro.netsim.engine import Simulator  # noqa: F401  (doc import)
+        spec = WorkloadSpec(
+            n_flows=60, arrival="poisson", arrival_rate=300.0,
+            size_dist="pareto", mean_size=80_000,
+            fidelity="fluid", n_pairs=2, measure_every=3, seed=13,
+        )
+        tracer = Tracer()
+        result = run_workload(spec, protocol="quic", tracer=tracer)
+        assert result.completed
+        final_updates = tracer.events_of("fluid", "share_update")
+        assert final_updates, "fluid engine never allocated"
+        # The last reallocation round drove every rate to zero-or-live;
+        # completion order guarantees the final state has no flows, so
+        # the last share_update batch must end at zero total.
+        last_time = final_updates[-1].time
+        closing = [e for e in final_updates if e.time == last_time]
+        assert all(e.data["remaining_bytes"] >= 0.0 for e in closing)
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            run_workload(FAIR_SPEC, protocol="sctp")
+
+    def test_multipath_protocol_runs_measured_flows(self):
+        spec = WorkloadSpec(
+            n_flows=6, arrival="deterministic", arrival_rate=50.0,
+            size_dist="fixed", mean_size=50_000,
+            fidelity="packet", n_pairs=6, seed=2,
+        )
+        result = run_workload(spec, protocol="mpquic")
+        assert result.completed and result.completed_flows == 6
+
+
+class TestSweepIntegration:
+    BN = PathConfig(capacity_mbps=20.0, rtt_ms=30.0, queuing_delay_ms=50.0)
+    SPEC = WorkloadSpec(
+        n_flows=15, arrival="poisson", arrival_rate=100.0,
+        size_dist="fixed", mean_size=50_000,
+        fidelity="fluid", n_pairs=4, measure_every=5, seed=9,
+    )
+
+    def test_workload_axis_changes_cache_key(self):
+        cells = plan_workload_sweep([self.SPEC], self.BN, protocols=("quic",))
+        assert len(cells) == 1
+        plain = SweepCell(
+            paths=(self.BN,), protocol="quic", initial_interface=0,
+            file_size=self.SPEC.mean_size, repetitions=1,
+            base_seed=self.SPEC.seed, timeout=600.0,
+        )
+        assert cells[0].cache_key() != plain.cache_key()
+        # And the spec's content is part of the identity.
+        other = plan_workload_sweep(
+            [replace(self.SPEC, arrival_rate=200.0)], self.BN,
+            protocols=("quic",),
+        )
+        assert other[0].cache_key() != cells[0].cache_key()
+
+    def test_run_cell_dispatches_to_workload(self):
+        cell = plan_workload_sweep([self.SPEC], self.BN, protocols=("quic",))[0]
+        result = run_cell(cell)
+        assert isinstance(result, WorkloadRunResult)
+        assert result.completed_flows == self.SPEC.n_flows
+        assert result.details["sim_events"] > 0
+
+    def test_result_round_trips_kind_tagged(self):
+        cell = plan_workload_sweep([self.SPEC], self.BN, protocols=("quic",))[0]
+        result = run_cell(cell)
+        data = result_to_dict(result)
+        assert data["kind"] == "workload"
+        json.dumps(data)  # cache-serialisable
+        back = result_from_dict(json.loads(json.dumps(data)))
+        assert isinstance(back, WorkloadRunResult)
+        assert back.p99_fct == result.p99_fct
+        assert back.jain_goodput == result.jain_goodput
+
+    def test_bulk_results_still_untagged(self):
+        # Pre-v4 records (no "kind") must keep deserialising as bulk.
+        data = {
+            "protocol": "quic", "initial_interface": 0,
+            "file_size": 1000, "transfer_time": 1.0,
+            "goodput_bps": 8000.0, "completed": True, "repetitions": 1,
+        }
+        back = result_from_dict(data)
+        assert not isinstance(back, WorkloadRunResult)
+        assert back.protocol == "quic"
+
+    def test_same_spec_same_plan_across_protocols(self):
+        cells = plan_workload_sweep(
+            [self.SPEC], self.BN, protocols=("quic", "tcp"),
+        )
+        assert [c.protocol for c in cells] == ["quic", "tcp"]
+        assert cells[0].workload == cells[1].workload
+
+
+class TestCli:
+    def test_smoke_preset_emits_summary(self, tmp_path):
+        out = tmp_path / "wl.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.workload",
+             "--preset", "smoke", "--output", str(out)],
+            capture_output=True, text=True, timeout=300,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(out.read_text())
+        assert summary["completed"] is True
+        assert summary["completed_flows"] == summary["n_flows"] == 100
+        assert summary["p999_fct"] >= summary["p50_fct"] > 0.0
+        assert 0.0 < summary["jain_goodput"] <= 1.0
+        # The artifact is the aggregate, not the flow log.
+        assert "flows" not in summary["details"]
+
+    def test_default_bottleneck_is_contended(self):
+        # Sanity anchor for the docs: the default bottleneck is slower
+        # than its access links by the documented factor.
+        from repro.netsim.bottleneck import ManyFlowTopology
+        assert ManyFlowTopology.ACCESS_FACTOR == 10.0
+        assert DEFAULT_BOTTLENECK.capacity_mbps == 20.0

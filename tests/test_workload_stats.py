@@ -1,0 +1,309 @@
+"""Statistical validation of the open-loop workload generators.
+
+Generators are only useful if their samples actually have the
+distributional properties the harness assumes, so these tests check
+them *statistically*: Poisson interarrival sample means land within
+tolerance of ``1/rate``, Pareto sizes are visibly heavier-tailed than
+any exponential (sample CV well above 1), heavy-tailed arrivals have
+the requested burstiness, and the seeding contract holds (equal seeds
+produce bit-identical streams, different seeds disjoint ones, under
+any ``PYTHONHASHSEED``).
+
+The quantile sketch backing the harness's tail-FCT numbers gets the
+same treatment: p50/p99 within 2% of exact on known distributions,
+extreme tails exact via the top-K sidecar, entry count bounded.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.experiments.metrics import QuantileSketch, jain_index
+from repro.experiments.workload import (
+    WorkloadSpec,
+    derive_seed,
+    flow_sizes,
+    interarrival_times,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _mean(xs):
+    return sum(xs) / len(xs)
+
+
+def _cv(xs):
+    mu = _mean(xs)
+    var = sum((x - mu) ** 2 for x in xs) / len(xs)
+    return math.sqrt(var) / mu
+
+
+class TestSeeding:
+    def test_derive_seed_is_hash_seed_independent(self):
+        # SHA-256 of the canonical string: a frozen contract, so cache
+        # keys and flow plans survive interpreter and PYTHONHASHSEED
+        # changes.  (Value pinned on first implementation.)
+        assert derive_seed(1, "arrival:poisson") == derive_seed(1, "arrival:poisson")
+        assert derive_seed(42, "x") == 0xC425CF7F0966AFC2
+
+    def test_equal_seeds_bit_identical_streams(self):
+        for maker in (
+            lambda s: interarrival_times("poisson", 50.0, 500, s),
+            lambda s: interarrival_times("lognormal", 50.0, 500, s, cv=3.0),
+            lambda s: flow_sizes("pareto", 100_000, 500, s),
+            lambda s: flow_sizes("uniform", 100_000, 500, s),
+        ):
+            assert maker(7) == maker(7)
+
+    def test_different_seeds_disjoint_streams(self):
+        a = interarrival_times("poisson", 50.0, 500, 1)
+        b = interarrival_times("poisson", 50.0, 500, 2)
+        assert a != b
+        # Continuous samples from disjoint streams should share no
+        # values at all, not merely differ somewhere.
+        assert not set(a) & set(b)
+
+    def test_streams_are_independent_per_name(self):
+        # Arrival and size streams of the SAME seed must not be the
+        # same underlying sequence in disguise.
+        gaps = interarrival_times("poisson", 1.0, 200, 5)
+        sizes = flow_sizes("pareto", 1_000_000, 200, 5)
+        ranked_gaps = sorted(range(200), key=lambda i: gaps[i])
+        ranked_sizes = sorted(range(200), key=lambda i: sizes[i])
+        assert ranked_gaps != ranked_sizes
+
+    def test_spec_plan_is_deterministic(self):
+        spec = WorkloadSpec(n_flows=100, seed=3)
+        assert spec.plan() == spec.plan()
+        other = WorkloadSpec(n_flows=100, seed=4)
+        assert spec.plan() != other.plan()
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_matches_rate(self):
+        rate = 50.0
+        for seed in (1, 2, 3):
+            gaps = interarrival_times("poisson", rate, 4000, seed)
+            # Mean of 4000 exponentials: std error = mean/sqrt(n) ≈ 1.6%,
+            # so a 6% tolerance is ~4 sigma.
+            assert _mean(gaps) == pytest.approx(1.0 / rate, rel=0.06)
+
+    def test_poisson_cv_is_one(self):
+        gaps = interarrival_times("poisson", 20.0, 4000, 9)
+        assert _cv(gaps) == pytest.approx(1.0, rel=0.1)
+
+    def test_deterministic_is_constant(self):
+        gaps = interarrival_times("deterministic", 10.0, 50, 1)
+        assert gaps == [0.1] * 50
+
+    def test_lognormal_mean_and_burstiness(self):
+        rate = 50.0
+        cv = 3.0
+        gaps = interarrival_times("lognormal", rate, 20000, 4, cv=cv)
+        # Heavy tail makes the sample mean noisy; 25% catches a wrong
+        # parameterisation (x2 off) without flaking.
+        assert _mean(gaps) == pytest.approx(1.0 / rate, rel=0.25)
+        # Burstier than Poisson by a clear margin.
+        assert _cv(gaps) > 1.5
+
+    def test_all_gaps_positive(self):
+        for arrival in ("deterministic", "poisson", "lognormal"):
+            assert all(
+                g > 0.0 for g in interarrival_times(arrival, 100.0, 500, 8)
+            )
+
+    def test_rejects_unknown_process_and_bad_rate(self):
+        with pytest.raises(ValueError):
+            interarrival_times("weibull", 1.0, 10, 1)
+        with pytest.raises(ValueError):
+            interarrival_times("poisson", 0.0, 10, 1)
+
+
+class TestSizeDistributions:
+    def test_fixed_sizes(self):
+        assert flow_sizes("fixed", 5000, 10, 1) == [5000] * 10
+
+    def test_uniform_mean_and_bounds(self):
+        sizes = flow_sizes("uniform", 100_000, 4000, 2, spread=0.5)
+        assert _mean(sizes) == pytest.approx(100_000, rel=0.05)
+        assert all(50_000 <= s <= 150_000 for s in sizes)
+
+    def test_pareto_mean_within_tolerance(self):
+        sizes = flow_sizes("pareto", 100_000, 20000, 3)
+        # alpha=1.3 has infinite variance: the sample mean converges
+        # slowly and the cap shaves the extreme tail, so the tolerance
+        # is loose — this catches a mis-scaled x_m, not sampling noise.
+        assert _mean(sizes) == pytest.approx(100_000, rel=0.35)
+
+    def test_pareto_is_heavy_tailed(self):
+        sizes = flow_sizes("pareto", 100_000, 20000, 3)
+        # Exponential (and uniform) have CV <= 1; mice-and-elephants
+        # must be far beyond that.
+        assert _cv(sizes) > 2.5
+        # ... and the elephants dominate the bytes: top 10% of flows
+        # carry over half the volume.
+        ordered = sorted(sizes, reverse=True)
+        top_decile = sum(ordered[: len(ordered) // 10])
+        assert top_decile / sum(sizes) > 0.5
+
+    def test_pareto_respects_cap_and_floor(self):
+        sizes = flow_sizes("pareto", 1000, 5000, 6, cap_factor=10.0)
+        assert all(1 <= s <= 10_000 for s in sizes)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            flow_sizes("zipf", 1000, 10, 1)
+        with pytest.raises(ValueError):
+            flow_sizes("pareto", 1000, 10, 1, pareto_alpha=1.0)
+        with pytest.raises(ValueError):
+            flow_sizes("uniform", 1000, 10, 1, spread=1.5)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_flows=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_flows=1, fidelity="quantum")
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_flows=1, arrival="weibull")
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_flows=1, size_dist="zipf")
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_flows=1, n_pairs=0)
+
+    def test_plan_arrival_times_are_monotone(self):
+        plan = WorkloadSpec(n_flows=200, seed=1).plan()
+        times = [t for t, _ in plan]
+        assert times == sorted(times)
+        assert all(size >= 1 for _, size in plan)
+
+
+class TestAnalyzerClean:
+    def test_workload_modules_pass_static_analysis(self):
+        # No wall-clock reads, no unseeded randomness, no literal obs
+        # categories in the new open-loop modules.
+        findings, count = analyze_paths([
+            REPO_ROOT / "src" / "repro" / "experiments" / "workload.py",
+            REPO_ROOT / "src" / "repro" / "apps" / "shortflow.py",
+        ])
+        assert findings == []
+        assert count == 2
+
+
+class TestJainIndex:
+    def test_equal_allocations_are_fair(self):
+        assert jain_index([5.0] * 10) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_counts_as_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_scale_invariant(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        assert jain_index(xs) == pytest.approx(
+            jain_index([x * 1e9 for x in xs])
+        )
+
+
+def _exact_quantile(data, q):
+    ordered = sorted(data)
+    idx = q * (len(ordered) - 1)
+    lo = int(idx)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = idx - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+class TestQuantileSketch:
+    DISTRIBUTIONS = {
+        "uniform": lambda rng: rng.uniform(0.0, 100.0),
+        "exponential": lambda rng: rng.expovariate(1.0),
+        "lognormal": lambda rng: rng.lognormvariate(0.0, 1.5),
+        "pareto": lambda rng: 1.0 / (1.0 - rng.random()) ** (1.0 / 1.3),
+    }
+
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_p50_p99_within_two_percent(self, dist, seed):
+        rng = random.Random(derive_seed(seed, f"sketch:{dist}"))
+        sample = self.DISTRIBUTIONS[dist]
+        sketch = QuantileSketch()
+        data = []
+        for _ in range(50_000):
+            v = sample(rng)
+            data.append(v)
+            sketch.insert(v)
+        for q in (0.50, 0.99):
+            exact = _exact_quantile(data, q)
+            assert sketch.query(q) == pytest.approx(exact, rel=0.02), (
+                f"{dist} seed={seed} q={q}"
+            )
+
+    def test_p999_exact_from_sidecar(self):
+        # 50k < TOP_K/0.001 so the p999 rank falls inside the exact
+        # top-256 sidecar: no sketch error at all in the extreme tail.
+        rng = random.Random(derive_seed(1, "sketch:tail"))
+        sketch = QuantileSketch()
+        data = []
+        for _ in range(50_000):
+            v = rng.lognormvariate(0.0, 2.0)
+            data.append(v)
+            sketch.insert(v)
+        assert sketch.p999() == pytest.approx(
+            _exact_quantile(data, 0.999), rel=1e-9
+        )
+
+    def test_small_n_is_exact(self):
+        rng = random.Random(derive_seed(2, "sketch:small"))
+        sketch = QuantileSketch()
+        data = []
+        for _ in range(100):
+            v = rng.uniform(0.0, 10.0)
+            data.append(v)
+            sketch.insert(v)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert sketch.query(q) == pytest.approx(
+                _exact_quantile(data, q), rel=1e-9
+            )
+
+    def test_memory_is_bounded(self):
+        rng = random.Random(derive_seed(3, "sketch:memory"))
+        sketch = QuantileSketch()
+        for _ in range(200_000):
+            sketch.insert(rng.expovariate(1.0))
+        # Summary + buffer + top-K sidecar: thousands of stored values
+        # would mean compression is broken.
+        assert len(sketch) < 2500
+        assert sketch.n == 200_000
+
+    def test_extremes_are_exact(self):
+        rng = random.Random(derive_seed(4, "sketch:extremes"))
+        values = [rng.uniform(-50.0, 50.0) for _ in range(10_000)]
+        sketch = QuantileSketch()
+        for v in values:
+            sketch.insert(v)
+        assert sketch.query(0.0) == min(values)
+        assert sketch.query(1.0) == max(values)
+
+    def test_query_validation(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.query(0.5)  # empty
+        sketch.insert(1.0)
+        with pytest.raises(ValueError):
+            sketch.query(1.5)
+        with pytest.raises(ValueError):
+            QuantileSketch(eps=0.6)
