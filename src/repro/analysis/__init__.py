@@ -1,42 +1,63 @@
 """Static analysis enforcing the simulator's determinism contract.
 
-``python -m repro.analysis src/repro`` runs an AST pass over the tree
-with a registry of determinism and protocol-invariant rules (wall
-clocks, unseeded RNGs, hash-order iteration, telemetry taxonomy, ...)
-and exits non-zero on findings.  Line-scoped waivers use
-``# repro: allow[rule-id]``; see ``docs/static-analysis.md``.
+``python -m repro.analysis src/repro`` runs two passes and exits
+non-zero on findings:
+
+* a **per-module** AST pass with the determinism and
+  protocol-invariant rules (wall clocks, unseeded RNGs, hash-order
+  iteration, telemetry taxonomy, ...);
+* a **whole-program** pass over each directory argument: the
+  :class:`~repro.analysis.graph.ProjectGraph` index (symbol tables,
+  import resolution, approximate call graph, reachability) feeds the
+  interprocedural rules — cross-call seed taint, same-timestamp event
+  ordering, sweep-worker purity, and obs-schema conformance.
+
+Line-scoped waivers use ``# repro: allow[rule-id]`` for both kinds of
+rule; see ``docs/static-analysis.md``.
 """
 
 from repro.analysis.core import (
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
     analyze_paths,
+    analyze_project,
     analyze_source,
     register,
+    register_project,
     suppressed_rules,
 )
+from repro.analysis.graph import ProjectGraph
 from repro.analysis.report import (
     REPORT_VERSION,
     findings_from_json,
     render_json,
     render_rule_list,
+    render_sarif,
     render_text,
 )
 
 __all__ = [
     "Finding",
     "ModuleContext",
-    "Rule",
+    "ProjectGraph",
+    "ProjectRule",
     "REPORT_VERSION",
+    "Rule",
+    "all_project_rules",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "findings_from_json",
     "register",
+    "register_project",
     "render_json",
     "render_rule_list",
+    "render_sarif",
     "render_text",
     "suppressed_rules",
 ]

@@ -1,18 +1,37 @@
 """CLI: ``python -m repro.analysis [paths...]``.
 
+Runs the per-module rule set over every file, plus the whole-program
+(interprocedural) rules over each *directory* argument — the project
+pass needs a tree to build its call graph from, so bare file arguments
+only get the per-module rules.
+
 Exit status is 0 on a clean tree, 1 when findings remain, 2 on usage
-errors — so the command slots directly into CI as a required gate.
+errors, 3 when ``--budget-seconds`` is exceeded — so the command slots
+directly into CI as a required gate with a wall-time assertion.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.core import analyze_paths
-from repro.analysis.report import render_json, render_rule_list, render_text
+from repro.analysis.core import (
+    Finding,
+    all_project_rules,
+    all_rules,
+    analyze_paths,
+    analyze_project,
+)
+from repro.analysis.report import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -28,15 +47,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default="",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
         default="",
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the whole-program (interprocedural) pass",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="fail (exit 3) if the full analysis takes longer than S seconds",
+    )
+    parser.add_argument(
+        "--emit-registry",
+        action="store_true",
+        help="dump the cross-module emit-site registry as JSON and exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -58,16 +100,91 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    try:
-        findings, files_analyzed = analyze_paths(paths, select=select)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
+
+    if args.emit_registry:
+        return _emit_registry(paths, args.output)
+
+    # The two passes share one --select; split the ids by registry so
+    # each pass only sees the rules it can run (unknown ids are a
+    # usage error, reported by whichever pass validates them).
+    module_ids = set(all_rules())
+    project_ids = set(all_project_rules())
+    unknown = [r for r in select if r not in module_ids | project_ids]
+    if unknown:
+        print(
+            f"error: unknown rule id(s): {', '.join(unknown)}",
+            file=sys.stderr,
+        )
         return 2
-    if args.format == "json":
-        print(render_json(findings, files_analyzed))
+    module_select = [r for r in select if r in module_ids]
+    project_select = [r for r in select if r in project_ids]
+
+    started = time.monotonic()  # repro: allow[wall-clock,perf-timing] --budget-seconds times the analyzer itself
+    findings: List[Finding] = []
+    files_analyzed = 0
+    if not select or module_select:
+        module_findings, files_analyzed = analyze_paths(
+            paths, select=module_select
+        )
+        findings.extend(module_findings)
+    if not args.no_project and (not select or project_select):
+        for path in paths:
+            if not path.is_dir():
+                continue
+            project_findings, _graph = analyze_project(
+                path, select=project_select
+            )
+            findings.extend(project_findings)
+    findings.sort()
+    elapsed = time.monotonic() - started  # repro: allow[wall-clock,perf-timing] --budget-seconds times the analyzer itself
+
+    if args.format == "sarif":
+        report = render_sarif(findings)
+    elif args.format == "json":
+        report = render_json(findings, files_analyzed)
     else:
-        print(render_text(findings, files_analyzed))
+        report = render_text(findings, files_analyzed)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+    if args.budget_seconds and elapsed > args.budget_seconds:
+        print(
+            f"error: analysis took {elapsed:.2f}s, over the "
+            f"{args.budget_seconds:.2f}s budget",
+            file=sys.stderr,
+        )
+        return 3
     return 1 if findings else 0
+
+
+def _emit_registry(paths: List[Path], output: str) -> int:
+    """Dump every ``.emit(...)`` site with its resolved category."""
+    sites = []
+    for path in paths:
+        if not path.is_dir():
+            continue
+        from repro.analysis.graph import ProjectGraph
+
+        graph = ProjectGraph.build(path)
+        for site in graph.emit_sites():
+            sites.append(
+                {
+                    "module": site.module,
+                    "path": site.rel_path,
+                    "line": site.line,
+                    "category": site.category,
+                    "name": site.name,
+                    "fields": list(site.fields),
+                }
+            )
+    document = json.dumps({"emit_sites": sites}, indent=2, sort_keys=True)
+    if output:
+        Path(output).write_text(document + "\n", encoding="utf-8")
+    else:
+        print(document)
+    return 0
 
 
 if __name__ == "__main__":

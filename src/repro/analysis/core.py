@@ -76,7 +76,25 @@ class ModuleContext:
     rel_path: str
 
 
+class ProjectRule:
+    """Base class for whole-program (interprocedural) rules.
+
+    Unlike :class:`Rule`, a project rule sees the entire
+    :class:`repro.analysis.graph.ProjectGraph` — symbol tables, the
+    approximate call graph, reachability — and may report findings in
+    any module of the tree.  Suppression markers apply exactly as for
+    per-module rules: the marker must sit on the reported line.
+    """
+
+    rule_id: str = ""
+    rationale: str = ""
+
+    def check(self, graph: "object") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
@@ -89,11 +107,28 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
     return rule_cls
 
 
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule_cls.rule_id in _PROJECT_REGISTRY or rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _PROJECT_REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
 def all_rules() -> Dict[str, Type[Rule]]:
     """Registered rules, keyed by id (import side effect of rules.py)."""
     from repro.analysis import rules as _rules  # noqa: F401  (registers)
 
     return dict(_REGISTRY)
+
+
+def all_project_rules() -> Dict[str, Type[ProjectRule]]:
+    """Registered whole-program rules, keyed by id."""
+    from repro.analysis import xrules as _xrules  # noqa: F401  (registers)
+
+    return dict(_PROJECT_REGISTRY)
 
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
@@ -153,6 +188,10 @@ def iter_python_files(paths: Iterable[Path]) -> List[Tuple[Path, Path]]:
     for path in paths:
         if path.is_dir():
             for sub in sorted(path.rglob("*.py")):
+                # Byte-compiled caches carry .py-suffixed droppings on
+                # some setups and are never source to analyze.
+                if "__pycache__" in sub.parts:
+                    continue
                 out.append((sub, path))
         else:
             out.append((path, path.parent))
@@ -163,12 +202,20 @@ def analyze_paths(
     paths: Iterable[Path],
     select: Sequence[str] = (),
 ) -> Tuple[List[Finding], int]:
-    """Analyze files/trees; returns (findings, files analyzed)."""
+    """Analyze files/trees; returns (findings, files analyzed).
+
+    Files that cannot be read as UTF-8 text (editor droppings, binary
+    blobs with a ``.py`` suffix) are skipped rather than aborting the
+    whole run; the analyzer's job is the source tree, not its litter.
+    """
     findings: List[Finding] = []
     count = 0
     for file_path, root in iter_python_files(paths):
         rel = file_path.relative_to(root) if root in file_path.parents or file_path == root else file_path
-        source = file_path.read_text(encoding="utf-8")
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (UnicodeDecodeError, OSError):
+            continue
         findings.extend(
             analyze_source(
                 source,
@@ -180,3 +227,45 @@ def analyze_paths(
         count += 1
     findings.sort()
     return findings, count
+
+
+def analyze_project(
+    root: Path,
+    select: Sequence[str] = (),
+) -> Tuple[List[Finding], "object"]:
+    """Run the whole-program rules over one source tree.
+
+    Builds the :class:`~repro.analysis.graph.ProjectGraph` once, runs
+    every registered :class:`ProjectRule` (optionally filtered by
+    ``select``), applies line-scoped suppression markers, and returns
+    ``(findings, graph)`` — the graph so callers (CLI, tests) can reuse
+    the index for e.g. the emit-site registry dump.
+    """
+    from repro.analysis.graph import ProjectGraph
+
+    registry = all_project_rules()
+    wanted = (
+        [r for r in select if r in registry] if select else sorted(registry)
+    )
+    if select:
+        known = set(registry) | set(all_rules())
+        unknown = [r for r in select if r not in known]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    graph = ProjectGraph.build(root)
+    lines_by_path = {
+        str(mod.path): mod.source_lines for mod in graph.modules.values()
+    }
+    findings: List[Finding] = []
+    for rule_id in wanted:
+        rule = registry[rule_id]()
+        for finding in rule.check(graph):
+            lines = lines_by_path.get(finding.path, ())
+            line_idx = finding.line - 1
+            if 0 <= line_idx < len(lines):
+                allowed = suppressed_rules(lines[line_idx])
+                if finding.rule in allowed or "*" in allowed:
+                    continue
+            findings.append(finding)
+    findings.sort()
+    return findings, graph

@@ -1,7 +1,10 @@
-"""Reporters for analyzer findings: human text and machine JSON.
+"""Reporters for analyzer findings: text, machine JSON, and SARIF.
 
 The JSON document is versioned and round-trippable so CI tooling can
-diff findings between runs without re-parsing analyzer output.
+diff findings between runs without re-parsing analyzer output.  The
+SARIF 2.1.0 document exists for exactly one consumer: GitHub code
+scanning, which renders findings as inline PR annotations when the
+lint job uploads it.
 """
 
 from __future__ import annotations
@@ -9,7 +12,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Sequence
 
-from repro.analysis.core import Finding, all_rules
+from repro.analysis.core import Finding, all_project_rules, all_rules
 
 #: Bump on any backwards-incompatible change to the JSON layout.
 REPORT_VERSION = 1
@@ -68,6 +71,85 @@ def findings_from_json(text: str) -> List[Finding]:
 def render_rule_list() -> str:
     """The registered rule catalog for ``--list-rules``."""
     lines = []
-    for rule_id, rule_cls in sorted(all_rules().items()):
+    catalog: Dict[str, Any] = dict(all_rules())
+    catalog.update(all_project_rules())
+    for rule_id, rule_cls in sorted(catalog.items()):
         lines.append(f"{rule_id}: {rule_cls.rationale}")
     return "\n".join(lines)
+
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 document for GitHub code-scanning upload.
+
+    Every registered rule (per-module and whole-program) appears in the
+    tool's rule table so suppressed-to-zero runs still publish the
+    catalog; results reference rules by index as the spec recommends.
+    Paths are emitted as given (CI runs from the repo root, so they are
+    repo-relative there).
+    """
+    catalog: Dict[str, Any] = dict(all_rules())
+    catalog.update(all_project_rules())
+    rule_ids = sorted(catalog)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule_id},
+            "fullDescription": {"text": catalog[rule_id].rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            # Unregistered ids (never expected) would break the index
+            # contract, so fall back to omitting ruleIndex for them.
+            **(
+                {"ruleIndex": rule_index[f.rule]}
+                if f.rule in rule_index
+                else {}
+            ),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": max(f.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "version": str(REPORT_VERSION),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -14,6 +14,7 @@ bottleneck share each obtained in steady state.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable, Dict
 
 from repro.core.connection import MultipathQuicConnection
 from repro.netsim.bottleneck import SharedBottleneckTopology
@@ -69,10 +70,10 @@ def run_fairness(
     counters = {"mp": 0, "sp": 0}
     window = {"mp": 0, "sp": 0}
 
-    def serve(server, key):
-        state = {}
+    def serve(server: Any, key: str) -> Callable[[int, bytes, bool], None]:
+        state: Dict[int, bool] = {}
 
-        def on_data(sid, data, fin):
+        def on_data(sid: int, data: bytes, fin: bool) -> None:
             if sid not in state:
                 state[sid] = True
                 server.send_stream_data(sid, b"x" * total_bytes, fin=True)
@@ -82,8 +83,8 @@ def run_fairness(
     mp_server.on_stream_data = serve(mp_server, "mp")
     sp_server.on_stream_data = serve(sp_server, "sp")
 
-    def count(key):
-        def on_data(sid, data, fin):
+    def count(key: str) -> Callable[[int, bytes, bool], None]:
+        def on_data(sid: int, data: bytes, fin: bool) -> None:
             counters[key] += len(data)
 
         return on_data
@@ -99,7 +100,7 @@ def run_fairness(
     mp_client.connect()
     sp_client.connect()
 
-    def snapshot_start():
+    def snapshot_start() -> None:
         window["mp"] = counters["mp"]
         window["sp"] = counters["sp"]
 

@@ -81,7 +81,7 @@ def run_class_sweep(
     config: SweepConfig,
     file_size: Optional[int] = None,
     jobs: Optional[int] = None,
-    cache="auto",
+    cache: object = "auto",
 ) -> List[Tuple[Scenario, Dict[Tuple[str, int], BulkRunResult]]]:
     """Run the full protocol matrix over a class's WSP scenarios.
 

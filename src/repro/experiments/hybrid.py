@@ -26,7 +26,7 @@ either fidelity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Set
 
 from repro.core.connection import MultipathQuicConnection
 from repro.netsim.bottleneck import SharedBottleneckTopology
@@ -126,16 +126,22 @@ def run_background_traffic(
                 sim, topo.competitor_servers[i], "server", QuicConfig()
             )
 
-            bg_served = set()
+            bg_served: Set[int] = set()
 
-            def serve_bg(sid, data, fin, server=bg_server, seen=bg_served):
+            def serve_bg(
+                sid: int,
+                data: bytes,
+                fin: bool,
+                server: QuicConnection = bg_server,
+                seen: Set[int] = bg_served,
+            ) -> None:
                 if sid not in seen:
                     seen.add(sid)
                     server.send_stream_data(
                         sid, b"x" * background_bytes, fin=True
                     )
 
-            def count_bg(sid, data, fin):
+            def count_bg(sid: int, data: bytes, fin: bool) -> None:
                 if fin:
                     background_fcts.append(sim.now)
 

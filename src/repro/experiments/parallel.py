@@ -242,10 +242,10 @@ def _chaos_crash_requested(cell: SweepCell) -> bool:
     raises instead of killing the process — the in-process variant used
     by tests running with ``jobs=1``.
     """
-    key_prefix = os.environ.get("REPRO_CHAOS_CRASH_KEY")
+    key_prefix = os.environ.get("REPRO_CHAOS_CRASH_KEY")  # repro: allow[sweep-purity] chaos hook is crash-only, never shapes results
     if not key_prefix or not cell.cache_key().startswith(key_prefix):
         return False
-    marker_dir = os.environ.get("REPRO_CHAOS_MARKER_DIR")
+    marker_dir = os.environ.get("REPRO_CHAOS_MARKER_DIR")  # repro: allow[sweep-purity] chaos hook is crash-only, never shapes results
     if marker_dir:
         marker = Path(marker_dir) / cell.cache_key()
         if marker.exists():
@@ -258,7 +258,7 @@ def _chaos_crash_requested(cell: SweepCell) -> bool:
 def run_cell(cell: SweepCell) -> CellResult:
     """Execute one cell — the worker entry point (must be picklable)."""
     if _chaos_crash_requested(cell):
-        if os.environ.get("REPRO_CHAOS_MODE") == "raise":
+        if os.environ.get("REPRO_CHAOS_MODE") == "raise":  # repro: allow[sweep-purity] chaos hook is crash-only, never shapes results
             raise RuntimeError("chaos drill: simulated cell failure")
         os._exit(17)  # hard death, as a real worker crash would be
     if cell.workload is not None:

@@ -8,7 +8,7 @@ as ASCII so the benchmark harness output is self-contained.
 from __future__ import annotations
 
 import csv
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.experiments.metrics import cdf_points, quartiles
 
@@ -87,7 +87,7 @@ def save_csv(
             writer.writerow(row)
 
 
-def sweep_to_rows(sweep) -> List[List[object]]:
+def sweep_to_rows(sweep: Sequence[Tuple[Any, Dict[Tuple[str, int], Any]]]) -> List[List[object]]:
     """Flatten a class sweep into CSV rows.
 
     One row per (scenario, protocol, initial interface) run, carrying

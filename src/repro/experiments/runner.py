@@ -16,7 +16,11 @@ from repro.apps.bulk import BulkTransferApp
 from repro.apps.reqres import RequestResponseApp
 from repro.apps.transport import make_client_server
 from repro.experiments.metrics import median
-from repro.experiments.scenarios import HANDOVER_SCENARIO, HandoverScenario
+from repro.experiments.scenarios import (
+    HANDOVER_SCENARIO,
+    HandoverScenario,
+    MobilityScenario,
+)
 from repro.netsim.engine import Simulator
 from repro.netsim.faults import FaultTimeline
 from repro.netsim.topology import PathConfig, TwoPathTopology
@@ -193,7 +197,7 @@ def run_handover(
 
 
 def run_mobility(
-    scenario,
+    scenario: MobilityScenario,
     protocol: str = "mpquic",
     initial_interface: int = 0,
     base_seed: int = 1,

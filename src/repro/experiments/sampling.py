@@ -9,7 +9,7 @@ end-to-end totals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.netsim.engine import Simulator
 
@@ -37,7 +37,7 @@ class ConnectionSampler:
     def __init__(
         self,
         sim: Simulator,
-        connection,
+        connection: Any,
         interval: float = 0.1,
         stop_when: Optional[Callable[[], bool]] = None,
     ) -> None:
@@ -113,7 +113,7 @@ class ConnectionSampler:
 class MptcpSampler:
     """Periodic snapshots of an MPTCP connection's subflows."""
 
-    def __init__(self, sim: Simulator, connection, interval: float = 0.1) -> None:
+    def __init__(self, sim: Simulator, connection: Any, interval: float = 0.1) -> None:
         self.sim = sim
         self.connection = connection
         self.interval = interval

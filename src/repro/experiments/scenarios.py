@@ -16,7 +16,7 @@ Two families live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, ItemsView, Iterator, KeysView, List, Sequence, Tuple
 
 from repro.netsim.faults import (
     Blackhole,
@@ -221,16 +221,16 @@ class _PresetCatalogue:
     def __getitem__(self, name: str) -> WorkloadPreset:
         return self._load()[name]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._load())
 
     def __len__(self) -> int:
         return len(self._load())
 
-    def keys(self):
+    def keys(self) -> "KeysView[str]":
         return self._load().keys()
 
-    def items(self):
+    def items(self) -> "ItemsView[str, WorkloadPreset]":
         return self._load().items()
 
 

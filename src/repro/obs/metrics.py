@@ -40,9 +40,13 @@ is attributed to the layer doing it, not the layer that scheduled it.
 Set ``REPRO_METRICS_FILE=<path>`` to atomically write the registry
 snapshot as JSON at interpreter exit (how CI captures the artifact).
 
-This module deliberately imports nothing from ``repro`` — hot-path
-modules (``netsim.engine``, ``quic.wire``) import it, so it must sit
-at the very bottom of the dependency graph.  It is also the **only**
+This module deliberately imports nothing from ``repro`` at module
+level — hot-path modules (``netsim.engine``, ``quic.wire``) import it,
+so it must sit at the very bottom of the dependency graph.  The one
+exception is a call-time import of the telemetry category constant in
+:func:`emit_into` (a cold path), so snapshot events carry
+``repro.obs.events.CAT_METRICS`` itself rather than a local copy that
+could drift.  It is also the **only**
 module in ``src/`` allowed to touch ``time.perf_counter`` — the
 ``perf-timing`` analyzer rule routes every other timing need through
 :data:`clock` / :func:`timed` so no measurement escapes the registry.
@@ -59,7 +63,6 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
-    "CATEGORY",
     "METRICS",
     "REGISTRY",
     "MetricsRegistry",
@@ -70,12 +73,6 @@ __all__ = [
     "timed",
     "write_snapshot",
 ]
-
-#: Telemetry category for registry snapshots merged into a qlog trace.
-#: Kept as a plain literal here (this module must not import
-#: ``repro.obs.events``); ``events.CAT_METRICS`` re-exports the same
-#: string and a test pins the two together.
-CATEGORY = "metrics"
 
 #: The sanctioned wall-clock handle.  Harness code (benchmarks, the
 #: sweep executor) reads wall time through this name instead of calling
@@ -294,27 +291,33 @@ def emit_into(tracer: Any, now: float = 0.0, host: str = "runtime") -> int:
     on the simulated timeline) plus a closing ``metrics:snapshot``
     carrying the totals.  Returns the number of events emitted.
     """
+    # Imported at call time: this module must not import
+    # ``repro.obs.events`` at module level (events -> netsim.trace ->
+    # netsim.engine -> obs.metrics would be a cycle), but the category
+    # must still be the registry's constant, not a drifted local copy.
+    from repro.obs.events import CAT_METRICS
+
     snap = REGISTRY.snapshot()
     emitted = 0
     # The payload key is ``metric`` (not ``name``): the tracer's event
     # name is already "counter"/"gauge"/"histogram".
     for name, value in sorted(snap["counters"].items()):
-        tracer.emit(now, host, CATEGORY, "counter", metric=name, value=value)
+        tracer.emit(now, host, CAT_METRICS, "counter", metric=name, value=value)
         emitted += 1
     for name, value in sorted(snap["gauges"].items()):
-        tracer.emit(now, host, CATEGORY, "gauge", metric=name, value=value)
+        tracer.emit(now, host, CAT_METRICS, "gauge", metric=name, value=value)
         emitted += 1
     for name, hist in snap["histograms"].items():
-        tracer.emit(now, host, CATEGORY, "histogram", metric=name, **hist)
+        tracer.emit(now, host, CAT_METRICS, "histogram", metric=name, **hist)
         emitted += 1
     for subsystem, seconds in sorted(snap["wall_time_seconds"].items()):
         tracer.emit(
-            now, host, CATEGORY, "wall_time",
+            now, host, CAT_METRICS, "wall_time",
             subsystem=subsystem, seconds=seconds,
         )
         emitted += 1
     tracer.emit(
-        now, host, CATEGORY, "snapshot",
+        now, host, CAT_METRICS, "snapshot",
         wall_time_total_seconds=snap["wall_time_total_seconds"],
         counters=len(snap["counters"]),
     )

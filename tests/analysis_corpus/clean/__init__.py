@@ -1,0 +1,1 @@
+"""Near-miss fixture package: correct spellings of the defect shapes."""

@@ -1,0 +1,8 @@
+"""The clean tree's telemetry registry (stands in for obs.events)."""
+
+CAT_FLOW = "flow"
+CAT_LINK = "link"
+
+CATEGORIES = (CAT_FLOW, CAT_LINK)
+
+SERIES_METRICS = ("cwnd", "rtt")

@@ -1,0 +1,28 @@
+"""Correct event ordering: tie-breaks, single-writer siblings, sorting."""
+
+import heapq
+import itertools
+
+
+class Wheel:
+    def __init__(self, sim):
+        self.sim = sim
+        self._heap = []
+        self._seq = itertools.count()
+        self.ticks = 0
+
+    def push(self, when, payload):
+        # The engine's own pattern: (time, seq, payload).
+        heapq.heappush(self._heap, (when, next(self._seq), payload))
+
+    def _tick(self):
+        self.ticks += 1
+
+    def arm(self, delay):
+        # Same callback twice at one timestamp: a fan-out, not a race.
+        self.sim.schedule(delay, self._tick)
+        self.sim.schedule(delay, self._tick)
+
+    def spread(self, flows):
+        for flow in sorted(flows):
+            self.sim.schedule(0.0, flow)

@@ -1,0 +1,18 @@
+"""Correct seeding: every RNG seed derives from an explicit seed param."""
+
+import hashlib
+import random
+
+
+def derive_seed(base, stream):
+    """Deterministic per-stream derivation (the sanctioned pattern)."""
+    digest = hashlib.sha256(f"{base}:{stream}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_rng(seed, stream):
+    return random.Random(derive_seed(seed, stream))
+
+
+def fanout(seed, names):
+    return [make_rng(seed, name) for name in sorted(names)]

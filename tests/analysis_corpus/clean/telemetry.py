@@ -1,0 +1,9 @@
+"""Conformant telemetry: registry constants and registered metrics."""
+
+from .events import CAT_FLOW
+
+
+class Probe:
+    def ping(self, tracer, now):
+        tracer.emit(now, "h1", CAT_FLOW, "ping", size=120)
+        tracer.sample(now, "h1", 0, "cwnd", 10.0)

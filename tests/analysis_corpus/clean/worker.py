@@ -1,0 +1,14 @@
+"""A pure worker: ALL-CAPS declared registry, everything else local."""
+
+REGISTRY = {"protocols": ("quic", "mpquic")}
+
+
+def simulate(cell, protocols):
+    log = []
+    log.append(cell)
+    return {"cell": cell, "protocols": protocols, "events": len(log)}
+
+
+def run_cell(cell):
+    table = dict(REGISTRY)
+    return simulate(cell, table["protocols"])

@@ -1,0 +1,1 @@
+"""Planted-defect fixture package (analyzed, never imported)."""

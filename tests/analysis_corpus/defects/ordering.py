@@ -1,0 +1,46 @@
+"""Planted event-order defects: equal-timestamp nondeterminism."""
+
+import heapq
+import itertools
+
+
+class Calendar:
+    """A custom time-keyed heap next to the engine's calendar queue."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+
+    def push_bad(self, when, payload):
+        # Equal timestamps fall through to comparing payload objects.
+        heapq.heappush(self._heap, (when, payload))  # corpus: expect[event-order]
+
+    def push_good(self, when, payload):
+        heapq.heappush(self._heap, (when, next(self._seq), payload))
+
+
+class Pump:
+    """Two different same-time callbacks coupled through one attribute."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.backlog = 0
+
+    def _fill(self):
+        self.backlog += 1
+
+    def _drain(self):
+        self.backlog = 0
+
+    def kick(self, delay):
+        # Which of these runs first is only the insertion-order
+        # tie-break; _drain reads/writes what _fill writes.
+        self.sim.schedule(delay, self._fill)
+        self.sim.schedule(delay, self._drain)  # corpus: expect[event-order]
+
+    def broadcast(self, flows):
+        pending = set(flows)
+        for flow in pending:
+            # Enqueue order (and so same-time tie-breaks) follows
+            # set hash order.
+            self.sim.schedule(0.0, flow.start)  # corpus: expect[event-order]

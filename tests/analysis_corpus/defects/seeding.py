@@ -1,0 +1,39 @@
+"""Planted seed-taint defects: nondeterminism flowing into RNG seeds.
+
+Every path here crosses at least one call boundary — the class of bug
+the per-module ``unseeded-random`` rule cannot see.
+"""
+
+import random
+import time
+
+
+def wall_clock_token() -> float:
+    """A helper that quietly returns a nondeterministic value."""
+    return time.time()
+
+
+def make_rng() -> random.Random:
+    # Source (wall clock) flows through the helper's return value.
+    return random.Random(wall_clock_token())  # corpus: expect[seed-taint]
+
+
+def seeded(seed: int) -> random.Random:
+    """Innocent-looking constructor: the taint arrives via ``seed``."""
+    return random.Random(seed)
+
+
+def rng_for(token: str) -> random.Random:
+    # hash() is PYTHONHASHSEED-dependent; the sink is inside seeded().
+    return seeded(hash(token))  # corpus: expect[seed-taint]
+
+
+def mix(base: int) -> int:
+    return (base * 2654435761) % (2**32)
+
+
+def bootstrap_rng() -> random.Random:
+    boot = random.Random()
+    draw = boot.random()
+    # An unseeded RNG's draw, laundered through an arithmetic helper.
+    return random.Random(mix(draw))  # corpus: expect[seed-taint]

@@ -1,0 +1,3 @@
+"""Module-level mutable state shared (incorrectly) with the worker."""
+
+cell_counter = {}

@@ -1,0 +1,20 @@
+"""Planted obs-schema defects: taxonomy drift at emit sites."""
+
+from . import events
+
+# A drifted local copy of a registry value: a registry rename would
+# silently leave this behind.
+CAT_LOCAL = "link"  # corpus: expect[obs-schema]
+
+
+class Probe:
+    def ping(self, tracer, now):
+        # Free-form category never registered in CATEGORIES.
+        tracer.emit(now, "h1", "mystery", "ping")  # corpus: expect[obs-schema]
+        # In-registry *value* but re-declared constant (flagged above,
+        # at the declaration).
+        tracer.emit(now, "h1", CAT_LOCAL, "ping")
+        # The correct spelling: the registry's own constant.
+        tracer.emit(now, "h1", events.CAT_FLOW, "ping")
+        # Off-registry series metric.
+        tracer.sample(now, "h1", 0, "goodput", 1.0)  # corpus: expect[obs-schema]

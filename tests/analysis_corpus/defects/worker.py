@@ -1,0 +1,37 @@
+"""Planted sweep-purity defects on the worker (run_cell) path.
+
+Everything flagged here is an input or effect the result-cache key
+cannot see: module-level mutable state (own and cross-module) and the
+process environment.
+"""
+
+import os
+
+from . import state
+
+_fallback_plan = {"cells": 0}
+
+_last_result = None
+
+
+def _bump_counter():
+    # Cross-module mutation of shared dict state (read + write).
+    state.cell_counter["runs"] = state.cell_counter.get("runs", 0) + 1  # corpus: expect[sweep-purity]
+
+
+def _record(result):
+    global _last_result
+    _last_result = result  # corpus: expect[sweep-purity]
+
+
+def simulate(cell, plan, mode):
+    result = {"cell": cell, "cells": plan["cells"], "mode": mode}
+    _record(result)
+    return result
+
+
+def run_cell(cell):
+    _bump_counter()
+    plan = _fallback_plan  # corpus: expect[sweep-purity]
+    mode = os.environ.get("REPRO_MODE", "fast")  # corpus: expect[sweep-purity]
+    return simulate(cell, plan, mode)

@@ -1,0 +1,305 @@
+"""The whole-program index itself: discovery, imports, call graph.
+
+These tests build throwaway fixture packages under ``tmp_path`` so the
+graph's behavior is pinned against controlled trees, independent of the
+real ``src/repro`` layout.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.core import analyze_paths, iter_python_files
+from repro.analysis.graph import ProjectGraph
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+class TestDiscovery:
+    def test_skips_pycache_directories(self, tmp_path):
+        write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "mod.py": "x = 1\n",
+                "__pycache__/mod.cpython-311.py": "broken ( syntax\n",
+            },
+        )
+        graph = ProjectGraph.build(tmp_path / "pkg")
+        assert set(graph.modules) == {"pkg", "pkg.mod"}
+        assert graph.skipped == []
+
+    def test_skips_non_utf8_files_instead_of_raising(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg", {"__init__.py": "", "good.py": "x = 1\n"}
+        )
+        (root / "binary.py").write_bytes(b"\x93\xfa\x00\xff latin nonsense")
+        graph = ProjectGraph.build(root)
+        assert "pkg.good" in graph.modules
+        assert "pkg.binary" not in graph.modules
+        assert [p.name for p, _reason in graph.skipped] == ["binary.py"]
+
+    def test_skips_syntax_errors_with_reason(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg",
+            {"__init__.py": "", "bad.py": "def broken(:\n    pass\n"},
+        )
+        graph = ProjectGraph.build(root)
+        assert "pkg.bad" not in graph.modules
+        assert any("SyntaxError" in reason for _p, reason in graph.skipped)
+
+    def test_non_package_root_uses_file_stems(self, tmp_path):
+        write_tree(tmp_path / "loose", {"a.py": "x = 1\n", "b.py": "y = 2\n"})
+        graph = ProjectGraph.build(tmp_path / "loose")
+        assert set(graph.modules) == {"a", "b"}
+
+
+class TestCoreDiscoveryBugfix:
+    """Satellite: analysis.core module discovery mirrors the graph's."""
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        write_tree(
+            tmp_path / "pkg",
+            {
+                "mod.py": "x = 1\n",
+                "__pycache__/mod.cpython-311.py": "junk\n",
+            },
+        )
+        files = [f for f, _root in iter_python_files([tmp_path / "pkg"])]
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_analyze_paths_skips_non_utf8(self, tmp_path):
+        root = write_tree(tmp_path / "pkg", {"mod.py": "x = 1\n"})
+        (root / "binary.py").write_bytes(b"\xff\xfe\x00junk")
+        findings, count = analyze_paths([root])
+        assert findings == []
+        assert count == 1  # binary.py skipped, mod.py analyzed
+
+
+class TestImportResolution:
+    def test_relative_imports_and_aliases(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "sub/__init__.py": "",
+                "sub/a.py": "def fa():\n    return 1\n",
+                "sub/b.py": (
+                    """
+                    from .a import fa
+                    from ..top import ft as top_fn
+
+
+                    def fb():
+                        return fa() + top_fn()
+                    """
+                ),
+                "top.py": "def ft():\n    return 2\n",
+            },
+        )
+        graph = ProjectGraph.build(root)
+        mod_b = graph.modules["pkg.sub.b"]
+        assert graph.resolve_symbol(mod_b, "fa") == ("function", "pkg.sub.a.fa")
+        assert graph.resolve_symbol(mod_b, "top_fn") == (
+            "function",
+            "pkg.top.ft",
+        )
+        # Edges actually landed in the call graph.
+        assert graph.callees("pkg.sub.b.fb") == {"pkg.sub.a.fa", "pkg.top.ft"}
+
+    def test_init_reexport_chain(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "engine/__init__.py": "from pkg.engine.core import Simulator\n",
+                "engine/core.py": (
+                    """
+                    class Simulator:
+                        def run(self):
+                            return 0
+                    """
+                ),
+                "user.py": (
+                    """
+                    from pkg.engine import Simulator
+
+
+                    def main():
+                        sim = Simulator()
+                        return sim.run()
+                    """
+                ),
+            },
+        )
+        graph = ProjectGraph.build(root)
+        user = graph.modules["pkg.user"]
+        # The symbol resolves through the package __init__ re-export.
+        assert graph.resolve_symbol(user, "Simulator") == (
+            "class",
+            "pkg.engine.core.Simulator",
+        )
+        # Constructor-typed receiver: sim.run() resolves to the method.
+        assert "pkg.engine.core.Simulator.run" in graph.callees("pkg.user.main")
+
+    def test_module_alias_attribute_access(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "cfg.py": "LIMIT = 7\n",
+                "use.py": (
+                    """
+                    import pkg.cfg as cfg
+
+
+                    def limit():
+                        return cfg.LIMIT
+                    """
+                ),
+            },
+        )
+        graph = ProjectGraph.build(root)
+        use = graph.modules["pkg.use"]
+        assert graph.resolve_constant_name(use, "cfg.LIMIT") == 7
+        assert graph.constant_owner(
+            use, graph.modules["pkg.use"].tree.body[-1].body[0].value
+        ) == ("pkg.cfg", "LIMIT")
+
+
+class TestCallGraphSoundness:
+    """Every call in the fixture must produce its expected edge."""
+
+    def test_fixture_edges(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "zoo.py": (
+                    """
+                    class Animal:
+                        def speak(self):
+                            return "..."
+
+                        def greet(self):
+                            return self.speak()
+
+
+                    class Dog(Animal):
+                        def speak(self):
+                            return "woof"
+
+
+                    def direct():
+                        return helper()
+
+
+                    def helper():
+                        return 1
+
+
+                    def closure_caller():
+                        def inner():
+                            return 2
+
+                        return inner()
+
+
+                    def callback_user(sim):
+                        sim.schedule(1.0, helper)
+
+
+                    def typed(dog: Dog):
+                        return dog.speak()
+                    """
+                ),
+            },
+        )
+        graph = ProjectGraph.build(root)
+        z = "pkg.zoo"
+        # Plain direct call.
+        assert f"{z}.helper" in graph.callees(f"{z}.direct")
+        # Nested function call resolves into the closure scope.
+        assert f"{z}.closure_caller.inner" in graph.callees(f"{z}.closure_caller")
+        # self-dispatch includes subclass overrides (virtual edge).
+        greet_callees = graph.callees(f"{z}.Animal.greet")
+        assert f"{z}.Animal.speak" in greet_callees
+        assert f"{z}.Dog.speak" in greet_callees
+        # Annotation-typed receiver resolves precisely.
+        assert graph.callees(f"{z}.typed") == {f"{z}.Dog.speak"}
+        # A function passed as a callback argument is an edge (so
+        # dispatch-driven code stays reachable).
+        assert f"{z}.helper" in graph.callees(f"{z}.callback_user")
+
+    def test_reachability_closure(self, tmp_path):
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "chain.py": (
+                    """
+                    def run_cell(cell):
+                        return a()
+
+
+                    def a():
+                        return b()
+
+
+                    def b():
+                        return 3
+
+
+                    def orphan():
+                        return 4
+                    """
+                ),
+            },
+        )
+        graph = ProjectGraph.build(root)
+        reachable = graph.reachable_from(graph.run_cell_entries())
+        assert "pkg.chain.a" in reachable
+        assert "pkg.chain.b" in reachable
+        assert "pkg.chain.orphan" not in reachable
+
+    def test_name_fallback_is_bounded(self, tmp_path):
+        # Five classes defining .shared() exceed NAME_FALLBACK_LIMIT:
+        # an untyped receiver must produce no edges rather than fanning
+        # out to every same-named method in the program.
+        classes = "\n\n".join(
+            f"class C{i}:\n    def shared(self):\n        return {i}"
+            for i in range(5)
+        )
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "many.py": (
+                    classes
+                    + "\n\ndef use(x):\n    return x.shared()\n"
+                ),
+            },
+        )
+        graph = ProjectGraph.build(root)
+        assert graph.callees("pkg.many.use") == set()
+
+
+class TestRealTreeIndex:
+    def test_engine_dispatch_and_schedule_sites(self):
+        repo = Path(__file__).resolve().parent.parent
+        graph = ProjectGraph.build(repo / "src" / "repro")
+        assert graph.skipped == []
+        # The engine's calendar queue feeds dispatch: the tree has many
+        # schedule sites and their callbacks resolve to real functions.
+        sites = graph.schedule_sites()
+        assert len(sites) >= 20
+        resolved = [s for s in sites if s[3]]
+        assert len(resolved) >= 10
+        entries = graph.dispatch_entries()
+        assert entries
+        assert all(q in graph.functions for q in entries)

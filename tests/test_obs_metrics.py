@@ -243,9 +243,19 @@ class TestHistogram:
 
 
 class TestExport:
-    def test_category_constant_pinned_to_events_module(self):
-        assert obs_events.CAT_METRICS == metrics.CATEGORY
+    def test_category_comes_from_the_registry(self):
+        # Regression pin for the obs-schema fix: metrics.py used to
+        # carry its own ``CATEGORY = "metrics"`` literal (it cannot
+        # import events at module level), which is exactly the drift
+        # the whole-program obs-schema rule flags.  The single source
+        # of truth is the registry constant, imported at call time.
         assert obs_events.CAT_METRICS in obs_events.CATEGORIES
+        assert not hasattr(metrics, "CATEGORY")
+        with metrics.enabled() as reg:
+            reg.inc("engine.events_processed")
+            tracer = Tracer()
+            metrics.emit_into(tracer, now=0.0)
+        assert {e.category for e in tracer.events} == {obs_events.CAT_METRICS}
 
     def test_emit_into_produces_metrics_events(self):
         with metrics.enabled() as reg:
