@@ -1,0 +1,341 @@
+"""Chaos drill for the distributed sweep executor: kill -9 everything.
+
+The spool-and-lease protocol's whole claim is that no single process
+matters.  This drill earns that claim in four stages:
+
+1. **serial reference** — the sweep executed by ``run_cell`` in this
+   process: the matrix every later stage must reproduce bit for bit;
+2. **worker SIGKILL** — three subprocess workers drain the spool; one
+   is killed -9 mid-cell.  Its lease expires, a peer reclaims the
+   cell, and the sweep completes identical to stage 1;
+3. **coordinator SIGKILL + restart** — a *subprocess* coordinator is
+   killed -9 mid-sweep, then a fresh coordinator is pointed at the
+   same spool.  It recovers the committed prefix from the cache,
+   re-queues the rest, and finishes — again bit-identical;
+4. **streaming scale** — a large synthetic sweep (default 10 000
+   cells) drains through aggregate mode: the coordinator folds every
+   commit into bounded-memory sketches, never materialising the
+   result matrix, and the sketch footprint is asserted to stay far
+   below one entry per cell.
+
+Exit status is non-zero on any mismatch; CI uploads the spool
+telemetry and the drill report as artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_distributed.py \
+        --scenarios 2 --file-size 500000 --scale-cells 10000 \
+        --report CHAOS_distributed.json \
+        --telemetry CHAOS_distributed_telemetry.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import time
+from typing import List, Optional, Sequence
+
+from repro.expdesign.parameters import generate_scenarios
+from repro.experiments import distributed as dist
+from repro.experiments.parallel import (
+    SweepCell,
+    plan_class_sweep,
+    result_to_dict,
+    run_cell,
+)
+
+#: Lease TTL for the kill stages: short enough that reclamation (not
+#: the kill) dominates the stage's wall clock, long enough that a
+#: healthy worker's heartbeat (every TTL/3) renews comfortably.
+DRILL_TTL = 1.5
+
+
+def _matrix(results) -> List[dict]:
+    return [result_to_dict(r) for r in results]
+
+
+def _wait_for(predicate, timeout: float, what: str) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    print(f"FAIL: timed out waiting for {what}", file=sys.stderr)
+    return False
+
+
+def _synthetic_cells(n: int) -> List[SweepCell]:
+    return [
+        SweepCell(
+            paths=(),
+            protocol=("mpquic" if i % 2 else "quic"),
+            initial_interface="wifi",
+            file_size=100_000 + i,
+            repetitions=1,
+            base_seed=7,
+        )
+        for i in range(n)
+    ]
+
+
+def stage_worker_kill(cells, reference, tmp: str, report: dict) -> int:
+    """Three workers, one SIGKILLed mid-cell; sweep must still match."""
+    spool = dist.init_spool(
+        os.path.join(tmp, "spool-worker-kill"), cells,
+        runner="simulation", ttl=DRILL_TTL,
+    )
+    procs = [dist.spawn_worker(spool, f"w{i}") for i in range(3)]
+    victim = procs[0]
+    failures = 0
+    try:
+        if not _wait_for(
+            lambda: bool(dist._lease_files(spool)), 30.0,
+            "any worker to claim a cell",
+        ):
+            failures += 1
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=10.0)
+        print(f"stage 2: worker w0 (pid {victim.pid}) killed -9 mid-sweep")
+        outcome = dist.coordinate(
+            spool.root, collect="results", workers=0, max_seconds=180.0,
+        )
+    finally:
+        for proc in procs[1:]:
+            proc.terminate()
+            proc.wait(timeout=10.0)
+    reclaims = [
+        r for r in _read_telemetry(spool)
+        if r.get("record") == "lease_reclaimed"
+    ]
+    report["worker_kill"] = {
+        "complete": outcome.stats.complete,
+        "committed": outcome.stats.committed,
+        "leases_reclaimed_by_peers": len(reclaims),
+    }
+    if not outcome.stats.complete:
+        print("FAIL: sweep did not complete after worker kill", file=sys.stderr)
+        failures += 1
+    elif _matrix(outcome.results) != reference:
+        print(
+            "FAIL: worker-kill results differ from serial reference",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print(
+            f"stage 2: complete and bit-identical "
+            f"(peer reclaims recorded: {len(reclaims)})"
+        )
+    _save_telemetry(spool, report, "worker_kill")
+    return failures
+
+
+def stage_coordinator_kill(cells, reference, tmp: str, report: dict) -> int:
+    """SIGKILL a subprocess coordinator mid-sweep; a restart finishes."""
+    import subprocess
+
+    spool_root = os.path.join(tmp, "spool-coord-kill")
+    spool = dist.init_spool(
+        spool_root, cells, runner="simulation", ttl=DRILL_TTL,
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_src_path(), env.get("PYTHONPATH")) if p
+    )
+    coord = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.distributed",
+            "coordinate", spool_root, "--workers", "2",
+            "--collect", "aggregate",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    failures = 0
+    # Kill the coordinator as soon as real progress exists (first
+    # commit), while work is still in flight.
+    if not _wait_for(
+        lambda: bool(dist.terminal_keys(spool)[0]), 60.0,
+        "the first committed cell",
+    ):
+        failures += 1
+    coord.send_signal(signal.SIGKILL)
+    coord.wait(timeout=10.0)
+    committed_at_kill = len(dist.terminal_keys(spool)[0])
+    print(
+        f"stage 3: coordinator (pid {coord.pid}) killed -9 with "
+        f"{committed_at_kill}/{len(cells)} cells committed"
+    )
+    # Its spawned workers are orphaned but keep draining the spool —
+    # or die with it; either way the restarted coordinator recovers:
+    # committed cells from the cache, the rest via ensure_tokens and
+    # lease expiry.
+    outcome = dist.coordinate(
+        spool_root, collect="results", workers=2, max_seconds=180.0,
+    )
+    report["coordinator_kill"] = {
+        "complete": outcome.stats.complete,
+        "committed_at_kill": committed_at_kill,
+        "committed": outcome.stats.committed,
+        "requeued": outcome.stats.requeued,
+        "reclaimed": outcome.stats.reclaimed,
+    }
+    if not outcome.stats.complete:
+        print(
+            "FAIL: restarted coordinator did not finish the sweep",
+            file=sys.stderr,
+        )
+        failures += 1
+    elif _matrix(outcome.results) != reference:
+        print(
+            "FAIL: coordinator-restart results differ from serial reference",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print("stage 3: restarted coordinator recovered, bit-identical")
+    _save_telemetry(spool, report, "coordinator_kill")
+    return failures
+
+
+def stage_streaming_scale(n_cells: int, tmp: str, report: dict) -> int:
+    """A big synthetic sweep through aggregate mode: bounded memory."""
+    cells = _synthetic_cells(n_cells)
+    spool_root = os.path.join(tmp, "spool-scale")
+    t0 = time.perf_counter()
+    outcome = dist.run_distributed_sweep(
+        cells, spool_root=spool_root, workers=2,
+        runner="synthetic", collect="aggregate",
+    )
+    elapsed = time.perf_counter() - t0
+    failures = 0
+    agg = outcome.aggregate
+    sketch_entries = agg.sketch_entries() if agg is not None else -1
+    report["streaming_scale"] = {
+        "cells": n_cells,
+        "complete": outcome.stats.complete,
+        "seconds": round(elapsed, 2),
+        "cells_per_second": round(n_cells / elapsed, 1),
+        "sketch_entries": sketch_entries,
+        "results_materialized": len(outcome.results),
+    }
+    if not outcome.stats.complete or agg is None or agg.cells != n_cells:
+        print("FAIL: scale sweep did not fold every cell", file=sys.stderr)
+        failures += 1
+    if outcome.results:
+        print(
+            "FAIL: aggregate mode materialised a result matrix",
+            file=sys.stderr,
+        )
+        failures += 1
+    # The bound that makes streaming worth having: the sketches hold a
+    # small fraction of the observations they summarise.
+    if sketch_entries < 0 or sketch_entries > n_cells:
+        print(
+            f"FAIL: sketch footprint {sketch_entries} entries is not "
+            f"bounded below the {n_cells}-cell sweep",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not failures:
+        summary = agg.summary()
+        print(
+            f"stage 4: {n_cells} cells folded in {elapsed:.1f}s "
+            f"({n_cells / elapsed:.0f} cells/s), sketch footprint "
+            f"{sketch_entries} entries, p50 transfer "
+            f"{summary['total']['transfer_time']['p50']:.3f}s"
+        )
+    return failures
+
+
+def _src_path() -> Optional[str]:
+    import repro
+
+    pkg = os.path.dirname(os.path.abspath(repro.__file__))
+    return os.path.dirname(pkg)
+
+
+def _read_telemetry(spool) -> List[dict]:
+    try:
+        with open(spool.telemetry_path) as fh:
+            return [json.loads(line) for line in fh]
+    except OSError:
+        return []
+
+
+def _save_telemetry(spool, report: dict, stage: str) -> None:
+    """Stash the spool's telemetry before its tempdir is destroyed."""
+    sidecar = report.setdefault("_telemetry", {})
+    sidecar[stage] = _read_telemetry(spool)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenarios", type=int, default=2)
+    parser.add_argument("--file-size", type=int, default=500_000)
+    parser.add_argument("--env-class", default="low-bdp-no-loss")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scale-cells", type=int, default=10_000)
+    parser.add_argument("--report", default="CHAOS_distributed.json")
+    parser.add_argument(
+        "--telemetry", default="CHAOS_distributed_telemetry.jsonl"
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = generate_scenarios(
+        args.env_class, args.scenarios, seed=args.seed
+    )
+    cells = plan_class_sweep(scenarios, args.file_size, lossy=False)
+    print(
+        f"distributed chaos drill: {len(cells)} simulation cells, "
+        f"ttl={DRILL_TTL}s, scale stage {args.scale_cells} synthetic cells"
+    )
+
+    # Stage 1: serial reference matrix.
+    t0 = time.perf_counter()
+    reference = _matrix([run_cell(cell) for cell in cells])
+    print(
+        f"stage 1 (serial reference): {len(reference)} results "
+        f"in {time.perf_counter() - t0:.1f}s"
+    )
+
+    report: dict = {"cells": len(cells)}
+    failures = 0
+    tmp = tempfile.mkdtemp(prefix="chaos-dist-")
+    try:
+        failures += stage_worker_kill(cells, reference, tmp, report)
+        failures += stage_coordinator_kill(cells, reference, tmp, report)
+        failures += stage_streaming_scale(args.scale_cells, tmp, report)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    telemetry = report.pop("_telemetry", {})
+    with open(args.telemetry, "w") as fh:
+        for stage, records in telemetry.items():
+            for record in records:
+                fh.write(json.dumps({"stage": stage, **record}) + "\n")
+    report["failures"] = failures
+    with open(args.report, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"report -> {args.report}; telemetry -> {args.telemetry}")
+
+    if failures:
+        print(f"{failures} distributed chaos gate(s) failed", file=sys.stderr)
+        return 1
+    print(
+        "distributed chaos drill passed: worker kill, coordinator "
+        "restart and streaming scale all OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

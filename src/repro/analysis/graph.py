@@ -22,9 +22,9 @@ need:
   Function *references* (callbacks passed to ``schedule()`` and
   friends) count as edges too, so dispatch-driven code is reachable;
 * **reachability** — closure over the call graph from the sweep worker
-  entry point (any function named ``run_cell``) and from the engine
-  dispatch roots (every callback registered with ``schedule`` /
-  ``schedule_at``);
+  entry points (any function named ``run_cell``, plus the distributed
+  executor's ``worker_loop``) and from the engine dispatch roots
+  (every callback registered with ``schedule`` / ``schedule_at``);
 * **constant resolution** — following module-level assignments and
   imports to literal values, used by the obs-schema rule to check
   category constants against the registry;
@@ -55,6 +55,12 @@ NAME_FALLBACK_LIMIT = 4
 
 #: Import-chain / constant-chain resolution depth bound (cycle guard).
 MAX_CHAIN = 16
+
+#: Function names that root the sweep-worker reachability closure:
+#: ``run_cell`` (pool workers) and ``worker_loop`` (the distributed
+#: executor's claim/execute/commit loop) both run cells in worker
+#: processes, so both anchor the sweep-purity contract.
+SWEEP_WORKER_ENTRY_NAMES = ("run_cell", "worker_loop")
 
 
 def _attr_chain(node: ast.AST) -> Optional[str]:
@@ -778,6 +784,19 @@ class ProjectGraph:
         return [
             q for q, f in self.functions.items()
             if f.name == "run_cell" and f.class_qname is None
+        ]
+
+    def sweep_worker_entries(self) -> List[str]:
+        """All sweep worker roots: pool workers *and* distributed workers.
+
+        The distributed executor's ``worker_loop`` runs cells in
+        independent processes exactly like ``run_cell`` does under the
+        pool, so everything reachable from it is subject to the same
+        purity contract (no cache-key-invisible inputs).
+        """
+        return [
+            q for q, f in self.functions.items()
+            if f.name in SWEEP_WORKER_ENTRY_NAMES and f.class_qname is None
         ]
 
     def schedule_sites(

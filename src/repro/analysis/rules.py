@@ -18,11 +18,14 @@ from repro.analysis.core import Finding, ModuleContext, Rule, register
 
 #: Locations where wall-clock access is legitimate: benchmark harnesses
 #: time real execution, the parallel executor reports elapsed wall time
-#: for its own scheduling diagnostics (never into results), and the
-#: metrics registry owns the one sanctioned timing handle.
+#: for its own scheduling diagnostics (never into results), the
+#: distributed executor's lease TTLs are real-time by nature (deadlines
+#: must keep advancing while a worker is SIGKILLed), and the metrics
+#: registry owns the one sanctioned timing handle.
 WALL_CLOCK_EXEMPT = (
     "benchmarks/",
     "experiments/parallel.py",
+    "experiments/distributed.py",
     "obs/metrics.py",
 )
 

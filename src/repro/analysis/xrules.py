@@ -678,7 +678,9 @@ class SweepPurityRule(ProjectRule):
     rule_id = "sweep-purity"
     rationale = (
         "Code reachable from run_cell executes in ProcessPoolExecutor "
-        "workers; module-level mutable state and os.environ reads are "
+        "workers (and from worker_loop in independent distributed "
+        "worker processes); module-level mutable state and os.environ "
+        "reads are "
         "inputs the result-cache key cannot see, so they silently "
         "decide what a cached cell *means* — a cross-process race on "
         "result correctness.  ALL-CAPS registries and the obs/sanitize "
@@ -687,7 +689,7 @@ class SweepPurityRule(ProjectRule):
 
     def check(self, graph: ProjectGraph) -> Iterable[Finding]:
         state = self._module_state(graph)
-        reachable = graph.reachable_from(graph.run_cell_entries())
+        reachable = graph.reachable_from(graph.sweep_worker_entries())
         findings: List[Finding] = []
         for qname in sorted(reachable):
             info = graph.functions[qname]

@@ -5,6 +5,7 @@ DESIGN.md's experiment index).  ``python -m repro.experiments.figures
 --help`` lists the command-line interface.
 """
 
+from repro.experiments.distributed import run_distributed_sweep, worker_loop
 from repro.experiments.metrics import (
     cdf_points,
     experimental_aggregation_benefit,
@@ -20,7 +21,9 @@ __all__ = [
     "fraction_greater_than",
     "median",
     "run_bulk",
+    "run_distributed_sweep",
     "run_handover",
+    "worker_loop",
     "BulkRunResult",
     "HANDOVER_SCENARIO",
 ]

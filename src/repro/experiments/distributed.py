@@ -1,0 +1,1303 @@
+"""Fault-tolerant distributed sweep executor.
+
+The parallel engine (:mod:`repro.experiments.parallel`) fans a sweep
+out over one process pool on one host; this module scales the same
+cells across *independent* worker processes coordinated through a
+shared **spool directory** — a file-based work protocol with no
+sockets, brokers or shared memory, so "multi-host" is just "mount the
+same directory".  Robustness is the design centre, not an add-on:
+
+* **Lease-based claims.**  A cell is claimed by atomically renaming
+  its ``todo/`` token into ``leases/`` (exactly one winner per token);
+  the lease carries a TTL and is renewed by a heartbeat thread while
+  the cell runs.  A worker killed with SIGKILL mid-cell stops
+  heartbeating, its lease expires, and any other worker (or the
+  coordinator) *reclaims* it — the attempt is recorded as a failure
+  and the cell re-queued under the same bounded-backoff/quarantine
+  rules the in-process engine uses.
+* **Two-phase, checksummed commits.**  Workers write results through
+  the content-addressed :class:`~repro.experiments.parallel.ResultCache`
+  (temp file + digest + rename), so a torn write can never be read
+  back as a result: truncated, garbage or digest-mismatched entries
+  count as logged misses and quarantine candidates, never crashes.
+  Commits are *idempotent by construction* — cells are deterministic,
+  so a duplicate execution (two workers racing a reclaimed lease)
+  rewrites byte-identical content under the same key.  Lease
+  exclusivity is therefore an efficiency mechanism; correctness rests
+  on the commit protocol.
+* **Stateless, crash-resumable coordinator.**  Every piece of
+  coordinator state lives in the spool.  Kill it at any point and
+  restart it against the same directory: completed cells are recovered
+  bit-identically from the cache, expired leases are reclaimed, lost
+  cells are re-queued, and the sweep continues.
+* **Streaming, bounded-memory aggregation.**  Committed results fold
+  one at a time into :class:`SweepAggregate` — Greenwald-Khanna
+  :class:`~repro.experiments.metrics.QuantileSketch` summaries plus
+  :class:`~repro.experiments.metrics.StreamingJain` fairness — so a
+  10k-cell design aggregates in O(sketch) memory with no full result
+  matrix (``collect="aggregate"``).
+
+Spool layout (all mutations are atomic renames or O_APPEND writes)::
+
+    <spool>/
+      manifest.json        frozen sweep identity: format version,
+                           ordered cell keys, runner kind, lease TTL,
+                           max attempts
+      cells/<key>.pkl      immutable pickled SweepCell work units
+      todo/<key>           claim tokens (presence = claimable)
+      leases/<key>.<worker>.lease
+                           active claims: owner, deadline (renewed)
+      failures/<key>.<n>.<worker>.json
+                           one record per failed attempt (exceptions
+                           and expired leases both count)
+      quarantine/<key>.json
+                           terminal skip-list entries (capped errors)
+      cache/               shared ResultCache commit target
+      telemetry.jsonl      line-atomic shared event sidecar
+
+See ``docs/distributed.md`` for the full protocol and failure matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.metrics import QuantileSketch, StreamingJain
+from repro.experiments.parallel import (
+    MAX_QUARANTINE_ERRORS,
+    RESULTS_FORMAT_VERSION,
+    CellResult,
+    ResultCache,
+    SweepCell,
+    backoff_delay,
+    clip_error,
+    run_cell,
+)
+from repro.experiments.runner import BulkRunResult
+from repro.experiments.workload import WorkloadRunResult
+from repro.obs import metrics as _metrics
+
+#: Default lease time-to-live, seconds.  Heartbeats renew at a third
+#: of this, so a healthy worker never lets a lease lapse; a SIGKILLed
+#: one is reclaimable after at most one TTL.
+DEFAULT_LEASE_TTL = 15.0
+
+#: Default total attempts per cell (first run + retries) before the
+#: cell is quarantined — matches the in-process engine's default.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Idle poll interval for workers waiting on claimable cells and for
+#: the coordinator's progress scan, seconds.
+DEFAULT_POLL_INTERVAL = 0.1
+
+#: Known cell runners: ``simulation`` executes the real
+#: :func:`repro.experiments.parallel.run_cell`; ``synthetic`` derives
+#: a deterministic result from the cell key without simulating —
+#: the harness-drill mode that lets 10k-cell protocol tests run in
+#: seconds.
+RUNNERS = ("simulation", "synthetic")
+
+
+class SpoolError(RuntimeError):
+    """The spool directory is missing, inconsistent or foreign."""
+
+
+# ----------------------------------------------------------------------
+# Spool layout
+# ----------------------------------------------------------------------
+
+@dataclass
+class Spool:
+    """Handle on one spool directory and its parsed manifest."""
+
+    root: Path
+    keys: Tuple[str, ...]
+    runner: str
+    ttl: float
+    max_attempts: int
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / "cells"
+
+    @property
+    def todo_dir(self) -> Path:
+        return self.root / "todo"
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / "leases"
+
+    @property
+    def failures_dir(self) -> Path:
+        return self.root / "failures"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
+    def telemetry_path(self) -> Path:
+        return self.root / "telemetry.jsonl"
+
+    def cache(self) -> ResultCache:
+        return ResultCache(self.root / "cache")
+
+    @staticmethod
+    def open(root: "os.PathLike[str]") -> "Spool":
+        path = Path(root)
+        manifest_path = path / "manifest.json"
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+        except OSError as exc:
+            raise SpoolError(f"no spool manifest at {manifest_path}") from exc
+        except json.JSONDecodeError as exc:
+            raise SpoolError(f"corrupt spool manifest {manifest_path}") from exc
+        if manifest.get("format") != RESULTS_FORMAT_VERSION:
+            raise SpoolError(
+                f"spool {path} has format {manifest.get('format')!r}, "
+                f"this build expects {RESULTS_FORMAT_VERSION}"
+            )
+        return Spool(
+            root=path,
+            keys=tuple(manifest["keys"]),
+            runner=manifest.get("runner", "simulation"),
+            ttl=float(manifest.get("ttl", DEFAULT_LEASE_TTL)),
+            max_attempts=int(
+                manifest.get("max_attempts", DEFAULT_MAX_ATTEMPTS)
+            ),
+        )
+
+    def load_cell(self, key: str) -> SweepCell:
+        with open(self.cells_dir / f"{key}.pkl", "rb") as fh:
+            cell = pickle.load(fh)
+        if not isinstance(cell, SweepCell) or cell.cache_key() != key:
+            raise SpoolError(f"spooled cell {key[:12]}... fails verification")
+        return cell
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def append_telemetry(spool: Spool, record: Dict[str, Any]) -> None:
+    """Append one line-atomic JSONL record to the shared sidecar.
+
+    Open/write/close per record on an ``O_APPEND`` descriptor: the
+    kernel serialises whole-line appends, so any number of workers and
+    coordinators share one sidecar without interleaving partial lines.
+    """
+    line = json.dumps(record, sort_keys=True) + "\n"
+    fd = os.open(
+        spool.telemetry_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+
+
+def init_spool(
+    root: "os.PathLike[str]",
+    cells: Sequence[SweepCell],
+    runner: str = "simulation",
+    ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> Spool:
+    """Create (or idempotently re-open) a spool for ``cells``.
+
+    Safe to call again on an existing spool with the same plan — the
+    coordinator does exactly that after a crash-restart.  A spool
+    holding a *different* plan is refused rather than silently mixed.
+    """
+    if runner not in RUNNERS:
+        raise ValueError(f"unknown runner {runner!r} (expected {RUNNERS})")
+    path = Path(root)
+    keys: List[str] = []
+    seen = set()
+    for cell in cells:
+        key = cell.cache_key()
+        keys.append(key)
+        seen.add(key)
+    manifest_path = path / "manifest.json"
+    if manifest_path.exists():
+        spool = Spool.open(path)
+        if tuple(keys) != spool.keys:
+            raise SpoolError(
+                f"spool {path} already holds a different sweep plan "
+                f"({len(spool.keys)} cells vs {len(keys)} requested)"
+            )
+        return spool
+    for sub in ("cells", "todo", "leases", "failures", "quarantine", "cache"):
+        (path / sub).mkdir(parents=True, exist_ok=True)
+    written = set()
+    for cell in cells:
+        key = cell.cache_key()
+        if key in written:
+            continue
+        written.add(key)
+        cell_path = path / "cells" / f"{key}.pkl"
+        fd, tmp = tempfile.mkstemp(dir=cell_path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(cell, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, cell_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    _atomic_write_json(
+        manifest_path,
+        {
+            "format": RESULTS_FORMAT_VERSION,
+            "keys": keys,
+            "runner": runner,
+            "ttl": ttl,
+            "max_attempts": max_attempts,
+        },
+    )
+    spool = Spool.open(path)
+    ensure_tokens(spool)
+    return spool
+
+
+# ----------------------------------------------------------------------
+# Lease protocol primitives (all take `now` explicitly: the property
+# suite drives the state machine on a synthetic clock)
+# ----------------------------------------------------------------------
+
+def _lease_path(spool: Spool, key: str, worker_id: str) -> Path:
+    return spool.leases_dir / f"{key}.{worker_id}.lease"
+
+
+def _lease_files(spool: Spool, key: Optional[str] = None) -> List[Path]:
+    try:
+        names = sorted(os.listdir(spool.leases_dir))
+    except OSError:
+        return []
+    out = []
+    for name in names:
+        if not name.endswith(".lease"):
+            continue
+        if key is not None and not name.startswith(f"{key}."):
+            continue
+        out.append(spool.leases_dir / name)
+    return out
+
+
+def _lease_key(path: Path) -> str:
+    return path.name.split(".", 1)[0]
+
+
+def read_lease(path: Path, now: float, ttl: float) -> Tuple[str, float]:
+    """``(owner, deadline)`` of a lease file.
+
+    A freshly-claimed lease briefly holds the renamed todo token's
+    content (no owner yet); it is granted a grace deadline from the
+    file's mtime so a claim in progress is never mistaken for an
+    expired lease, while a claimer that died between rename and write
+    still expires one TTL later.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+        owner = data["owner"]
+        deadline = float(data["deadline"])
+        return owner, deadline
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        pass
+    try:
+        mtime = os.stat(path).st_mtime
+    except OSError:
+        return "?", now  # vanished mid-read: treat as just expired
+    return "?", mtime + ttl
+
+
+def claim_cell(
+    spool: Spool, key: str, worker_id: str, now: float
+) -> bool:
+    """Try to claim ``key``'s todo token; True when this worker won.
+
+    The claim itself is one atomic rename — exactly one contender can
+    move ``todo/<key>`` into its lease path.  The winner then stamps
+    the lease with its identity and deadline.
+    """
+    lease = _lease_path(spool, key, worker_id)
+    try:
+        os.rename(spool.todo_dir / key, lease)
+    except OSError:
+        return False
+    _atomic_write_json(
+        lease,
+        {"owner": worker_id, "deadline": now + spool.ttl, "claimed_at": now},
+    )
+    return True
+
+
+def renew_lease(
+    spool: Spool, key: str, worker_id: str, now: float
+) -> bool:
+    """Extend this worker's lease; False when the lease was lost.
+
+    A lost lease (reclaimed by a peer that judged us dead) is *not* an
+    error: the worker may finish and commit anyway — commits are
+    idempotent — but it learns it no longer runs exclusively.
+    """
+    lease = _lease_path(spool, key, worker_id)
+    if not lease.exists():
+        return False
+    _atomic_write_json(
+        lease,
+        {"owner": worker_id, "deadline": now + spool.ttl, "claimed_at": now},
+    )
+    return True
+
+
+def release_lease(spool: Spool, key: str, worker_id: str) -> None:
+    """Drop this worker's lease after a terminal outcome (commit or
+    quarantine)."""
+    try:
+        os.unlink(_lease_path(spool, key, worker_id))
+    except OSError:
+        pass
+
+
+def release_to_todo(spool: Spool, key: str, worker_id: str) -> None:
+    """Re-queue a claimed cell after a failed attempt (atomic rename)."""
+    try:
+        os.rename(_lease_path(spool, key, worker_id), spool.todo_dir / key)
+    except OSError:
+        pass
+
+
+def failure_count(spool: Spool, key: str) -> int:
+    """Recorded failed attempts for ``key`` (exceptions + dead leases)."""
+    try:
+        names = os.listdir(spool.failures_dir)
+    except OSError:
+        return 0
+    return sum(1 for name in names if name.startswith(f"{key}."))
+
+
+def record_failure(
+    spool: Spool, key: str, error: str, worker_id: str
+) -> int:
+    """Append one failed-attempt record; returns the new attempt count."""
+    attempt = failure_count(spool, key) + 1
+    _atomic_write_json(
+        spool.failures_dir / f"{key}.{attempt}.{worker_id}.json",
+        {"error": clip_error(error), "worker": worker_id, "attempt": attempt},
+    )
+    return failure_count(spool, key)
+
+
+def failure_errors(spool: Spool, key: str) -> List[str]:
+    """The recorded error strings for ``key``, in attempt order."""
+    try:
+        names = sorted(
+            name for name in os.listdir(spool.failures_dir)
+            if name.startswith(f"{key}.")
+        )
+    except OSError:
+        return []
+    errors = []
+    for name in names:
+        try:
+            with open(spool.failures_dir / name) as fh:
+                errors.append(str(json.load(fh).get("error", "?")))
+        except (OSError, json.JSONDecodeError):
+            errors.append("?")
+    return errors
+
+
+def quarantine_cell(spool: Spool, key: str, worker_id: str) -> None:
+    """Write the terminal skip-list entry for ``key`` and de-queue it."""
+    try:
+        cell = spool.load_cell(key)
+        meta: Dict[str, Any] = {
+            "protocol": cell.protocol,
+            "initial_interface": cell.initial_interface,
+            "base_seed": cell.base_seed,
+        }
+    except Exception:
+        # A corrupt pickle can surface as almost anything (ValueError,
+        # EOFError, AttributeError, ...) — the quarantine entry must be
+        # written regardless; cell metadata is best-effort decoration.
+        meta = {}
+    errors = [clip_error(e) for e in failure_errors(spool, key)]
+    entry = {
+        "cache_key": key,
+        "attempts": failure_count(spool, key),
+        "errors": errors[-MAX_QUARANTINE_ERRORS:],
+        "quarantined_by": worker_id,
+    }
+    entry.update(meta)
+    _atomic_write_json(spool.quarantine_dir / f"{key}.json", entry)
+    try:
+        os.unlink(spool.todo_dir / key)
+    except OSError:
+        pass
+
+
+def is_quarantined(spool: Spool, key: str) -> bool:
+    return (spool.quarantine_dir / f"{key}.json").exists()
+
+
+def quarantine_entries(spool: Spool) -> List[Dict[str, Any]]:
+    """Every terminal skip-list entry, in key order."""
+    try:
+        names = sorted(os.listdir(spool.quarantine_dir))
+    except OSError:
+        return []
+    entries = []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(spool.quarantine_dir / name) as fh:
+                entries.append(json.load(fh))
+        except (OSError, json.JSONDecodeError):
+            entries.append({"cache_key": name[: -len(".json")],
+                            "attempts": 0, "errors": ["unreadable entry"]})
+    return entries
+
+
+def reclaim_expired(
+    spool: Spool, now: float, worker_id: str
+) -> int:
+    """Reclaim every expired lease; returns how many were reclaimed.
+
+    The reclaim is one atomic rename back into ``todo/`` — exactly one
+    contender wins a given lease file.  The winner records the expiry
+    as a failed attempt (a SIGKILLed worker never got to), then
+    quarantines the cell if it has exhausted its attempts.
+    """
+    reclaimed = 0
+    for lease in _lease_files(spool):
+        key = _lease_key(lease)
+        owner, deadline = read_lease(lease, now, spool.ttl)
+        if deadline >= now or owner == worker_id:
+            continue
+        try:
+            os.rename(lease, spool.todo_dir / key)
+        except OSError:
+            continue  # somebody else won the reclaim
+        reclaimed += 1
+        attempts = record_failure(
+            spool, key,
+            f"lease expired (owner={owner} presumed dead)", worker_id,
+        )
+        append_telemetry(
+            spool,
+            {"record": "lease_reclaimed", "cache_key": key,
+             "previous_owner": owner, "by": worker_id,
+             "attempts": attempts},
+        )
+        if attempts >= spool.max_attempts:
+            quarantine_cell(spool, key, worker_id)
+    return reclaimed
+
+
+def terminal_keys(spool: Spool) -> Tuple[set, set]:
+    """``(committed, quarantined)`` key sets, by direct directory scan."""
+    committed = set()
+    cache_root = spool.root / "cache"
+    for key in spool.keys:
+        if (cache_root / key[:2] / f"{key}.json").exists():
+            committed.add(key)
+    quarantined = set()
+    try:
+        for name in os.listdir(spool.quarantine_dir):
+            if name.endswith(".json"):
+                quarantined.add(name[: -len(".json")])
+    except OSError:
+        pass
+    return committed, quarantined
+
+
+def ensure_tokens(spool: Spool) -> int:
+    """Re-queue every cell that is neither terminal, queued nor leased.
+
+    The self-healing pass that makes the coordinator stateless: after
+    any crash (worker, coordinator, or a corrupt cache entry set
+    aside), calling this restores the invariant that every unfinished
+    cell is either claimable or actively leased.  Returns how many
+    tokens were (re)created.
+    """
+    committed, quarantined = terminal_keys(spool)
+    try:
+        queued = set(os.listdir(spool.todo_dir))
+    except OSError:
+        queued = set()
+    leased = {_lease_key(p) for p in _lease_files(spool)}
+    created = 0
+    for key in spool.keys:
+        if key in committed or key in quarantined:
+            continue
+        if key in queued or key in leased:
+            continue
+        _atomic_write_json(spool.todo_dir / key, {"requeued": True})
+        created += 1
+    return created
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+class _LeaseHeartbeat(threading.Thread):
+    """Renews one lease at TTL/3 cadence while its cell executes.
+
+    A SIGKILL kills this thread with the process — exactly the signal
+    the protocol needs: the lease stops renewing and expires.
+    """
+
+    def __init__(self, spool: Spool, key: str, worker_id: str) -> None:
+        super().__init__(daemon=True, name=f"lease-heartbeat-{key[:8]}")
+        self._spool = spool
+        self._key = key
+        self._worker_id = worker_id
+        self._halt = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        interval = max(self._spool.ttl / 3.0, 0.02)
+        while not self._halt.wait(interval):
+            if not renew_lease(
+                self._spool, self._key, self._worker_id, time.time()
+            ):
+                self.lost = True
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def synthetic_result(cell: SweepCell) -> BulkRunResult:
+    """Deterministic no-simulation result for harness drills.
+
+    Derived purely from the cell's cache key, so re-execution anywhere
+    reproduces it bit-identically — which is what lets 10k-cell
+    protocol/scale tests exercise the full spool machinery in seconds.
+    """
+    word = int.from_bytes(
+        hashlib.sha256(cell.cache_key().encode()).digest()[:8], "big"
+    )
+    transfer_time = 0.5 + (word % 10_000) / 10_000.0
+    return BulkRunResult(
+        protocol=cell.protocol,
+        initial_interface=cell.initial_interface,
+        file_size=cell.file_size,
+        transfer_time=transfer_time,
+        goodput_bps=cell.file_size * 8.0 / transfer_time,
+        completed=True,
+        repetitions=cell.repetitions,
+        details={"sim_events": float(word % 1000), "synthetic": 1.0},
+        rep_times=[transfer_time],
+        rep_completed=[True],
+    )
+
+
+def execute_spooled_cell(cell: SweepCell, runner: str) -> CellResult:
+    """Run one claimed cell under the spool's configured runner."""
+    if runner == "synthetic":
+        return synthetic_result(cell)
+    return run_cell(cell)
+
+
+@dataclass
+class WorkerStats:
+    """Accounting of one :func:`worker_loop` invocation."""
+
+    worker_id: str
+    committed: int = 0
+    already_done: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    reclaimed: int = 0
+    leases_lost: int = 0
+
+
+def worker_loop(
+    spool_root: "os.PathLike[str]",
+    worker_id: Optional[str] = None,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_cells: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+) -> WorkerStats:
+    """Claim, execute and commit cells until the spool drains.
+
+    The distributed twin of the pool worker: wholly independent of the
+    coordinator (it can start before, after, or without one) and of
+    its peers.  Exits when every manifest cell is terminal, or when
+    the optional ``max_cells`` / ``max_seconds`` budgets run out.
+    """
+    spool = Spool.open(spool_root)
+    me = worker_id if worker_id is not None else f"w{os.getpid()}"
+    stats = WorkerStats(worker_id=me)
+    cache = spool.cache()
+    deadline = (
+        time.time() + max_seconds if max_seconds is not None else None
+    )
+    append_telemetry(
+        spool, {"record": "worker_start", "worker": me, "pid": os.getpid()}
+    )
+    idle_polls = 0
+    # Worker-local claim backlog: one sorted todo/ scan serves many
+    # claims, so draining N cells costs O(N) directory reads instead
+    # of O(N^2).  Staleness is harmless — a vanished token just fails
+    # its claim rename and the backlog refills on exhaustion.
+    backlog: List[str] = []
+    while True:
+        if max_cells is not None and (
+            stats.committed + stats.already_done + stats.quarantined
+        ) >= max_cells:
+            break
+        if deadline is not None and time.time() >= deadline:
+            break
+        now = time.time()
+        stats.reclaimed += reclaim_expired(spool, now, me)
+        key = _claim_next(spool, me, now, backlog)
+        if key is None:
+            if _spool_drained(spool):
+                healed = ensure_tokens(spool)
+                if healed == 0 and _spool_drained(spool):
+                    break
+                continue
+            idle_polls += 1
+            time.sleep(poll_interval)
+            continue
+        idle_polls = 0
+        _work_one(spool, cache, key, me, stats)
+    append_telemetry(
+        spool,
+        {"record": "worker_end", "worker": me,
+         "committed": stats.committed, "failed": stats.failed,
+         "quarantined": stats.quarantined, "reclaimed": stats.reclaimed},
+    )
+    return stats
+
+
+def _spool_drained(spool: Spool) -> bool:
+    """No queued tokens and no live leases — the sweep looks finished."""
+    try:
+        if any(True for _ in os.scandir(spool.todo_dir)):
+            return False
+    except OSError:
+        pass
+    if _lease_files(spool):
+        return False
+    return True
+
+
+def _claim_next(
+    spool: Spool,
+    worker_id: str,
+    now: float,
+    backlog: Optional[List[str]] = None,
+) -> Optional[str]:
+    """Claim the next claimable todo token, if any.
+
+    ``backlog`` (a caller-held list of candidate keys, most recent
+    scan first-out) amortises the sorted directory scan across claims;
+    without one, every call scans fresh.
+    """
+    if backlog is None:
+        backlog = []
+    if not backlog:
+        try:
+            names = sorted(os.listdir(spool.todo_dir), reverse=True)
+        except OSError:
+            return None
+        backlog.extend(names)  # reverse-sorted: pop() yields key order
+    while backlog:
+        key = backlog.pop()
+        if key.endswith(".tmp"):
+            continue
+        if is_quarantined(spool, key):
+            try:
+                os.unlink(spool.todo_dir / key)
+            except OSError:
+                pass
+            continue
+        if claim_cell(spool, key, worker_id, now):
+            return key
+    return None
+
+
+def _work_one(
+    spool: Spool,
+    cache: ResultCache,
+    key: str,
+    worker_id: str,
+    stats: WorkerStats,
+) -> None:
+    """Execute one claimed cell through its terminal outcome."""
+    # Already committed (resume re-queued it unnecessarily, or a racing
+    # duplicate finished first): drop the lease and move on.
+    if cache.get_key(key) is not None:
+        release_lease(spool, key, worker_id)
+        stats.already_done += 1
+        return
+    attempts_before = failure_count(spool, key)
+    if attempts_before >= spool.max_attempts:
+        quarantine_cell(spool, key, worker_id)
+        release_lease(spool, key, worker_id)
+        stats.quarantined += 1
+        append_telemetry(
+            spool,
+            {"record": "cell_quarantined", "cache_key": key,
+             "worker": worker_id, "attempts": attempts_before},
+        )
+        return
+    heartbeat = _LeaseHeartbeat(spool, key, worker_id)
+    heartbeat.start()
+    t0 = _metrics.clock()
+    try:
+        # Loading is inside the failure envelope: a corrupt/truncated
+        # cell pickle is a failed attempt that ends in quarantine, not
+        # a crashed worker.
+        cell = spool.load_cell(key)
+        result = execute_spooled_cell(cell, spool.runner)
+    except Exception as exc:
+        heartbeat.stop()
+        attempts = record_failure(spool, key, repr(exc), worker_id)
+        stats.failed += 1
+        append_telemetry(
+            spool,
+            {"record": "attempt_failed", "cache_key": key,
+             "worker": worker_id, "attempt": attempts,
+             "error": clip_error(repr(exc))},
+        )
+        if attempts >= spool.max_attempts:
+            quarantine_cell(spool, key, worker_id)
+            release_lease(spool, key, worker_id)
+            stats.quarantined += 1
+        else:
+            release_to_todo(spool, key, worker_id)
+            time.sleep(backoff_delay(attempts))
+        return
+    wall = _metrics.clock() - t0
+    heartbeat.stop()
+    if heartbeat.lost:
+        stats.leases_lost += 1
+    # Two-phase checksummed commit: temp file + digest + rename into
+    # the content-addressed cache.  Idempotent — a racing duplicate
+    # writes the same bytes under the same key.
+    cache.put(cell, result)
+    release_lease(spool, key, worker_id)
+    stats.committed += 1
+    append_telemetry(
+        spool,
+        {"record": "cell_committed", "cache_key": key,
+         "worker": worker_id, "pid": os.getpid(),
+         "wall_seconds": round(wall, 6),
+         "attempts": failure_count(spool, key) + 1,
+         "lease_lost": heartbeat.lost},
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming aggregation
+# ----------------------------------------------------------------------
+
+@dataclass
+class _GroupAggregate:
+    """Per-protocol streaming summary (bounded memory)."""
+
+    cells: int = 0
+    completed: int = 0
+    transfer_time: QuantileSketch = field(default_factory=QuantileSketch)
+    goodput: QuantileSketch = field(default_factory=QuantileSketch)
+    jain_goodput: StreamingJain = field(default_factory=StreamingJain)
+
+
+class SweepAggregate:
+    """Streaming fold of committed cell results — never the matrix.
+
+    Each committed cell contributes one ``(transfer_time, goodput)``
+    observation (workload cells: mean FCT and aggregate goodput) to a
+    global and a per-protocol Greenwald-Khanna sketch plus a streaming
+    Jain fairness accumulator, so aggregate memory is O(sketch size)
+    regardless of sweep size.  ``sketch_entries`` is the bounded-memory
+    evidence the acceptance test pins.
+    """
+
+    def __init__(self) -> None:
+        self.cells = 0
+        self.completed = 0
+        self.quarantined = 0
+        self.total = _GroupAggregate()
+        self.groups: Dict[str, _GroupAggregate] = {}
+
+    def fold(self, protocol: str, result: CellResult) -> None:
+        if isinstance(result, WorkloadRunResult):
+            transfer_time = result.mean_fct
+            goodput = (
+                result.total_bytes * 8.0 / result.duration
+                if result.duration > 0.0
+                else 0.0
+            )
+            completed = result.completed
+        else:
+            transfer_time = result.transfer_time
+            goodput = result.goodput_bps
+            completed = result.completed
+        self.cells += 1
+        if completed:
+            self.completed += 1
+        group = self.groups.setdefault(protocol, _GroupAggregate())
+        for agg in (self.total, group):
+            agg.cells += 1
+            if completed:
+                agg.completed += 1
+            agg.transfer_time.insert(transfer_time)
+            agg.goodput.insert(goodput)
+            agg.jain_goodput.add(goodput)
+
+    def sketch_entries(self) -> int:
+        """Total stored summary entries across every sketch."""
+        total = len(self.total.transfer_time) + len(self.total.goodput)
+        for group in self.groups.values():
+            total += len(group.transfer_time) + len(group.goodput)
+        return total
+
+    def summary(self) -> Dict[str, Any]:
+        def _group(agg: _GroupAggregate) -> Dict[str, Any]:
+            out: Dict[str, Any] = {
+                "cells": agg.cells,
+                "completed": agg.completed,
+                "jain_goodput": agg.jain_goodput.value(),
+            }
+            if agg.cells:
+                out["transfer_time"] = {
+                    "p50": agg.transfer_time.p50(),
+                    "p99": agg.transfer_time.p99(),
+                }
+                out["goodput_bps"] = {
+                    "p50": agg.goodput.p50(),
+                    "p99": agg.goodput.p99(),
+                }
+            return out
+
+        return {
+            "cells": self.cells,
+            "completed": self.completed,
+            "quarantined": self.quarantined,
+            "sketch_entries": self.sketch_entries(),
+            "total": _group(self.total),
+            "protocols": {
+                name: _group(group)
+                for name, group in sorted(self.groups.items())
+            },
+        }
+
+    def cdf(
+        self, protocol: Optional[str] = None, points: int = 50
+    ) -> List[Tuple[float, float]]:
+        """Transfer-time CDF points straight from the sketch."""
+        agg = self.total if protocol is None else self.groups[protocol]
+        return agg.transfer_time.cdf_points(points)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+@dataclass
+class DistributedStats:
+    """Accounting of one :func:`coordinate` invocation."""
+
+    cells: int = 0
+    committed: int = 0
+    recovered: int = 0
+    quarantined: int = 0
+    corrupt_entries: int = 0
+    reclaimed: int = 0
+    requeued: int = 0
+    workers_spawned: int = 0
+    workers_respawned: int = 0
+    complete: bool = False
+
+
+@dataclass
+class DistributedResult:
+    """What :func:`coordinate` hands back."""
+
+    stats: DistributedStats
+    #: Results aligned with the plan (``collect="results"``); slots of
+    #: quarantined cells are None.  Empty in aggregate mode.
+    results: List[Optional[CellResult]] = field(default_factory=list)
+    #: Streaming aggregate (``collect="aggregate"``), else None.
+    aggregate: Optional[SweepAggregate] = None
+    quarantine: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _repro_env() -> Dict[str, str]:
+    """Environment for worker subprocesses: inherit + make repro importable."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def spawn_worker(spool: Spool, worker_id: str) -> "subprocess.Popen[bytes]":
+    """Launch one independent worker process over the spool."""
+    cmd = [
+        sys.executable, "-m", "repro.experiments.distributed",
+        "worker", str(spool.root), "--worker-id", worker_id,
+    ]
+    return subprocess.Popen(
+        cmd,
+        env=_repro_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def coordinate(
+    spool_root: "os.PathLike[str]",
+    cells: Optional[Sequence[SweepCell]] = None,
+    workers: int = 0,
+    collect: str = "results",
+    on_result: Optional[Callable[[str, CellResult], None]] = None,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    runner: str = "simulation",
+    ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    respawn: bool = True,
+    max_seconds: Optional[float] = None,
+) -> DistributedResult:
+    """Drive a spool to completion, streaming results as they commit.
+
+    Stateless and crash-resumable: every decision re-derives from the
+    spool, so killing the coordinator and calling :func:`coordinate`
+    again on the same directory recovers committed cells bit-
+    identically from the cache, reclaims expired leases, re-queues
+    lost cells, and continues.
+
+    ``collect="results"`` assembles the plan-ordered result list (like
+    :func:`repro.experiments.parallel.execute_cells`);
+    ``collect="aggregate"`` folds every committed cell into a
+    :class:`SweepAggregate` and never materialises the matrix — the
+    bounded-memory mode for 10k+-cell designs.  ``on_result`` fires
+    once per cell either way, as commits are observed.
+
+    ``workers`` > 0 spawns that many worker subprocesses (respawned on
+    death while unfinished cells remain, unless ``respawn=False``); 0
+    coordinates workers started elsewhere — including on other hosts
+    sharing the spool directory.  When subprocesses cannot be spawned
+    at all, the coordinator degrades to draining the spool in-process
+    with a warning.
+    """
+    if collect not in ("results", "aggregate"):
+        raise ValueError("collect must be 'results' or 'aggregate'")
+    if cells is not None:
+        spool = init_spool(
+            spool_root, cells, runner=runner, ttl=ttl,
+            max_attempts=max_attempts,
+        )
+    else:
+        spool = Spool.open(spool_root)
+    stats = DistributedStats(cells=len(spool.keys))
+    stats.requeued += ensure_tokens(spool)
+    cache = spool.cache()
+    aggregate = SweepAggregate() if collect == "aggregate" else None
+    results_by_key: Dict[str, CellResult] = {}
+    append_telemetry(
+        spool,
+        {"record": "coordinator_start", "cells": len(spool.keys),
+         "workers": workers, "collect": collect,
+         "format": RESULTS_FORMAT_VERSION},
+    )
+
+    procs: List["subprocess.Popen[bytes]"] = []
+    inline = False
+    try:
+        for i in range(workers):
+            procs.append(spawn_worker(spool, f"w{i}"))
+            stats.workers_spawned += 1
+    except (OSError, PermissionError) as exc:
+        for proc in procs:
+            proc.terminate()
+        procs = []
+        inline = workers > 0
+        if inline:
+            warnings.warn(
+                f"cannot spawn worker processes ({exc!r}); coordinator "
+                "will drain the spool in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    pending = set(spool.keys)
+    folded: set = set()
+    deadline = time.time() + max_seconds if max_seconds is not None else None
+
+    def _observe_progress() -> None:
+        committed, quarantined = terminal_keys(spool)
+        for key in spool.keys:
+            if key in folded or key not in pending:
+                continue
+            if key in quarantined:
+                pending.discard(key)
+                folded.add(key)
+                stats.quarantined += 1
+                continue
+            if key not in committed:
+                continue
+            result = cache.get_key(key)
+            if result is None:
+                continue  # torn/corrupt entry: set aside, re-queued below
+            pending.discard(key)
+            folded.add(key)
+            stats.committed += 1
+            if aggregate is not None:
+                try:
+                    protocol = result.protocol
+                except AttributeError:
+                    protocol = "?"
+                aggregate.fold(protocol, result)
+            elif collect == "results":
+                results_by_key[key] = result
+            if on_result is not None:
+                on_result(key, result)
+
+    try:
+        while True:
+            _observe_progress()
+            new_corrupt = cache.corrupt - stats.corrupt_entries
+            if new_corrupt:
+                stats.corrupt_entries = cache.corrupt
+                append_telemetry(
+                    spool,
+                    {"record": "corrupt_entries",
+                     "keys": cache.corrupt_keys[-new_corrupt:]},
+                )
+            if not pending:
+                stats.complete = True
+                break
+            if deadline is not None and time.time() >= deadline:
+                break
+            stats.reclaimed += reclaim_expired(
+                spool, time.time(), "coordinator"
+            )
+            stats.requeued += ensure_tokens(spool)
+            if inline:
+                worker_stats = worker_loop(
+                    spool.root, worker_id="coordinator-inline",
+                    poll_interval=poll_interval, max_seconds=max_seconds,
+                )
+                stats.reclaimed += worker_stats.reclaimed
+            elif procs and respawn:
+                for i, proc in enumerate(procs):
+                    if proc.poll() is not None and pending:
+                        procs[i] = spawn_worker(spool, f"w{i}r")
+                        stats.workers_respawned += 1
+            time.sleep(poll_interval)
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=max(5.0, 2.0 * spool.ttl))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        quarantine = quarantine_entries(spool)
+        append_telemetry(
+            spool,
+            {"record": "coordinator_end", "committed": stats.committed,
+             "quarantined": stats.quarantined,
+             "reclaimed": stats.reclaimed, "requeued": stats.requeued,
+             "corrupt_entries": stats.corrupt_entries,
+             "complete": stats.complete},
+        )
+
+    results: List[Optional[CellResult]] = []
+    if collect == "results":
+        results = [results_by_key.get(key) for key in spool.keys]
+    return DistributedResult(
+        stats=stats, results=results, aggregate=aggregate,
+        quarantine=quarantine,
+    )
+
+
+def run_distributed_sweep(
+    cells: Sequence[SweepCell],
+    spool_root: Optional["os.PathLike[str]"] = None,
+    workers: int = 2,
+    collect: str = "results",
+    runner: str = "simulation",
+    ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+) -> DistributedResult:
+    """One-call convenience: spool ``cells``, run workers, coordinate.
+
+    With ``spool_root=None`` a temporary spool is used and cleaned up;
+    pass a real path to keep the spool inspectable/resumable.
+    """
+    if spool_root is not None:
+        return coordinate(
+            spool_root, cells, workers=workers, collect=collect,
+            runner=runner, ttl=ttl, max_attempts=max_attempts,
+            poll_interval=poll_interval,
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-spool-") as tmp:
+        return coordinate(
+            Path(tmp) / "spool", cells, workers=workers, collect=collect,
+            runner=runner, ttl=ttl, max_attempts=max_attempts,
+            poll_interval=poll_interval,
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI — the multi-host entry points
+# ----------------------------------------------------------------------
+
+def _cmd_worker(args: Any) -> int:
+    stats = worker_loop(
+        args.spool,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_cells=args.max_cells,
+        max_seconds=args.max_seconds,
+    )
+    print(
+        f"worker {stats.worker_id}: committed={stats.committed} "
+        f"failed={stats.failed} quarantined={stats.quarantined} "
+        f"reclaimed={stats.reclaimed}"
+    )
+    return 0
+
+
+def _cmd_coordinate(args: Any) -> int:
+    result = coordinate(
+        args.spool,
+        workers=args.workers,
+        collect=args.collect,
+        poll_interval=args.poll_interval,
+        respawn=not args.no_respawn,
+        max_seconds=args.max_seconds,
+    )
+    stats = result.stats
+    print(
+        f"coordinator: cells={stats.cells} committed={stats.committed} "
+        f"quarantined={stats.quarantined} reclaimed={stats.reclaimed} "
+        f"complete={stats.complete}"
+    )
+    if args.output:
+        payload: Dict[str, Any] = {
+            "stats": {
+                "cells": stats.cells,
+                "committed": stats.committed,
+                "quarantined": stats.quarantined,
+                "reclaimed": stats.reclaimed,
+                "requeued": stats.requeued,
+                "corrupt_entries": stats.corrupt_entries,
+                "complete": stats.complete,
+            },
+            "quarantine": result.quarantine,
+        }
+        if result.aggregate is not None:
+            payload["aggregate"] = result.aggregate.summary()
+        _atomic_write_json(Path(args.output), payload)
+    return 0 if stats.complete else 1
+
+
+def _cmd_status(args: Any) -> int:
+    spool = Spool.open(args.spool)
+    committed, quarantined = terminal_keys(spool)
+    try:
+        queued = len(os.listdir(spool.todo_dir))
+    except OSError:
+        queued = 0
+    leased = len(_lease_files(spool))
+    print(
+        f"spool {spool.root}: cells={len(spool.keys)} "
+        f"committed={len(committed)} quarantined={len(quarantined)} "
+        f"queued={queued} leased={leased} runner={spool.runner} "
+        f"ttl={spool.ttl:g}s"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.distributed",
+        description="Distributed sweep executor over a shared spool directory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser("worker", help="run one worker over a spool")
+    worker.add_argument("spool")
+    worker.add_argument("--worker-id", default=None)
+    worker.add_argument(
+        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL
+    )
+    worker.add_argument("--max-cells", type=int, default=None)
+    worker.add_argument("--max-seconds", type=float, default=None)
+    worker.set_defaults(func=_cmd_worker)
+
+    coord = sub.add_parser(
+        "coordinate", help="coordinate a spool to completion"
+    )
+    coord.add_argument("spool")
+    coord.add_argument("--workers", type=int, default=0)
+    coord.add_argument(
+        "--collect", choices=("results", "aggregate"), default="aggregate"
+    )
+    coord.add_argument(
+        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL
+    )
+    coord.add_argument("--no-respawn", action="store_true")
+    coord.add_argument("--max-seconds", type=float, default=None)
+    coord.add_argument("--output", default=None)
+    coord.set_defaults(func=_cmd_coordinate)
+
+    status = sub.add_parser("status", help="print spool progress")
+    status.add_argument("spool")
+    status.set_defaults(func=_cmd_status)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -98,6 +98,40 @@ def jain_index(values: Iterable[float]) -> float:
     return (total * total) / (n * total_sq)
 
 
+class StreamingJain:
+    """O(1)-state Jain fairness accumulator.
+
+    Folds allocations one at a time (the streaming-aggregation twin of
+    :func:`jain_index`): only the count, sum and sum of squares are
+    kept, so 10k+-cell sweeps aggregate fairness without materialising
+    the allocation vector.  ``merge`` combines two accumulators — the
+    distributed coordinator folds per-worker partials with it.
+    """
+
+    __slots__ = ("n", "total", "total_sq")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def merge(self, other: "StreamingJain") -> None:
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+
+    def value(self) -> float:
+        """Jain's index over everything folded so far (1.0 when empty)."""
+        if self.n == 0 or self.total_sq <= 0.0:
+            return 1.0
+        return (self.total * self.total) / (self.n * self.total_sq)
+
+
 class QuantileSketch:
     """Bounded-memory streaming quantiles (Greenwald-Khanna, GK01).
 
@@ -252,6 +286,22 @@ class QuantileSketch:
 
     def p999(self) -> float:
         return self.query(0.999)
+
+    def cdf_points(self, points: int = 50) -> List[Tuple[float, float]]:
+        """``(value, cumulative_fraction)`` pairs on an even quantile grid.
+
+        The streamed stand-in for :func:`cdf_points` over a full result
+        matrix: figure harnesses plot CDFs straight from the sketch, so
+        a 10k-cell sweep never materialises its values.
+        """
+        if self.n == 0:
+            return []
+        if points < 2:
+            raise ValueError("need at least 2 CDF points")
+        return [
+            (self.query(i / (points - 1)), i / (points - 1))
+            for i in range(points)
+        ]
 
 
 def quartiles(values: Iterable[float]) -> Tuple[float, float, float]:

@@ -99,6 +99,31 @@ DEFAULT_RETRIES = 2
 RETRY_BACKOFF_BASE = 0.25
 RETRY_BACKOFF_MAX = 2.0
 
+#: Bounds on stored quarantine evidence: error/traceback strings are
+#: clipped and only the most recent attempts are kept, so a cell that
+#: fails hundreds of times cannot bloat the skip-list or its report.
+MAX_QUARANTINE_ERROR_CHARS = 1000
+MAX_QUARANTINE_ERRORS = 5
+
+
+def backoff_delay(round_no: int) -> float:
+    """Bounded-exponential retry delay for round ``round_no`` (>= 1).
+
+    Shared by the in-process retry loop and the distributed workers,
+    so both back off identically.
+    """
+    return min(RETRY_BACKOFF_BASE * 2 ** (round_no - 1), RETRY_BACKOFF_MAX)
+
+
+def clip_error(error: str) -> str:
+    """Clip an error/traceback string to the stored evidence bound."""
+    if len(error) <= MAX_QUARANTINE_ERROR_CHARS:
+        return error
+    return (
+        error[:MAX_QUARANTINE_ERROR_CHARS]
+        + f"... [clipped {len(error) - MAX_QUARANTINE_ERROR_CHARS} chars]"
+    )
+
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", "cache")
 
@@ -350,41 +375,101 @@ def result_from_dict(data: Dict) -> CellResult:
 # On-disk cache
 # ----------------------------------------------------------------------
 
+def result_digest(result_data: Dict) -> str:
+    """Content digest of a serialised result (canonical JSON, SHA-256).
+
+    The digest covers the result alone — not the key material — so two
+    commits of the same cell can be compared byte-for-byte: the sweep
+    engine's determinism guarantee means re-executing a cell must
+    reproduce the digest exactly.
+    """
+    canonical = json.dumps(result_data, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 class ResultCache:
     """Content-addressed store of finished cells under ``root``.
 
     Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
     SHA-256 of the cell's canonical key material; each file stores the
-    key material alongside the result so entries are self-describing.
-    Writes go through a temp file + rename, so concurrent writers (or
-    an interrupted run) never leave a truncated entry behind.
+    key material and a content digest alongside the result so entries
+    are self-describing and self-verifying.  Writes go through a temp
+    file + rename (two-phase commit), so concurrent writers (or an
+    interrupted run) never leave a truncated entry behind.
+
+    Reads are hardened: a truncated, garbage or digest-mismatched
+    entry counts as a *miss* with a ``RuntimeWarning``, never an
+    unhandled exception.  The corrupt file is moved aside to
+    ``<entry>.corrupt`` (so a fresh commit can land cleanly) and its
+    key is recorded in :attr:`corrupt_keys` as a quarantine candidate
+    for the caller's report.
     """
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Entries rejected as truncated/garbage/digest-mismatched.
+        self.corrupt = 0
+        #: Cache keys of rejected entries (quarantine candidates).
+        self.corrupt_keys: List[str] = []
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _reject(self, key: str, path: Path, reason: str) -> None:
+        """Log and set aside a corrupt entry; it now reads as a miss."""
+        self.corrupt += 1
+        self.corrupt_keys.append(key)
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass
+        warnings.warn(
+            f"corrupt sweep-cache entry for {key[:12]}... ({reason}); "
+            "treating as a miss and quarantining the file aside as "
+            f"{path.name}.corrupt",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def get(self, cell: SweepCell) -> Optional[CellResult]:
-        path = self._path(cell.cache_key())
+        return self.get_key(cell.cache_key())
+
+    def get_key(self, key: str) -> Optional[CellResult]:
+        """Key-addressed read (the distributed coordinator's path)."""
+        path = self._path(key)
         try:
             with open(path) as fh:
                 data = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._reject(key, path, "not valid JSON")
+            self.misses += 1
+            return None
+        try:
+            result_data = data["result"]
+            stored = data.get("digest")
+            if stored is not None and stored != result_digest(result_data):
+                raise ValueError("content digest mismatch")
+            result = result_from_dict(result_data)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._reject(key, path, str(exc) or type(exc).__name__)
             self.misses += 1
             return None
         self.hits += 1
-        return result_from_dict(data["result"])
+        return result
 
     def put(self, cell: SweepCell, result: CellResult) -> None:
         key = cell.cache_key()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        result_data = result_to_dict(result)
         payload = {"key_material": cell.key_material(),
-                   "result": result_to_dict(result)}
+                   "result": result_data,
+                   "digest": result_digest(result_data)}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
@@ -475,12 +560,33 @@ last_stats = SweepStats()
 last_quarantine: List[Dict] = []
 
 
+def dedupe_quarantine(entries: List[Dict]) -> List[Dict]:
+    """Collapse a quarantine skip-list to one entry per cache key.
+
+    Later entries win (they carry the most recent attempt counts), and
+    stored error evidence is re-clipped to the configured bounds, so a
+    report assembled across repeated retry rounds or multiple sweep
+    invocations never grows duplicates or unbounded tracebacks.
+    """
+    by_key: Dict[str, Dict] = {}
+    for entry in entries:
+        key = entry.get("cache_key", "")
+        merged = dict(entry)
+        errors = [clip_error(e) for e in merged.get("errors", [])]
+        merged["errors"] = errors[-MAX_QUARANTINE_ERRORS:]
+        by_key[key] = merged
+    return list(by_key.values())
+
+
 def write_quarantine_report(path: os.PathLike, entries: List[Dict]) -> None:
     """Atomically write the quarantine skip-list as JSON.
 
     Written even when empty so CI can always upload the artifact and a
     clean run is distinguishable from a run that never reported.
+    Entries are deduplicated by cache key and their stored evidence
+    bounded (see :func:`dedupe_quarantine`).
     """
+    entries = dedupe_quarantine(entries)
     target = Path(path)
     if target.parent != Path(""):
         target.parent.mkdir(parents=True, exist_ok=True)
@@ -519,9 +625,12 @@ class SweepTelemetry:
 
     The sidecar is opened in append mode, so a figure run spanning
     several class sweeps accumulates one ``sweep_start``/``sweep_end``
-    block per sweep in a single file.  Each record is written and
-    flushed individually: a killed sweep leaves a readable prefix, and
-    ``tail -f`` follows a live one.
+    block per sweep in a single file.  Each record is one line written
+    by a single ``os.write`` on an ``O_APPEND`` descriptor — the
+    kernel guarantee that makes appends *line-atomic*: concurrent
+    writers sharing one sidecar (threads, or the distributed sweep's
+    worker processes) never interleave partial lines, a killed sweep
+    leaves a readable prefix, and ``tail -f`` follows a live one.
 
     A progress/ETA line is maintained on ``stream`` (default: stderr
     when it is a terminal, or always under ``REPRO_PROGRESS=1``).  The
@@ -542,13 +651,15 @@ class SweepTelemetry:
         self.done = 0
         self.cell_records = 0
         self._t0 = _metrics.clock()
-        self._fh: Optional[TextIO] = None
+        self._fd: Optional[int] = None
         self._stream = stream
         if path is not None:
             target = Path(path)
             if str(target.parent) not in ("", "."):
                 target.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = open(target, "a")
+            self._fd = os.open(
+                target, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
         self._write(
             {
                 "record": "sweep_start",
@@ -559,10 +670,12 @@ class SweepTelemetry:
         )
 
     def _write(self, record: Dict[str, Any]) -> None:
-        if self._fh is not None:
-            json.dump(record, self._fh, sort_keys=True)
-            self._fh.write("\n")
-            self._fh.flush()
+        # One os.write per record: O_APPEND appends are atomic at the
+        # kernel level, so concurrent writers never interleave lines
+        # (and there is no userspace buffer to flush or lose).
+        if self._fd is not None:
+            line = json.dumps(record, sort_keys=True) + "\n"
+            os.write(self._fd, line.encode())
 
     def _progress(self) -> None:
         if self._stream is None:
@@ -639,9 +752,9 @@ class SweepTelemetry:
                 "wall_seconds": round(_metrics.clock() - self._t0, 6),
             }
         )
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
 
 def _progress_stream() -> Optional[TextIO]:
@@ -754,12 +867,7 @@ def execute_cells(
             while pending:
                 if round_no > 0:
                     stats.retries += len(pending)
-                    time.sleep(
-                        min(
-                            RETRY_BACKOFF_BASE * 2 ** (round_no - 1),
-                            RETRY_BACKOFF_MAX,
-                        )
-                    )
+                    time.sleep(backoff_delay(round_no))
                 failures = _run_round(
                     pending, jobs, on_success, stats, isolate=round_no > 0
                 )
@@ -767,7 +875,7 @@ def execute_cells(
                 for i, cell in pending:
                     if i not in failures:
                         continue
-                    errors.setdefault(i, []).append(failures[i])
+                    errors.setdefault(i, []).append(clip_error(failures[i]))
                     if telemetry is not None:
                         telemetry.attempt_failed(
                             i, len(errors[i]), failures[i]
@@ -781,7 +889,7 @@ def execute_cells(
                                 "initial_interface": cell.initial_interface,
                                 "base_seed": cell.base_seed,
                                 "attempts": len(errors[i]),
-                                "errors": errors[i],
+                                "errors": errors[i][-MAX_QUARANTINE_ERRORS:],
                             }
                         )
                         if telemetry is not None:
@@ -809,7 +917,7 @@ def execute_cells(
             telemetry.close(stats)
 
     last_stats = stats
-    last_quarantine = quarantined
+    last_quarantine = dedupe_quarantine(quarantined)
     report_path = os.environ.get("REPRO_QUARANTINE_FILE")
     if report_path:
         write_quarantine_report(report_path, quarantined)

@@ -1,0 +1,22 @@
+"""A pure distributed worker: config flows in as arguments only.
+
+Near-miss mirror of ``defects/distributed_worker.py`` — the same
+shape (claim bookkeeping, runner selection, TTL) with every input
+either a parameter, a local, or an ALL-CAPS declared constant, so the
+sweep-purity rule must stay silent.
+"""
+
+DEFAULT_TTL = 15.0
+
+
+def _execute(key, runner, ttl):
+    return {"key": key, "runner": runner, "ttl": ttl}
+
+
+def worker_loop(spool, runner="simulation", ttl=DEFAULT_TTL):
+    claim_history = []
+    results = []
+    for key in spool:
+        claim_history.append(key)
+        results.append(_execute(key, runner, ttl))
+    return results

@@ -1,0 +1,41 @@
+"""Planted sweep-purity defects on the distributed worker path.
+
+``worker_loop`` is a sweep-worker reachability root just like
+``run_cell``: cells it executes commit into the shared result cache,
+so anything it reads that the cache key cannot see (module mutable
+state, the process environment) silently decides what a cached cell
+means.  The defects here are only reachable through ``worker_loop`` —
+no ``run_cell`` exists in this module — so they pin the extended
+root set.
+"""
+
+import os
+
+_claim_history = []
+
+_runner_override = None
+
+
+def _note_claim(key):
+    # Module-level list mutated per claim: shared-state write.
+    _claim_history.append(key)  # corpus: expect[sweep-purity]
+
+
+def _pick_runner(default):
+    global _runner_override
+    _runner_override = default  # corpus: expect[sweep-purity]
+    return default
+
+
+def _execute(key, runner, ttl):
+    return {"key": key, "runner": runner, "ttl": ttl}
+
+
+def worker_loop(spool):
+    results = []
+    for key in spool:
+        _note_claim(key)
+        runner = _pick_runner("simulation")
+        ttl = float(os.environ.get("REPRO_LEASE_TTL", "15"))  # corpus: expect[sweep-purity]
+        results.append(_execute(key, runner, ttl))
+    return results

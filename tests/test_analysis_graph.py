@@ -267,6 +267,39 @@ class TestCallGraphSoundness:
         assert "pkg.chain.b" in reachable
         assert "pkg.chain.orphan" not in reachable
 
+    def test_sweep_worker_entries_include_worker_loop(self, tmp_path):
+        # The distributed executor's worker_loop roots the same purity
+        # closure as run_cell — a helper only it calls must be
+        # reachable from the combined sweep-worker entry set.
+        root = write_tree(
+            tmp_path / "pkg",
+            {
+                "__init__.py": "",
+                "dist.py": (
+                    """
+                    def worker_loop(spool):
+                        return claim(spool)
+
+
+                    def claim(spool):
+                        return spool
+
+
+                    def run_cell(cell):
+                        return cell
+                    """
+                ),
+            },
+        )
+        graph = ProjectGraph.build(root)
+        entries = graph.sweep_worker_entries()
+        assert "pkg.dist.worker_loop" in entries
+        assert "pkg.dist.run_cell" in entries
+        reachable = graph.reachable_from(entries)
+        assert "pkg.dist.claim" in reachable
+        # run_cell_entries alone keeps its narrower historical meaning.
+        assert graph.run_cell_entries() == ["pkg.dist.run_cell"]
+
     def test_name_fallback_is_bounded(self, tmp_path):
         # Five classes defining .shared() exceed NAME_FALLBACK_LIMIT:
         # an untyped receiver must produce no edges rather than fanning

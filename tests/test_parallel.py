@@ -171,7 +171,65 @@ class TestCacheStore:
         cache.put(cell, run_cell(cell))
         path = cache._path(cell.cache_key())
         path.write_text("{not json")
-        assert cache.get(cell) is None
+        with pytest.warns(RuntimeWarning, match="corrupt sweep-cache"):
+            assert cache.get(cell) is None
+
+    def test_truncated_entry_warns_quarantines_and_recovers(self, tmp_path):
+        # A torn write (killed worker, full disk) must read as a miss
+        # with a RuntimeWarning — never an unhandled exception — and
+        # the corrupt file is set aside so a fresh commit lands.
+        cell = _cell()
+        result = run_cell(cell)
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cell, result)
+        path = cache._path(cell.cache_key())
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt sweep-cache"):
+            assert cache.get(cell) is None
+        assert cache.corrupt == 1
+        assert cache.corrupt_keys == [cell.cache_key()]
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert not path.exists()
+        # Recommit over the quarantined slot, then read back cleanly.
+        cache.put(cell, result)
+        assert result_to_dict(cache.get(cell)) == result_to_dict(result)
+
+    def test_digest_mismatch_is_rejected(self, tmp_path):
+        # An entry whose payload was tampered with (or half-overwritten
+        # by a buggy writer) fails its content digest and is refused
+        # even though it parses as valid JSON.
+        cell = _cell()
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cell, run_cell(cell))
+        path = cache._path(cell.cache_key())
+        data = json.loads(path.read_text())
+        data["result"]["transfer_time"] += 1.0
+        path.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="digest mismatch"):
+            assert cache.get(cell) is None
+        assert cache.corrupt == 1
+
+    def test_payload_carries_content_digest(self, tmp_path):
+        cell = _cell()
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cell, run_cell(cell))
+        data = json.loads(cache._path(cell.cache_key()).read_text())
+        assert data["digest"] == parallel.result_digest(data["result"])
+
+    def test_legacy_entry_without_digest_still_reads(self, tmp_path):
+        # Pre-digest cache entries (older format payloads) stay
+        # readable: the digest check only applies when the field is
+        # present.
+        cell = _cell()
+        result = run_cell(cell)
+        cache = ResultCache(tmp_path / "c")
+        cache.put(cell, result)
+        path = cache._path(cell.cache_key())
+        data = json.loads(path.read_text())
+        del data["digest"]
+        path.write_text(json.dumps(data))
+        assert result_to_dict(cache.get(cell)) == result_to_dict(result)
 
     def test_serialisation_round_trip(self):
         result = run_cell(_cell())
@@ -344,3 +402,66 @@ class TestCrashIsolation:
         monkeypatch.delenv("REPRO_RETRIES")
         assert resolve_retries() == parallel.DEFAULT_RETRIES
         assert resolve_retries(-3) == 0
+
+
+class TestQuarantineHygiene:
+    def _entry(self, key, attempts, errors):
+        return {
+            "cache_key": key,
+            "protocol": "quic",
+            "initial_interface": 0,
+            "base_seed": 1,
+            "attempts": attempts,
+            "errors": errors,
+        }
+
+    def test_dedupe_keeps_one_entry_per_key_latest_wins(self):
+        entries = [
+            self._entry("k1", 1, ["boom"]),
+            self._entry("k2", 1, ["other"]),
+            self._entry("k1", 3, ["boom", "boom again"]),
+        ]
+        deduped = parallel.dedupe_quarantine(entries)
+        assert [e["cache_key"] for e in deduped] == ["k1", "k2"]
+        k1 = deduped[0]
+        assert k1["attempts"] == 3  # the later entry won
+        assert k1["errors"] == ["boom", "boom again"]
+
+    def test_dedupe_caps_error_history(self):
+        errors = [f"attempt {i}" for i in range(20)]
+        deduped = parallel.dedupe_quarantine(
+            [self._entry("k", 20, errors)]
+        )
+        kept = deduped[0]["errors"]
+        assert len(kept) == parallel.MAX_QUARANTINE_ERRORS
+        assert kept[-1] == "attempt 19"  # most recent survive
+
+    def test_clip_error_bounds_traceback_length(self):
+        long = "x" * (parallel.MAX_QUARANTINE_ERROR_CHARS * 3)
+        clipped = parallel.clip_error(long)
+        assert len(clipped) < parallel.MAX_QUARANTINE_ERROR_CHARS + 100
+        assert "clipped" in clipped
+        short = "y" * 10
+        assert parallel.clip_error(short) == short
+
+    def test_report_file_is_deduplicated(self, tmp_path):
+        report = tmp_path / "quarantine.json"
+        parallel.write_quarantine_report(
+            report,
+            [
+                self._entry("k", 1, ["a"]),
+                self._entry("k", 2, ["a", "b"]),
+            ],
+        )
+        payload = json.loads(report.read_text())
+        assert payload["quarantined_cells"] == 1
+        assert len(payload["quarantined"]) == 1
+        assert payload["quarantined"][0]["attempts"] == 2
+
+    def test_backoff_delay_is_bounded(self):
+        delays = [parallel.backoff_delay(r) for r in range(1, 12)]
+        assert delays[0] == parallel.RETRY_BACKOFF_BASE
+        assert all(
+            d <= parallel.RETRY_BACKOFF_MAX for d in delays
+        )
+        assert delays == sorted(delays)

@@ -209,3 +209,46 @@ class TestResultEquivalence:
         assert [
             (r.transfer_time, r.goodput_bps) for r in with_telemetry
         ] == [(r.transfer_time, r.goodput_bps) for r in without]
+
+
+class TestLineAtomicAppends:
+    def test_threads_hammering_one_sidecar_never_interleave(self, tmp_path):
+        # Concurrent writers sharing one sidecar (the distributed
+        # sweep's workers, or threads here) must never interleave
+        # partial lines: each record is a single os.write on an
+        # O_APPEND descriptor.  Long, distinctive payloads make any
+        # torn or spliced line fail json parsing or the echo check.
+        import threading
+
+        sidecar = tmp_path / "telemetry.jsonl"
+        telemetry = SweepTelemetry(sidecar, total=0, jobs=1)
+        n_threads, per_thread = 8, 150
+
+        def hammer(thread_no):
+            payload = f"t{thread_no}-" + "x" * (400 + 37 * thread_no)
+            for i in range(per_thread):
+                telemetry.attempt_failed(
+                    thread_no * per_thread + i, 1, payload
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        telemetry.close(SweepStats())
+
+        records = _records(sidecar)  # json.loads raises on a torn line
+        failed = [r for r in records if r["record"] == "attempt_failed"]
+        assert len(failed) == n_threads * per_thread
+        assert sorted(r["index"] for r in failed) == list(
+            range(n_threads * per_thread)
+        )
+        for r in failed:
+            thread_no = int(r["error"].split("-", 1)[0][1:])
+            assert r["error"] == (
+                f"t{thread_no}-" + "x" * (400 + 37 * thread_no)
+            )
